@@ -1,0 +1,13 @@
+"""Shared helpers for benchmark modules (kept outside conftest for direct import)."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import render_series, render_table
+
+__all__ = ["emit", "render_table", "render_series"]
+
+
+def emit(title: str, body: str) -> None:
+    """Print a benchmark artefact with a recognisable banner."""
+    banner = "=" * max(20, len(title))
+    print(f"\n{banner}\n{title}\n{banner}\n{body}\n")

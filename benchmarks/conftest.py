@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures (or an
+empirical companion to one of its theorems) and prints it in a diffable
+ASCII layout.  ``pytest benchmarks/ --benchmark-only -s`` shows the tables;
+EXPERIMENTS.md quotes them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import emit
+from repro.analysis.reporting import render_series, render_table
+
+
+@pytest.fixture(scope="session")
+def reporting():
+    """Expose the rendering helpers to benchmark modules as a mapping."""
+    return {"render_table": render_table, "render_series": render_series, "emit": emit}

@@ -1,0 +1,85 @@
+"""E6 — Theorem 5.3 separation: the 0_S heavy-hitter status flips with membership.
+
+For ``p > 1`` the paper's instance makes the all-zeros pattern ``0_S`` a
+constant-φ heavy hitter exactly when Bob's codeword is in Alice's set.  The
+benchmark measures the heavy-hitter ratio ``f(0_S) / ‖f‖_p`` on both
+branches for a sweep of dimensions and p values and verifies the constant-φ
+threshold (φ = 1/4 as in the proof) classifies every instance correctly.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import emit, render_table
+from repro.lowerbounds.hh_instance import build_heavy_hitter_instance
+from repro.lowerbounds.separation import measure_separation
+
+EPSILON = 0.3
+GAMMA = 0.05
+SWEEP = [
+    # (d, p)
+    (24, 1.5),
+    (30, 1.5),
+    (24, 2.0),
+    (30, 2.0),
+    (36, 2.0),
+]
+
+
+def _ratio_summary(d: int, p: float, trials: int = 3):
+    def statistic(membership: bool, seed: int) -> float:
+        instance = build_heavy_hitter_instance(
+            d=d, epsilon=EPSILON, gamma=GAMMA, p=p, membership=membership, seed=seed
+        )
+        return instance.heavy_hitter_ratio()
+
+    return measure_separation(statistic, trials=trials)
+
+
+def test_theorem_5_3_heavy_hitter_separation(benchmark):
+    """Ratio f(0_S)/||f||_p on both branches across the (d, p) sweep."""
+
+    def run_sweep():
+        rows = []
+        for d, p in SWEEP:
+            summary = _ratio_summary(d, p)
+            rows.append(
+                (
+                    d,
+                    p,
+                    summary.member_min,
+                    summary.non_member_max,
+                    summary.gap,
+                    summary.member_min >= 0.25 > summary.non_member_max,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit(
+        "Theorem 5.3 — is 0_S a phi-heavy hitter? (phi = 1/4), p > 1",
+        render_table(
+            [
+                "d",
+                "p",
+                "min ratio (y in T)",
+                "max ratio (y not in T)",
+                "gap",
+                "phi=1/4 separates",
+            ],
+            rows,
+        ),
+    )
+    for d, p, member_min, non_member_max, gap, separated in rows:
+        assert separated
+        assert gap > 2.0
+    # The gap should not shrink as d grows (it widens asymptotically).
+    gaps_p2 = [row[4] for row in rows if row[1] == 2.0]
+    assert gaps_p2[-1] >= 0.8 * gaps_p2[0]
+
+
+def test_theorem_5_3_instance_construction_cost(benchmark):
+    """Time to build one Theorem 5.3 instance at d = 30."""
+    instance = benchmark(
+        build_heavy_hitter_instance, 30, EPSILON, GAMMA, 2.0, True, None, 0.5, 0
+    )
+    assert instance.dataset.n_rows >= 2 ** instance.parameters.weight

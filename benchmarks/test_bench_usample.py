@@ -1,0 +1,131 @@
+"""E9 — Theorem 5.1 / Corollary 5.2: uniform-sample accuracy versus sample size.
+
+Sweeps the sample size ``t`` and measures the worst additive point-query
+error (as a fraction of ``‖f‖_1 = n``) over random late-arriving column
+queries on a skewed workload, together with heavy-hitter recall on the
+bias-audit workload.  The paper predicts error ``ε ≈ 1/sqrt(t)`` independent
+of ``n`` and ``d``; the benchmark confirms the ``1/sqrt(t)`` scaling, the
+independence from ``n``, and ablates with- versus without-replacement
+sampling.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import emit, render_table
+from repro.core.dataset import ColumnQuery
+from repro.core.frequency import FrequencyVector
+from repro.core.uniform_sample import UniformSampleEstimator
+from repro.workloads.bias import demographic_dataset
+from repro.workloads.queries import random_queries
+from repro.workloads.synthetic import zipfian_rows
+
+SAMPLE_SIZES = [64, 256, 1024, 4096]
+
+
+def _worst_relative_error(dataset, sample_size: int, with_replacement: bool, seed: int) -> float:
+    estimator = UniformSampleEstimator(
+        n_columns=dataset.n_columns,
+        sample_size=sample_size,
+        alphabet_size=dataset.alphabet_size,
+        with_replacement=with_replacement,
+        seed=seed,
+    )
+    estimator.observe(dataset)
+    worst = 0.0
+    for query in random_queries(dataset.n_columns, 4, count=3, seed=seed):
+        exact = FrequencyVector.from_dataset(dataset, query)
+        for pattern in list(exact.observed_patterns())[:8]:
+            estimate = estimator.estimate_frequency(query, pattern)
+            worst = max(worst, abs(estimate - exact.frequency(pattern)) / dataset.n_rows)
+    return worst
+
+
+def test_theorem_5_1_error_scales_as_inverse_sqrt_t(benchmark):
+    """Worst point-query error vs sample size on a Zipfian workload."""
+    dataset = zipfian_rows(6000, 10, distinct_patterns=60, exponent=1.3, seed=1)
+
+    def run_sweep():
+        rows = []
+        for sample_size in SAMPLE_SIZES:
+            error = _worst_relative_error(dataset, sample_size, False, seed=2)
+            rows.append((sample_size, error, (1.0 / sample_size) ** 0.5))
+        return rows
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit(
+        "Theorem 5.1 — uSample worst point-query error vs sample size (n=6000, d=10)",
+        render_table(["sample size t", "worst |err| / n", "predicted ~1/sqrt(t)"], rows),
+    )
+    errors = [row[1] for row in rows]
+    # Error decreases as the sample grows, and stays within a small constant
+    # of the 1/sqrt(t) prediction at the largest size.
+    assert errors[-1] <= errors[0]
+    assert errors[-1] <= 3.0 * (1.0 / SAMPLE_SIZES[-1]) ** 0.5
+
+
+def test_theorem_5_1_error_is_independent_of_stream_length(benchmark):
+    """The same sample size gives the same relative error on 3k and 12k rows."""
+
+    def run_pair():
+        rows = []
+        for n_rows in (3000, 12000):
+            dataset = zipfian_rows(n_rows, 10, distinct_patterns=60, exponent=1.3, seed=3)
+            rows.append((n_rows, _worst_relative_error(dataset, 1024, False, seed=4)))
+        return rows
+
+    rows = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    emit(
+        "Theorem 5.1 — error is a function of t, not of n (t = 1024)",
+        render_table(["n rows", "worst |err| / n"], rows),
+    )
+    small_n_error, large_n_error = rows[0][1], rows[1][1]
+    assert abs(small_n_error - large_n_error) <= 0.05
+
+
+def test_with_vs_without_replacement_ablation(benchmark):
+    """Ablation: the two sampling modes achieve comparable error."""
+    dataset = zipfian_rows(5000, 10, distinct_patterns=60, exponent=1.3, seed=5)
+
+    def run_ablation():
+        return [
+            ("without replacement", _worst_relative_error(dataset, 1024, False, seed=6)),
+            ("with replacement", _worst_relative_error(dataset, 1024, True, seed=6)),
+        ]
+
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    emit(
+        "uSample ablation — with vs without replacement (t = 1024)",
+        render_table(["mode", "worst |err| / n"], rows),
+    )
+    errors = dict(rows)
+    assert abs(errors["with replacement"] - errors["without replacement"]) <= 0.06
+
+
+def test_heavy_hitter_recall_on_bias_audit_workload(benchmark):
+    """Corollary 5.2 in action: the planted subgroup is always recalled."""
+
+    def run_audit():
+        recalled = 0
+        trials = 3
+        for seed in range(trials):
+            data, truth = demographic_dataset(n_rows=4000, bias_strength=0.3, seed=seed)
+            estimator = UniformSampleEstimator(
+                n_columns=data.n_columns,
+                sample_size=1024,
+                alphabet_size=data.alphabet_size,
+                seed=seed,
+            )
+            estimator.observe(data)
+            biased = tuple(truth.overrepresented_group)
+            query = ColumnQuery.of(truth.column_indices(biased), data.n_columns)
+            report = estimator.heavy_hitters(query, phi=0.15, p=1.0)
+            if truth.group_pattern(biased) in report:
+                recalled += 1
+        return recalled, trials
+
+    recalled, trials = benchmark.pedantic(run_audit, rounds=1, iterations=1)
+    emit(
+        "Corollary 5.2 — planted subgroup recall on the bias-audit workload",
+        render_table(["recalled", "trials"], [(recalled, trials)]),
+    )
+    assert recalled == trials

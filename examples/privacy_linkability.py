@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Privacy & linkability: projected F0 as a re-identification risk measure.
+
+The paper's second motivating scenario (Section 1): before sharing a table,
+estimate how many distinct value combinations occur for each candidate
+partial identifier — arbitrary subsets of columns chosen after the data has
+been collected — in the spirit of KHyperLogLog [Chia et al. 2019].
+
+This example streams a synthetic quasi-identifier table into an α-net of
+distinct-count sketches (Algorithm 1 of the paper) and then scores a series
+of partial identifiers of growing width, comparing the sketch-based distinct
+count against the exact count and reporting the exact uniqueness rate each
+identifier would expose.
+
+Run with:  python examples/privacy_linkability.py
+"""
+
+from __future__ import annotations
+
+from repro import AlphaNetEstimator, ColumnQuery, Dataset, SketchPlan
+from repro.analysis.reporting import render_table
+from repro.workloads.linkability import quasi_identifier_dataset, uniqueness_profile
+
+
+def main() -> None:
+    raw, schema = quasi_identifier_dataset(n_rows=15_000, seed=3)
+    print(
+        f"Quasi-identifier table: {raw.n_rows} rows, columns = "
+        f"{', '.join(schema.column_names)}\n"
+    )
+
+    # The alpha-net estimator keeps a small F0 sketch per column subset in an
+    # alpha-net, so *any* late-arriving partial identifier can be scored.
+    # The columns are binarised (value parity) to keep this demo's net small;
+    # a production deployment would sketch the raw categorical columns.
+    data = Dataset(raw.to_array() % 2, alphabet_size=2)
+    estimator = AlphaNetEstimator(
+        n_columns=data.n_columns,
+        alpha=0.25,
+        plan=SketchPlan.default_f0(epsilon=0.15, seed=1),
+    )
+    estimator.observe(data)
+    guarantee = estimator.guarantee(p=0, beta=1.3)
+    print(
+        f"alpha-net: {guarantee.sketch_count} sketches "
+        f"(<= bound {guarantee.sketch_count_bound:.0f}, naive 2^d = {2**data.n_columns}); "
+        f"worst-case factor {guarantee.approximation_factor:.1f}\n"
+    )
+
+    # Candidate partial identifiers of growing width.
+    candidates = [
+        ("zip3",),
+        ("zip3", "birth_year_band"),
+        ("zip3", "birth_year_band", "gender"),
+        ("zip3", "birth_year_band", "gender", "household_size"),
+        ("zip3", "birth_year_band", "gender", "household_size", "vehicle_type"),
+        schema.column_names,
+    ]
+
+    rows = []
+    for identifier in candidates:
+        indices = tuple(schema.column_index(name) for name in identifier)
+        query = ColumnQuery.of(indices, data.n_columns)
+        estimate = estimator.estimate_fp(query, 0)
+        profile = uniqueness_profile(data, query)
+        risk = (
+            "HIGH"
+            if profile.uniqueness_rate > 0.05
+            else "medium"
+            if profile.uniqueness_rate > 0.005
+            else "low"
+        )
+        rows.append(
+            (
+                " + ".join(identifier),
+                round(estimate, 1),
+                profile.distinct_combinations,
+                f"{profile.uniqueness_rate:.2%}",
+                round(profile.mean_group_size, 1),
+                risk,
+            )
+        )
+
+    print(
+        render_table(
+            [
+                "partial identifier",
+                "distinct combos (sketch)",
+                "distinct combos (exact)",
+                "unique rows",
+                "mean group size",
+                "risk",
+            ],
+            rows,
+            title="Linkability assessment per candidate partial identifier",
+        )
+    )
+    print(
+        "\nReading: identifiers whose distinct-combination count approaches the "
+        "row count pin individuals down to tiny groups; the sketch answers are "
+        "within the Theorem 6.5 factor of the exact counts while the summary "
+        "is built once, before the identifiers were chosen."
+    )
+
+
+if __name__ == "__main__":
+    main()

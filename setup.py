@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+only so that ``pip install -e .`` works in fully offline environments whose
+setuptools cannot build PEP 660 editable wheels (it falls back to the legacy
+``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,89 @@
+"""repro — reproduction of *Subspace Exploration: Bounds on Projected Frequency Estimation*.
+
+The package implements, in pure Python, the algorithms, lower-bound
+constructions and experimental harness of Cormode, Dickens and Woodruff
+(PODS 2021):
+
+* :mod:`repro.core` — the data model (datasets, column queries, frequency
+  vectors), the uniform-sampling estimator of Theorem 5.1, the α-net
+  set-rounding meta-algorithm of Section 6, and exact baselines.
+* :mod:`repro.sketches` — the streaming-sketch substrate (distinct counting,
+  frequency moments, heavy hitters, samplers) the estimators build on.
+* :mod:`repro.coding` — constant-weight and low-intersection codes plus the
+  ``star_Q`` operator behind every lower-bound instance.
+* :mod:`repro.lowerbounds` — Index-reduction hard instances for Theorems 4.1,
+  5.3, 5.4 and 5.5 together with gap-measurement utilities and Table 1.
+* :mod:`repro.streaming`, :mod:`repro.workloads`, :mod:`repro.analysis` —
+  stream plumbing, synthetic workloads, and the analytical bound/trade-off
+  calculators behind Figure 1.
+
+Quickstart::
+
+    from repro import Dataset, ColumnQuery, UniformSampleEstimator
+
+    data = Dataset.random(n_rows=10_000, n_columns=12, seed=1)
+    estimator = UniformSampleEstimator.from_accuracy(n_columns=12, epsilon=0.05)
+    estimator.observe(data)
+
+    query = ColumnQuery.of([0, 3, 7], dimension=12)      # revealed after the data
+    estimate = estimator.estimate_frequency(query, (0, 1, 0))
+"""
+
+from .core import (
+    AllSubsetsBaseline,
+    AlphaNet,
+    AlphaNetEstimator,
+    ColumnQuery,
+    Dataset,
+    ExactBaseline,
+    FpEstimation,
+    FrequencyEstimation,
+    FrequencyVector,
+    HeavyHitters,
+    LpSampling,
+    ProjectedFrequencyEstimator,
+    SketchPlan,
+    UniformSampleEstimator,
+    rounding_distortion,
+    sample_size_for,
+)
+from .errors import (
+    AlphabetError,
+    CodeConstructionError,
+    DimensionError,
+    EstimationError,
+    InvalidParameterError,
+    ProtocolError,
+    QueryError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllSubsetsBaseline",
+    "AlphaNet",
+    "AlphaNetEstimator",
+    "AlphabetError",
+    "CodeConstructionError",
+    "ColumnQuery",
+    "Dataset",
+    "DimensionError",
+    "EstimationError",
+    "ExactBaseline",
+    "FpEstimation",
+    "FrequencyEstimation",
+    "FrequencyVector",
+    "HeavyHitters",
+    "InvalidParameterError",
+    "LpSampling",
+    "ProjectedFrequencyEstimator",
+    "ProtocolError",
+    "QueryError",
+    "ReproError",
+    "SketchPlan",
+    "UniformSampleEstimator",
+    "__version__",
+    "rounding_distortion",
+    "sample_size_for",
+]

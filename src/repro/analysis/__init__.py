@@ -1,0 +1,46 @@
+"""Analytical bounds, trade-off curves and report rendering."""
+
+from .bounds import (
+    AbstractTradeoffPoint,
+    abstract_tradeoff,
+    f0_lower_bound_space,
+    theorem_6_5_approximation,
+    theorem_6_5_space,
+    usample_size,
+)
+from .entropy import (
+    binary_entropy,
+    entropy_counting_bound,
+    exact_net_size,
+    net_size_bound,
+    truncated_binomial_sum,
+)
+from .reporting import format_quantity, render_series, render_table, sparkline
+from .tradeoff import (
+    TradeoffCurve,
+    TradeoffPoint,
+    figure1_curves,
+    tradeoff_at_relative_space,
+)
+
+__all__ = [
+    "AbstractTradeoffPoint",
+    "TradeoffCurve",
+    "TradeoffPoint",
+    "abstract_tradeoff",
+    "binary_entropy",
+    "entropy_counting_bound",
+    "exact_net_size",
+    "f0_lower_bound_space",
+    "figure1_curves",
+    "format_quantity",
+    "net_size_bound",
+    "render_series",
+    "render_table",
+    "sparkline",
+    "theorem_6_5_approximation",
+    "theorem_6_5_space",
+    "tradeoff_at_relative_space",
+    "truncated_binomial_sum",
+    "usample_size",
+]

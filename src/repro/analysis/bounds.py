@@ -1,0 +1,110 @@
+"""Theoretical bound calculators collected from across the paper.
+
+These helpers evaluate, for concrete parameters, the space and approximation
+formulas the paper states asymptotically: the Theorem 4.1 family of ``F_0``
+lower bounds, the Theorem 5.1 sampling upper bound, the Lemma 6.2 net size,
+the Lemma 6.4 rounding distortions and the Theorem 6.5 combination, plus the
+``N = 2^d`` reparameterisation used in the abstract (an ``N^α``-approximation
+in ``N^{H(1/2-α)}`` space).  Benchmarks print these values next to measured
+quantities so EXPERIMENTS.md can record "paper vs measured" for every row.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import InvalidParameterError
+from .entropy import binary_entropy, net_size_bound
+
+__all__ = [
+    "f0_lower_bound_space",
+    "usample_size",
+    "theorem_6_5_space",
+    "theorem_6_5_approximation",
+    "abstract_tradeoff",
+    "AbstractTradeoffPoint",
+]
+
+
+def f0_lower_bound_space(d: int, k: int) -> float:
+    """Space (in summaries / bits up to constants) forced by Theorem 4.1.
+
+    The reduction shows space proportional to ``|B(d, k)| >= (d/k)^k``
+    (``2^d / sqrt(2d)`` at ``k = d/2``) is necessary for a ``Q/k``
+    approximation.
+    """
+    if not 1 <= k <= d // 2:
+        raise InvalidParameterError(f"k must satisfy 1 <= k <= d/2, got k={k}, d={d}")
+    if 2 * k == d:
+        return 2.0**d / math.sqrt(2.0 * d)
+    return (d / k) ** k
+
+
+def usample_size(epsilon: float, delta: float) -> float:
+    """The Theorem 5.1 sample size ``O(ε^{-2} log(1/δ))`` (with constant 1)."""
+    if not 0 < epsilon < 1:
+        raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+    if not 0 < delta < 1:
+        raise InvalidParameterError(f"delta must be in (0, 1), got {delta}")
+    return math.log(1.0 / delta) / (epsilon * epsilon)
+
+
+def theorem_6_5_space(d: int, alpha: float, sketch_bits: float = 1.0) -> float:
+    """Space of Algorithm 1: ``~O(2^{H(1/2-α)d})`` sketches of ``sketch_bits`` each."""
+    return net_size_bound(d, alpha) * sketch_bits
+
+
+def theorem_6_5_approximation(d: int, alpha: float, p: float, beta: float = 1.0) -> float:
+    """Approximation factor of Algorithm 1: ``β · r(α, P)`` (Lemma 6.4)."""
+    if not 0 < alpha < 0.5:
+        raise InvalidParameterError(f"alpha must be in (0, 1/2), got {alpha}")
+    if d < 1:
+        raise InvalidParameterError(f"d must be >= 1, got {d}")
+    if p < 0:
+        raise InvalidParameterError(f"p must be non-negative, got {p}")
+    if beta < 1:
+        raise InvalidParameterError(f"beta must be >= 1, got {beta}")
+    if p == 0:
+        distortion = 2.0 ** (alpha * d)
+    elif p == 1:
+        distortion = 1.0
+    elif p > 1:
+        distortion = 2.0 ** (alpha * d * (p - 1))
+    else:
+        distortion = 2.0 ** (alpha * d * (1 - p))
+    return beta * distortion
+
+
+@dataclass(frozen=True)
+class AbstractTradeoffPoint:
+    """One point of the abstract's ``N^α`` / ``N^{H(1/2-α)}`` trade-off.
+
+    With ``N = 2^d``: an ``N^α``-approximation is possible in
+    ``min(N^{H(1/2-α)}, n)`` space.
+    """
+
+    alpha: float
+    approximation_exponent: float
+    space_exponent: float
+
+    @property
+    def approximation_factor_of_n(self) -> str:
+        """The approximation written as a power of ``N``."""
+        return f"N^{self.approximation_exponent:.3f}"
+
+    @property
+    def space_of_n(self) -> str:
+        """The space written as a power of ``N``."""
+        return f"N^{self.space_exponent:.3f}"
+
+
+def abstract_tradeoff(alpha: float) -> AbstractTradeoffPoint:
+    """The abstract's statement: ``N^α`` approximation in ``N^{H(1/2-α)}`` space."""
+    if not 0 < alpha < 0.5:
+        raise InvalidParameterError(f"alpha must be in (0, 1/2), got {alpha}")
+    return AbstractTradeoffPoint(
+        alpha=alpha,
+        approximation_exponent=alpha,
+        space_exponent=binary_entropy(0.5 - alpha),
+    )

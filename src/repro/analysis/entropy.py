@@ -1,0 +1,82 @@
+"""Binary entropy and the counting bounds built on it.
+
+The α-net space analysis (Lemma 6.2) bounds the number of subsets of ``[d]``
+of size at most ``(1/2 - α) d`` by ``2^{H(1/2 - α) d}`` where
+``H(x) = -x log2 x - (1-x) log2 (1-x)`` is the binary entropy function.  The
+helpers here compute the entropy, the exact truncated binomial sums, and the
+paper's bound, so the analytical Figure 1 curves and the net data structure
+share one implementation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "binary_entropy",
+    "truncated_binomial_sum",
+    "entropy_counting_bound",
+    "net_size_bound",
+    "exact_net_size",
+]
+
+
+def binary_entropy(x: float) -> float:
+    """The binary entropy ``H(x)`` in bits, with ``H(0) = H(1) = 0``."""
+    if not 0 <= x <= 1:
+        raise InvalidParameterError(f"entropy argument must be in [0, 1], got {x}")
+    if x == 0 or x == 1:
+        return 0.0
+    return -x * math.log2(x) - (1 - x) * math.log2(1 - x)
+
+
+def truncated_binomial_sum(d: int, limit: int) -> int:
+    """Exact value of ``Σ_{i=0}^{limit} C(d, i)``."""
+    if d < 0:
+        raise InvalidParameterError(f"d must be non-negative, got {d}")
+    limit = min(limit, d)
+    if limit < 0:
+        return 0
+    return sum(math.comb(d, i) for i in range(limit + 1))
+
+
+def entropy_counting_bound(d: int, fraction: float) -> float:
+    """The bound ``Σ_{i ≤ fraction·d} C(d, i) ≤ 2^{H(fraction) d}`` for ``fraction ≤ 1/2``.
+
+    This is the counting lemma quoted as [8, Theorem 3.1] in the paper.
+    """
+    if d < 1:
+        raise InvalidParameterError(f"d must be >= 1, got {d}")
+    if not 0 <= fraction <= 0.5:
+        raise InvalidParameterError(
+            f"fraction must be in [0, 1/2] for the entropy bound, got {fraction}"
+        )
+    return 2.0 ** (binary_entropy(fraction) * d)
+
+
+def net_size_bound(d: int, alpha: float) -> float:
+    """Lemma 6.2: an α-net of ``P([d])`` has at most ``2^{H(1/2-α)d + 1}`` members."""
+    if d < 1:
+        raise InvalidParameterError(f"d must be >= 1, got {d}")
+    if not 0 < alpha < 0.5:
+        raise InvalidParameterError(f"alpha must be in (0, 1/2), got {alpha}")
+    return 2.0 ** (binary_entropy(0.5 - alpha) * d + 1)
+
+
+def exact_net_size(d: int, alpha: float) -> int:
+    """Exact number of subsets with size ``≤ (1/2-α)d`` or ``≥ (1/2+α)d``.
+
+    This is the actual cardinality of the α-net of Definition 6.1, used by
+    the tests to confirm the Lemma 6.2 bound dominates it.
+    """
+    if d < 1:
+        raise InvalidParameterError(f"d must be >= 1, got {d}")
+    if not 0 < alpha < 0.5:
+        raise InvalidParameterError(f"alpha must be in (0, 1/2), got {alpha}")
+    low = math.floor((0.5 - alpha) * d)
+    high = math.ceil((0.5 + alpha) * d)
+    small = truncated_binomial_sum(d, low)
+    large = sum(math.comb(d, i) for i in range(high, d + 1))
+    return small + large

@@ -1,0 +1,103 @@
+"""Shared rendering helpers for benchmark output.
+
+The benchmark harness regenerates every table and figure of the paper as
+plain text: ASCII tables for tabular results and simple textual series (plus
+an optional unicode sparkline) for the Figure 1 curves.  Keeping the
+formatting here means every benchmark prints in a consistent, diffable
+layout that EXPERIMENTS.md can quote directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import InvalidParameterError
+
+__all__ = ["render_table", "render_series", "sparkline", "format_quantity"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def format_quantity(value: float, precision: int = 4) -> str:
+    """Format a number compactly: integers plainly, large/small in scientific form."""
+    if value == 0:
+        return "0"
+    if float(value).is_integer() and abs(value) < 1e6:
+        return str(int(value))
+    if abs(value) >= 1e5 or abs(value) < 1e-3:
+        return f"{value:.{precision}e}"
+    return f"{value:.{precision}g}"
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    headers = [str(h) for h in headers]
+    string_rows = [
+        [
+            format_quantity(cell) if isinstance(cell, (int, float)) and not isinstance(cell, bool) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise InvalidParameterError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in string_rows))
+        if string_rows
+        else len(headers[column])
+        for column in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in string_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a sequence as a one-line unicode sparkline."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(values)
+    scale = (len(_SPARK_LEVELS) - 1) / (high - low)
+    return "".join(_SPARK_LEVELS[int((v - low) * scale)] for v in values)
+
+
+def render_series(
+    x_label: str,
+    y_label: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    title: str | None = None,
+    max_points: int = 12,
+) -> str:
+    """Render an (x, y) series as a small table plus a sparkline."""
+    if len(xs) != len(ys):
+        raise InvalidParameterError(
+            f"series lengths differ: {len(xs)} x-values vs {len(ys)} y-values"
+        )
+    if len(xs) > max_points:
+        step = max(1, len(xs) // max_points)
+        indices = list(range(0, len(xs), step))
+        if indices[-1] != len(xs) - 1:
+            indices.append(len(xs) - 1)
+    else:
+        indices = list(range(len(xs)))
+    table = render_table(
+        [x_label, y_label],
+        [(xs[i], ys[i]) for i in indices],
+        title=title,
+    )
+    return table + "\n" + f"{y_label} trend: " + sparkline(list(ys))

@@ -1,0 +1,117 @@
+"""Figure 1: the α-net space/approximation trade-off curves.
+
+Figure 1 of the paper illustrates, for ``d = 20`` and ``α`` swept over
+``(0, 1/2)``:
+
+* left pane  — *relative space* ``2^{H(1/2-α)d} / 2^d`` versus ``α``;
+* centre pane — the approximation factor ``2^{αd}`` versus ``α`` (log scale);
+* right pane — approximation factor versus relative space (the trade-off).
+
+:func:`figure1_curves` computes all three series for any ``d`` so the
+benchmark can print them (and EXPERIMENTS.md can quote the paper's reading of
+the plot: relative space ``2^{-2}`` buys an approximation "on the order of
+10s"; ``2^{-8}`` keeps it "on the order of hundreds" with only
+``2^{12} = 4096`` summaries instead of ``2^{20} ≈ 10^6``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .entropy import binary_entropy
+
+__all__ = ["TradeoffPoint", "TradeoffCurve", "figure1_curves", "tradeoff_at_relative_space"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One α sample of the Figure 1 curves."""
+
+    alpha: float
+    relative_space: float
+    approximation_factor: float
+    sketch_count: float
+
+    @property
+    def log2_relative_space(self) -> float:
+        """``log2`` of the relative space (the x-axis of the right pane)."""
+        return float(np.log2(self.relative_space))
+
+    @property
+    def log2_approximation(self) -> float:
+        """``log2`` of the approximation factor (the y-axis of the right pane)."""
+        return float(np.log2(self.approximation_factor))
+
+
+@dataclass(frozen=True)
+class TradeoffCurve:
+    """The full set of Figure 1 samples for one dimensionality ``d``."""
+
+    d: int
+    points: tuple[TradeoffPoint, ...]
+
+    def alphas(self) -> list[float]:
+        """The α grid."""
+        return [point.alpha for point in self.points]
+
+    def relative_space(self) -> list[float]:
+        """Left pane series."""
+        return [point.relative_space for point in self.points]
+
+    def approximation_factors(self) -> list[float]:
+        """Centre pane series."""
+        return [point.approximation_factor for point in self.points]
+
+    def pairs(self) -> list[tuple[float, float]]:
+        """Right pane series: (relative space, approximation factor)."""
+        return [(point.relative_space, point.approximation_factor) for point in self.points]
+
+
+def figure1_curves(d: int = 20, num_points: int = 49) -> TradeoffCurve:
+    """Compute the three Figure 1 series on an evenly spaced α grid.
+
+    The grid excludes the endpoints 0 and 1/2 (where the net degenerates),
+    matching the open interval of Definition 6.1.
+    """
+    if d < 2:
+        raise InvalidParameterError(f"d must be >= 2, got {d}")
+    if num_points < 2:
+        raise InvalidParameterError(f"num_points must be >= 2, got {num_points}")
+    alphas = np.linspace(0.0, 0.5, num_points + 2)[1:-1]
+    points = []
+    for alpha in alphas:
+        entropy = binary_entropy(0.5 - float(alpha))
+        sketch_count = 2.0 ** (entropy * d)
+        points.append(
+            TradeoffPoint(
+                alpha=float(alpha),
+                relative_space=sketch_count / (2.0**d),
+                approximation_factor=2.0 ** (float(alpha) * d),
+                sketch_count=sketch_count,
+            )
+        )
+    return TradeoffCurve(d=d, points=tuple(points))
+
+
+def tradeoff_at_relative_space(
+    curve: TradeoffCurve, relative_space: float
+) -> TradeoffPoint:
+    """The curve point whose relative space is closest to the requested value.
+
+    Used to reproduce the paper's two call-outs (relative space ``2^{-2}``
+    and ``2^{-8}``).
+    """
+    if relative_space <= 0:
+        raise InvalidParameterError(
+            f"relative_space must be positive, got {relative_space}"
+        )
+    best = min(
+        curve.points,
+        key=lambda point: abs(
+            np.log2(point.relative_space) - np.log2(relative_space)
+        ),
+    )
+    return best

@@ -1,0 +1,74 @@
+"""Coding-theory substrate for the lower-bound constructions.
+
+Implements the binary-word utilities, constant-weight codes ``B(d, k)``,
+randomly sampled low-intersection codes (Lemma 3.2), the ``star_Q`` child
+word operator (Definition 3.1) and the alphabet reduction of Corollary 4.4.
+"""
+
+from .alphabet import AlphabetReduction
+from .binary_codes import (
+    ConstantWeightCode,
+    binomial,
+    binomial_lower_bound,
+    central_binomial_lower_bound,
+    enumerate_constant_weight_words,
+    max_pairwise_intersection,
+    sample_constant_weight_words,
+)
+from .random_codes import (
+    LowIntersectionCode,
+    RandomCodeParameters,
+    build_low_intersection_code,
+    lemma_3_2_code_size,
+    lemma_3_2_failure_probability,
+)
+from .star import is_child_word, sample_star, star, star_of_set, star_size
+from .words import (
+    Word,
+    all_words,
+    hamming_distance,
+    index_to_word,
+    intersection_size,
+    ones,
+    project_word,
+    support,
+    validate_word,
+    weight,
+    word_from_support,
+    word_to_index,
+    zeros,
+)
+
+__all__ = [
+    "AlphabetReduction",
+    "ConstantWeightCode",
+    "LowIntersectionCode",
+    "RandomCodeParameters",
+    "Word",
+    "all_words",
+    "binomial",
+    "binomial_lower_bound",
+    "build_low_intersection_code",
+    "central_binomial_lower_bound",
+    "enumerate_constant_weight_words",
+    "hamming_distance",
+    "index_to_word",
+    "intersection_size",
+    "is_child_word",
+    "lemma_3_2_code_size",
+    "lemma_3_2_failure_probability",
+    "max_pairwise_intersection",
+    "ones",
+    "project_word",
+    "sample_constant_weight_words",
+    "sample_star",
+    "star",
+    "star_of_set",
+    "star_size",
+    "support",
+    "validate_word",
+    "weight",
+    "word_from_support",
+    "word_to_index",
+    "zeros",
+]

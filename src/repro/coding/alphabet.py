@@ -1,0 +1,127 @@
+"""Alphabet reduction ``[Q] → [q]^{ceil(log_q Q)}`` (Corollary 4.4).
+
+Corollary 4.4 of the paper converts a hard instance over an arbitrarily large
+alphabet ``[Q]`` into one over a smaller alphabet ``[q]`` by encoding every
+symbol as a base-``q`` string of length ``ceil(log_q Q)`` and concatenating
+the encodings, at the price of a ``log_q Q`` blow-up in the number of
+columns.  This module implements the encoding, its inverse, and the column
+mapping needed to translate a column query on the original instance into the
+equivalent query on the reduced instance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import AlphabetError, InvalidParameterError
+from .words import Word, validate_word
+
+__all__ = ["AlphabetReduction"]
+
+
+@dataclass(frozen=True)
+class AlphabetReduction:
+    """Encoder from words over ``[source_size]`` to words over ``[target_size]``.
+
+    Attributes
+    ----------
+    source_size:
+        The original alphabet size ``Q``.
+    target_size:
+        The reduced alphabet size ``q`` with ``2 <= q <= Q``.
+    """
+
+    source_size: int
+    target_size: int
+
+    def __post_init__(self) -> None:
+        if self.source_size < 2:
+            raise InvalidParameterError(
+                f"source_size must be >= 2, got {self.source_size}"
+            )
+        if not 2 <= self.target_size <= self.source_size:
+            raise InvalidParameterError(
+                "target_size must satisfy 2 <= q <= Q, got "
+                f"q={self.target_size}, Q={self.source_size}"
+            )
+
+    @property
+    def symbol_length(self) -> int:
+        """Digits of ``[target_size]`` needed per source symbol, ``ceil(log_q Q)``."""
+        return max(1, math.ceil(math.log(self.source_size, self.target_size)))
+
+    def expanded_dimension(self, d: int) -> int:
+        """Number of columns after reduction, ``d' = d * ceil(log_q Q)``."""
+        if d < 1:
+            raise InvalidParameterError(f"d must be >= 1, got {d}")
+        return d * self.symbol_length
+
+    def alpha(self) -> float:
+        """The parameter ``alpha = Q * log_q(Q)`` from Corollary 4.4."""
+        return self.source_size * math.log(self.source_size, self.target_size)
+
+    def encode_symbol(self, symbol: int) -> Word:
+        """Encode one source symbol as a fixed-length base-``q`` word."""
+        if not 0 <= symbol < self.source_size:
+            raise AlphabetError(
+                f"symbol {symbol} is outside [0, {self.source_size})"
+            )
+        digits = []
+        remaining = int(symbol)
+        for _ in range(self.symbol_length):
+            digits.append(remaining % self.target_size)
+            remaining //= self.target_size
+        return tuple(reversed(digits))
+
+    def decode_symbol(self, digits: Sequence[int]) -> int:
+        """Inverse of :meth:`encode_symbol`."""
+        if len(digits) != self.symbol_length:
+            raise InvalidParameterError(
+                f"expected {self.symbol_length} digits, got {len(digits)}"
+            )
+        validate_word(digits, self.target_size)
+        value = 0
+        for digit in digits:
+            value = value * self.target_size + int(digit)
+        if value >= self.source_size:
+            raise AlphabetError(
+                f"digit string {tuple(digits)} decodes to {value}, outside "
+                f"[0, {self.source_size})"
+            )
+        return value
+
+    def encode_word(self, word: Sequence[int]) -> Word:
+        """Encode a word over ``[Q]^d`` as a word over ``[q]^{d'}``."""
+        canonical = validate_word(word, self.source_size)
+        encoded: list[int] = []
+        for symbol in canonical:
+            encoded.extend(self.encode_symbol(symbol))
+        return tuple(encoded)
+
+    def decode_word(self, word: Sequence[int]) -> Word:
+        """Inverse of :meth:`encode_word`."""
+        if len(word) % self.symbol_length != 0:
+            raise InvalidParameterError(
+                f"encoded length {len(word)} is not a multiple of "
+                f"{self.symbol_length}"
+            )
+        decoded = []
+        for start in range(0, len(word), self.symbol_length):
+            decoded.append(self.decode_symbol(word[start : start + self.symbol_length]))
+        return tuple(decoded)
+
+    def expand_columns(self, columns: Sequence[int]) -> tuple[int, ...]:
+        """Map a column query on the original array to the reduced array.
+
+        Selecting original column ``c`` corresponds to selecting the block of
+        ``symbol_length`` reduced columns that encode it.
+        """
+        expanded: list[int] = []
+        for column in sorted(set(int(c) for c in columns)):
+            if column < 0:
+                raise InvalidParameterError(f"column {column} is negative")
+            base = column * self.symbol_length
+            expanded.extend(range(base, base + self.symbol_length))
+        return tuple(expanded)

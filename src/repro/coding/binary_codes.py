@@ -1,0 +1,193 @@
+"""Constant-weight binary codes ``B(d, k)``.
+
+Section 3.2 of the paper uses the set ``B(d, k)`` of all binary strings of
+length ``d`` and Hamming weight ``k`` as its basic "dense, low-distance"
+code: any two distinct codewords share at most ``k - 1`` ones, and the code
+has size ``binom(d, k) >= (d/k)^k`` (with the tighter ``2^d / sqrt(2d)``
+bound at ``k = d/2``).  Theorem 4.1 and its corollaries build their hard
+instances directly on this family.
+
+This module provides the :class:`ConstantWeightCode` container (full
+enumeration or pseudo-random subsampling for larger ``d``) together with the
+size bounds quoted in the paper, which the Table 1 benchmark re-derives.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .words import Word, intersection_size, weight, word_from_support
+
+__all__ = [
+    "ConstantWeightCode",
+    "binomial",
+    "enumerate_constant_weight_words",
+    "sample_constant_weight_words",
+    "binomial_lower_bound",
+    "central_binomial_lower_bound",
+    "max_pairwise_intersection",
+]
+
+
+def binomial(n: int, k: int) -> int:
+    """Exact binomial coefficient ``C(n, k)`` (0 outside the valid range)."""
+    if k < 0 or k > n or n < 0:
+        return 0
+    return math.comb(n, k)
+
+
+def binomial_lower_bound(d: int, k: int) -> float:
+    """The standard bound ``C(d, k) >= (d / k)^k`` used in Theorem 4.1."""
+    if k <= 0 or k > d:
+        raise InvalidParameterError(f"k must satisfy 0 < k <= d, got k={k}, d={d}")
+    return (d / k) ** k
+
+
+def central_binomial_lower_bound(d: int) -> float:
+    """The bound ``C(d, d/2) >= 2^d / sqrt(2 d)`` used in Corollary 4.2."""
+    if d <= 0 or d % 2 != 0:
+        raise InvalidParameterError(f"d must be positive and even, got {d}")
+    return 2.0**d / math.sqrt(2.0 * d)
+
+
+def enumerate_constant_weight_words(d: int, k: int) -> Iterator[Word]:
+    """Yield every word of ``B(d, k)`` in lexicographic support order."""
+    if d < 1:
+        raise InvalidParameterError(f"d must be >= 1, got {d}")
+    if not 0 <= k <= d:
+        raise InvalidParameterError(f"k must satisfy 0 <= k <= d, got k={k}, d={d}")
+    for positions in combinations(range(d), k):
+        yield word_from_support(positions, d)
+
+
+def sample_constant_weight_words(
+    d: int, k: int, count: int, seed: int = 0, distinct: bool = True
+) -> list[Word]:
+    """Sample ``count`` words from ``B(d, k)`` uniformly at random.
+
+    With ``distinct=True`` (the default) sampling is without replacement; the
+    requested ``count`` must then not exceed ``C(d, k)``.
+    """
+    if count < 0:
+        raise InvalidParameterError(f"count must be non-negative, got {count}")
+    total = binomial(d, k)
+    if distinct and count > total:
+        raise InvalidParameterError(
+            f"cannot sample {count} distinct words from B({d},{k}) of size {total}"
+        )
+    rng = np.random.default_rng(seed)
+    words: list[Word] = []
+    seen: set[Word] = set()
+    while len(words) < count:
+        positions = rng.choice(d, size=k, replace=False)
+        word = word_from_support((int(p) for p in positions), d)
+        if distinct:
+            if word in seen:
+                continue
+            seen.add(word)
+        words.append(word)
+    return words
+
+
+def max_pairwise_intersection(words: Sequence[Word]) -> int:
+    """Maximum ``|x ∩ y|`` over distinct pairs (0 for fewer than two words)."""
+    best = 0
+    for first, second in combinations(words, 2):
+        best = max(best, intersection_size(first, second))
+    return best
+
+
+@dataclass(frozen=True)
+class ConstantWeightCode:
+    """The code ``B(d, k)`` or a uniformly sampled subset of it.
+
+    Attributes
+    ----------
+    d:
+        Word length.
+    k:
+        Hamming weight of every codeword.
+    words:
+        The codewords, in a deterministic order.
+    """
+
+    d: int
+    k: int
+    words: tuple[Word, ...]
+
+    @classmethod
+    def full(cls, d: int, k: int, limit: int | None = None) -> "ConstantWeightCode":
+        """Enumerate ``B(d, k)`` completely (optionally capped at ``limit`` words)."""
+        words = []
+        for index, word in enumerate(enumerate_constant_weight_words(d, k)):
+            if limit is not None and index >= limit:
+                break
+            words.append(word)
+        return cls(d=d, k=k, words=tuple(words))
+
+    @classmethod
+    def sampled(
+        cls, d: int, k: int, count: int, seed: int = 0
+    ) -> "ConstantWeightCode":
+        """Sample ``count`` distinct codewords of ``B(d, k)`` uniformly."""
+        return cls(
+            d=d, k=k, words=tuple(sample_constant_weight_words(d, k, count, seed))
+        )
+
+    def __post_init__(self) -> None:
+        if self.d < 1:
+            raise InvalidParameterError(f"d must be >= 1, got {self.d}")
+        if not 0 <= self.k <= self.d:
+            raise InvalidParameterError(
+                f"k must satisfy 0 <= k <= d, got k={self.k}, d={self.d}"
+            )
+        for word in self.words:
+            if len(word) != self.d:
+                raise InvalidParameterError(
+                    f"codeword {word} does not have length {self.d}"
+                )
+            if weight(word) != self.k:
+                raise InvalidParameterError(
+                    f"codeword {word} does not have weight {self.k}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def __iter__(self) -> Iterator[Word]:
+        return iter(self.words)
+
+    def __contains__(self, word: object) -> bool:
+        return word in set(self.words)
+
+    @property
+    def full_size(self) -> int:
+        """Size of the complete family ``B(d, k)``, i.e. ``C(d, k)``."""
+        return binomial(self.d, self.k)
+
+    def size_lower_bound(self) -> float:
+        """The paper's lower bound on ``|B(d, k)|`` (Theorem 4.1 / Corollary 4.2)."""
+        if 2 * self.k == self.d:
+            return central_binomial_lower_bound(self.d)
+        return binomial_lower_bound(self.d, self.k)
+
+    def max_intersection(self) -> int:
+        """Maximum number of shared ones between distinct codewords.
+
+        For the full family this is ``k - 1`` (the "trivial but crucial
+        property" of Section 3.2); for sampled subsets it can be smaller.
+        """
+        return max_pairwise_intersection(self.words)
+
+    def index_of(self, word: Word) -> int:
+        """Position of ``word`` in the code's enumeration (Alice's bit index)."""
+        try:
+            return self.words.index(word)
+        except ValueError as error:
+            raise InvalidParameterError(f"{word} is not a codeword") from error

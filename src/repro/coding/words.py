@@ -1,0 +1,182 @@
+"""Word and bit-string utilities shared by the code constructions.
+
+Throughout the paper a *word* is a length-``d`` vector over the alphabet
+``[Q] = {0, ..., Q-1}``; binary words (``Q = 2``) double as characteristic
+vectors of column subsets.  Words are represented as tuples of ints so they
+are hashable (usable as sketch items and dictionary keys) and cheap to slice
+under column projections.
+
+Key notions from the paper implemented here:
+
+* ``support`` — the set of non-zero coordinates (Section 3.2);
+* Hamming ``weight`` and pairwise ``intersection_size`` — the quantities the
+  code constructions constrain;
+* the canonical index function ``e(·)`` of Remark 1 mapping a word over
+  ``[Q]^{|C|}`` to an integer in ``[Q^{|C|}]`` and its inverse;
+* projection of a word onto a column set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import AlphabetError, DimensionError, InvalidParameterError
+
+__all__ = [
+    "Word",
+    "validate_word",
+    "support",
+    "weight",
+    "intersection_size",
+    "hamming_distance",
+    "project_word",
+    "word_to_index",
+    "index_to_word",
+    "all_words",
+    "zeros",
+    "ones",
+    "word_from_support",
+]
+
+#: A word over ``[Q]`` is a tuple of non-negative ints.
+Word = tuple[int, ...]
+
+
+def validate_word(word: Sequence[int], alphabet_size: int) -> Word:
+    """Return ``word`` as a canonical tuple, checking every symbol is in ``[Q]``.
+
+    Raises
+    ------
+    AlphabetError
+        If a symbol lies outside ``{0, ..., alphabet_size - 1}``.
+    InvalidParameterError
+        If ``alphabet_size < 2``.
+    """
+    if alphabet_size < 2:
+        raise InvalidParameterError(
+            f"alphabet_size must be >= 2, got {alphabet_size}"
+        )
+    canonical = tuple(int(symbol) for symbol in word)
+    for position, symbol in enumerate(canonical):
+        if not 0 <= symbol < alphabet_size:
+            raise AlphabetError(
+                f"symbol {symbol} at position {position} is outside [0, {alphabet_size})"
+            )
+    return canonical
+
+
+def support(word: Sequence[int]) -> frozenset[int]:
+    """Return ``supp(word)``, the set of coordinates where the word is non-zero."""
+    return frozenset(index for index, symbol in enumerate(word) if symbol != 0)
+
+
+def weight(word: Sequence[int]) -> int:
+    """Return the Hamming weight (number of non-zero coordinates)."""
+    return sum(1 for symbol in word if symbol != 0)
+
+
+def intersection_size(first: Sequence[int], second: Sequence[int]) -> int:
+    """Number of coordinates where *both* words are non-zero (``|x ∩ y|``)."""
+    if len(first) != len(second):
+        raise DimensionError(
+            f"words have different lengths: {len(first)} vs {len(second)}"
+        )
+    return sum(1 for a, b in zip(first, second) if a != 0 and b != 0)
+
+
+def hamming_distance(first: Sequence[int], second: Sequence[int]) -> int:
+    """Number of coordinates where the two words differ."""
+    if len(first) != len(second):
+        raise DimensionError(
+            f"words have different lengths: {len(first)} vs {len(second)}"
+        )
+    return sum(1 for a, b in zip(first, second) if a != b)
+
+
+def project_word(word: Sequence[int], columns: Iterable[int]) -> Word:
+    """Project ``word`` onto the given columns (in sorted column order).
+
+    The projection of a row onto a column query ``C`` is the pattern whose
+    frequency the projected problems measure.
+    """
+    length = len(word)
+    sorted_columns = sorted(set(int(column) for column in columns))
+    for column in sorted_columns:
+        if not 0 <= column < length:
+            raise DimensionError(
+                f"column {column} is outside the word length {length}"
+            )
+    return tuple(int(word[column]) for column in sorted_columns)
+
+
+def word_to_index(word: Sequence[int], alphabet_size: int) -> int:
+    """The canonical index function ``e(w)`` of Remark 1.
+
+    Interprets ``word`` as a base-``Q`` numeral (most-significant digit
+    first) so that words over ``[Q]^m`` map bijectively onto
+    ``{0, ..., Q^m - 1}``.
+    """
+    canonical = validate_word(word, alphabet_size)
+    index = 0
+    for symbol in canonical:
+        index = index * alphabet_size + symbol
+    return index
+
+
+def index_to_word(index: int, length: int, alphabet_size: int) -> Word:
+    """Inverse of :func:`word_to_index` for words of the given ``length``."""
+    if alphabet_size < 2:
+        raise InvalidParameterError(
+            f"alphabet_size must be >= 2, got {alphabet_size}"
+        )
+    if length < 0:
+        raise InvalidParameterError(f"length must be non-negative, got {length}")
+    if not 0 <= index < alphabet_size**length:
+        raise InvalidParameterError(
+            f"index {index} is outside [0, {alphabet_size}^{length})"
+        )
+    symbols = []
+    remaining = index
+    for _ in range(length):
+        symbols.append(remaining % alphabet_size)
+        remaining //= alphabet_size
+    return tuple(reversed(symbols))
+
+
+def all_words(length: int, alphabet_size: int):
+    """Yield every word in ``[alphabet_size]^length`` in index order.
+
+    The number of words is ``alphabet_size ** length``; callers are expected
+    to keep ``length`` small (this is only used for exact reference solutions
+    and tiny lower-bound instances).
+    """
+    if length < 0:
+        raise InvalidParameterError(f"length must be non-negative, got {length}")
+    total = alphabet_size**length
+    for index in range(total):
+        yield index_to_word(index, length, alphabet_size)
+
+
+def zeros(length: int) -> Word:
+    """The all-zeros word of the given length."""
+    if length < 0:
+        raise InvalidParameterError(f"length must be non-negative, got {length}")
+    return (0,) * length
+
+
+def ones(length: int) -> Word:
+    """The all-ones word of the given length (``1_d`` in the paper)."""
+    if length < 0:
+        raise InvalidParameterError(f"length must be non-negative, got {length}")
+    return (1,) * length
+
+
+def word_from_support(positions: Iterable[int], length: int) -> Word:
+    """Binary word of the given length with ones exactly at ``positions``."""
+    position_set = set(int(position) for position in positions)
+    for position in position_set:
+        if not 0 <= position < length:
+            raise DimensionError(
+                f"position {position} is outside the word length {length}"
+            )
+    return tuple(1 if index in position_set else 0 for index in range(length))

@@ -1,0 +1,329 @@
+"""Algorithm 1: projected frequency estimation by query rounding.
+
+The meta-algorithm of Section 6 keeps, for every column subset ``U`` in an
+α-net of ``P([d])``, a β-approximate sketch of the projection of the data
+onto ``U``.  When a query ``C`` arrives after the data has been observed it
+is answered from the sketch of an α-neighbour ``C'`` of ``C`` in the net,
+which by Lemma 6.4 costs an extra multiplicative factor ``r(α, P)`` on top of
+the sketch's own β factor (Theorem 6.5).
+
+The estimator is generic in the sketch family: a *sketch plan* maps each net
+member to a fresh distinct-count sketch, moment sketch and/or point-query
+sketch, so the F0/Fp/heavy-hitter variants (and the sketch ablations in the
+benchmarks) all share this one implementation.  The per-row update cost is
+proportional to the net size — this is inherent to the algorithm, which
+trades a ``2^{H(1/2-α)d}`` factor of space (and per-row work) for the ability
+to answer arbitrary late-arriving queries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..coding.words import Word, project_word
+from ..errors import EstimationError, InvalidParameterError
+from ..sketches.base import DistinctCountSketch, FrequencyMomentSketch, PointQuerySketch
+from ..sketches.countmin import CountMinSketch
+from ..sketches.kmv import KMVSketch
+from ..sketches.stable_lp import StableLpSketch
+from .dataset import ColumnQuery
+from .estimator import ProjectedFrequencyEstimator
+from .rounding import AlphaNet, NeighbourRule
+
+__all__ = ["SketchPlan", "AlphaNetEstimator", "TheoremSixFiveGuarantee"]
+
+
+@dataclass
+class SketchPlan:
+    """Factories producing the per-net-member sketches Algorithm 1 stores.
+
+    Any factory may be ``None``, in which case the corresponding query type
+    is unsupported by the resulting estimator.  ``seed`` is combined with the
+    net-member index so every member gets an independent sketch while the
+    whole estimator remains reproducible.
+    """
+
+    distinct_factory: Callable[[int], DistinctCountSketch] | None = None
+    moment_factory: Callable[[int], FrequencyMomentSketch] | None = None
+    point_factory: Callable[[int], PointQuerySketch] | None = None
+    seed: int = 0
+
+    @classmethod
+    def default_f0(cls, epsilon: float = 0.25, seed: int = 0) -> "SketchPlan":
+        """KMV distinct-count sketches sized for a ``(1 ± epsilon)`` guarantee."""
+        return cls(
+            distinct_factory=lambda index: KMVSketch.from_epsilon(
+                epsilon, seed=seed + index
+            ),
+            seed=seed,
+        )
+
+    @classmethod
+    def default_fp(cls, p: float, epsilon: float = 0.25, seed: int = 0) -> "SketchPlan":
+        """p-stable moment sketches for ``F_p`` with ``0 < p <= 2``."""
+        return cls(
+            moment_factory=lambda index: StableLpSketch.from_error(
+                p, epsilon, seed=seed + index
+            ),
+            seed=seed,
+        )
+
+    @classmethod
+    def default_point(cls, epsilon: float = 0.05, seed: int = 0) -> "SketchPlan":
+        """Count-Min point-query sketches with additive error ``epsilon * F_1``."""
+        return cls(
+            point_factory=lambda index: CountMinSketch.from_error(
+                epsilon, seed=seed + index
+            ),
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class TheoremSixFiveGuarantee:
+    """The accuracy/space statement of Theorem 6.5 for a concrete configuration.
+
+    Attributes
+    ----------
+    approximation_factor:
+        ``β · r(α, P)`` — the overall multiplicative guarantee.
+    sketch_count:
+        Number of sketches kept (one per net member).
+    sketch_count_bound:
+        The Lemma 6.2 bound ``2^{H(1/2-α)d + 1}`` on that count.
+    distortion:
+        The rounding distortion component ``r(α, P)``.
+    beta:
+        The per-sketch approximation factor.
+    """
+
+    approximation_factor: float
+    sketch_count: int
+    sketch_count_bound: float
+    distortion: float
+    beta: float
+
+
+class AlphaNetEstimator(ProjectedFrequencyEstimator):
+    """Keep a sketch per α-net member; answer queries on a rounded neighbour.
+
+    Parameters
+    ----------
+    n_columns:
+        Dimensionality ``d``.
+    alpha:
+        Net parameter in ``(0, 1/2)``.
+    plan:
+        The sketch families to maintain (see :class:`SketchPlan`).
+    alphabet_size:
+        Alphabet ``Q`` of the data.
+    neighbour_rule:
+        How mid-band queries are rounded into the net (ablation knob).
+    max_net_members:
+        Safety guard: building an estimator whose net exceeds this many
+        members raises immediately instead of exhausting memory.
+    """
+
+    def __init__(
+        self,
+        n_columns: int,
+        alpha: float,
+        plan: SketchPlan,
+        alphabet_size: int = 2,
+        neighbour_rule: NeighbourRule = "nearest",
+        max_net_members: int = 20_000,
+    ) -> None:
+        super().__init__(n_columns=n_columns, alphabet_size=alphabet_size)
+        if plan.distinct_factory is None and plan.moment_factory is None and (
+            plan.point_factory is None
+        ):
+            raise InvalidParameterError("the sketch plan must provide at least one factory")
+        self._net = AlphaNet(d=n_columns, alpha=alpha)
+        self._neighbour_rule: NeighbourRule = neighbour_rule
+        members = list(self._net.members(max_members=max_net_members))
+        self._members: list[ColumnQuery] = members
+        self._member_index: dict[tuple[int, ...], int] = {
+            member.columns: index for index, member in enumerate(members)
+        }
+        self._distinct_sketches: list[DistinctCountSketch] | None = None
+        self._moment_sketches: list[FrequencyMomentSketch] | None = None
+        self._point_sketches: list[PointQuerySketch] | None = None
+        if plan.distinct_factory is not None:
+            self._distinct_sketches = [
+                plan.distinct_factory(index) for index in range(len(members))
+            ]
+        if plan.moment_factory is not None:
+            self._moment_sketches = [
+                plan.moment_factory(index) for index in range(len(members))
+            ]
+        if plan.point_factory is not None:
+            self._point_sketches = [
+                plan.point_factory(index) for index in range(len(members))
+            ]
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def net(self) -> AlphaNet:
+        """The α-net this estimator maintains sketches for."""
+        return self._net
+
+    @property
+    def alpha(self) -> float:
+        """The net parameter α."""
+        return self._net.alpha
+
+    @property
+    def member_count(self) -> int:
+        """Number of net members (equals the number of sketches per family)."""
+        return len(self._members)
+
+    @property
+    def neighbour_rule(self) -> NeighbourRule:
+        """The configured rounding rule."""
+        return self._neighbour_rule
+
+    # -- observation ---------------------------------------------------------------
+
+    def _observe(self, row: Word) -> None:
+        for index, member in enumerate(self._members):
+            pattern = project_word(row, member.columns)
+            if self._distinct_sketches is not None:
+                self._distinct_sketches[index].update(pattern)
+            if self._moment_sketches is not None:
+                self._moment_sketches[index].update(pattern)
+            if self._point_sketches is not None:
+                self._point_sketches[index].update(pattern)
+
+    # -- query helpers ---------------------------------------------------------------
+
+    def _resolve(self, query: ColumnQuery) -> tuple[int, ColumnQuery]:
+        """Index (and identity) of the net member used to answer ``query``."""
+        if query.dimension != self.n_columns:
+            raise EstimationError(
+                f"query dimension {query.dimension} does not match estimator "
+                f"dimension {self.n_columns}"
+            )
+        neighbour = self._net.round_query(query, self._neighbour_rule)
+        index = self._member_index.get(neighbour.columns)
+        if index is None:
+            raise EstimationError(
+                f"internal error: rounded query {neighbour.columns} is not a net member"
+            )
+        return index, neighbour
+
+    def rounded_query(self, query: ColumnQuery) -> ColumnQuery:
+        """The net member whose sketch answers ``query`` (for inspection)."""
+        _, neighbour = self._resolve(query)
+        return neighbour
+
+    # -- queries -------------------------------------------------------------------
+
+    def estimate_fp(self, query: ColumnQuery, p: float) -> float:
+        """Estimate ``F_p(A, C)`` from the rounded neighbour's sketch."""
+        if p < 0:
+            raise InvalidParameterError(f"p must be non-negative, got {p}")
+        if p == 1:
+            return float(self.rows_observed)
+        index, _ = self._resolve(query)
+        if p == 0:
+            if self._distinct_sketches is None:
+                raise EstimationError("this estimator keeps no distinct-count sketches")
+            return float(self._distinct_sketches[index].estimate())
+        if self._moment_sketches is None:
+            raise EstimationError("this estimator keeps no moment sketches")
+        sketch = self._moment_sketches[index]
+        if not math.isclose(sketch.p, p):
+            raise EstimationError(
+                f"this estimator's moment sketches target p={sketch.p}, not p={p}"
+            )
+        return float(sketch.estimate())
+
+    def estimate_frequency(self, query: ColumnQuery, pattern: Word) -> float:
+        """Estimate a pattern frequency from the rounded neighbour's sketch.
+
+        When the neighbour differs from the query, the pattern is mapped onto
+        the neighbour's columns: removed columns are dropped and added
+        columns are marginalised by summing over their possible symbols (for
+        point queries this is approximated by querying the zero-filled
+        extension, the dominant completion for sparse data).
+        """
+        if self._point_sketches is None:
+            raise EstimationError("this estimator keeps no point-query sketches")
+        index, neighbour = self._resolve(query)
+        translated = self._translate_pattern(pattern, query, neighbour)
+        return float(self._point_sketches[index].estimate(translated))
+
+    def _translate_pattern(
+        self, pattern: Word, query: ColumnQuery, neighbour: ColumnQuery
+    ) -> Word:
+        if len(pattern) != len(query):
+            raise EstimationError(
+                f"pattern length {len(pattern)} does not match query size {len(query)}"
+            )
+        by_column = dict(zip(query.columns, pattern))
+        return tuple(by_column.get(column, 0) for column in neighbour.columns)
+
+    def heavy_hitters(
+        self, query: ColumnQuery, phi: float, p: float = 1.0
+    ) -> dict[Word, float]:
+        """Report heavy hitters using the rounded neighbour's point sketch.
+
+        Candidates are the patterns tracked by summaries that maintain their
+        own candidate sets; for pure hash sketches the candidate enumeration
+        is limited to the projected patterns that can be formed from the
+        neighbour's sketch, so this method requires a point sketch with a
+        ``heavy_hitters`` implementation that does not need candidates
+        (Misra–Gries / SpaceSaving) or a small alphabet/projection.
+        """
+        if not 0 < phi < 1:
+            raise InvalidParameterError(f"phi must be in (0, 1), got {phi}")
+        if self._point_sketches is None:
+            raise EstimationError("this estimator keeps no point-query sketches")
+        index, neighbour = self._resolve(query)
+        sketch = self._point_sketches[index]
+        threshold = phi * self.rows_observed
+        try:
+            tracked = sketch.heavy_hitters(candidates=None, threshold=threshold)  # type: ignore[call-arg]
+        except TypeError as error:
+            raise EstimationError(
+                "the configured point sketch needs an explicit candidate set; "
+                "use a Misra-Gries or SpaceSaving plan for heavy hitters"
+            ) from error
+        # Patterns are reported in the neighbour's column space, projected
+        # back onto the queried columns.
+        report: dict[Word, float] = {}
+        shared = [c for c in neighbour.columns if c in query.as_set()]
+        for pattern, estimate in tracked.items():
+            by_column = dict(zip(neighbour.columns, pattern))
+            reduced = tuple(by_column[c] for c in query.columns if c in set(shared))
+            padded = tuple(
+                by_column.get(c, 0) if c in set(shared) else 0 for c in query.columns
+            )
+            key = padded if len(padded) == len(query) else reduced
+            report[key] = max(report.get(key, 0.0), float(estimate))
+        return report
+
+    # -- guarantees -------------------------------------------------------------------
+
+    def guarantee(self, p: float, beta: float) -> TheoremSixFiveGuarantee:
+        """The Theorem 6.5 guarantee for this configuration and moment order."""
+        distortion = self._net.distortion(p)
+        return TheoremSixFiveGuarantee(
+            approximation_factor=beta * distortion,
+            sketch_count=self.member_count,
+            sketch_count_bound=self._net.size_bound(),
+            distortion=distortion,
+            beta=beta,
+        )
+
+    def size_in_bits(self) -> int:
+        total = 0
+        for family in (self._distinct_sketches, self._moment_sketches, self._point_sketches):
+            if family is not None:
+                total += sum(sketch.size_in_bits() for sketch in family)
+        # Net member bookkeeping: one d-bit mask per member.
+        total += self.member_count * self.n_columns
+        return total

@@ -1,0 +1,133 @@
+"""Estimator interface shared by every projected-frequency summary.
+
+The computational model of Section 2 has two phases: during the *observation
+phase* rows of ``A`` stream past and the estimator builds its summary; during
+the *query phase* a column query ``C`` (unknown while observing) arrives and
+statistics of the projected frequency vector must be answered from the
+summary alone.  :class:`ProjectedFrequencyEstimator` encodes exactly that
+contract, plus structural space accounting so benchmarks can compare
+summaries against the paper's space bounds.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+from ..coding.words import Word
+from ..errors import EstimationError
+from .dataset import ColumnQuery, Dataset
+
+__all__ = ["ProjectedFrequencyEstimator", "EstimatorRegistry"]
+
+
+class ProjectedFrequencyEstimator(abc.ABC):
+    """Base class for summaries supporting projected frequency queries.
+
+    Subclasses implement :meth:`observe_row` (the streaming phase) and any of
+    the ``estimate_*`` query methods they support; unsupported queries raise
+    :class:`~repro.errors.EstimationError` by default, so callers can probe
+    capabilities with ``try/except`` or check :meth:`supports`.
+    """
+
+    def __init__(self, n_columns: int, alphabet_size: int = 2) -> None:
+        self._n_columns = int(n_columns)
+        self._alphabet_size = int(alphabet_size)
+        self._rows_observed = 0
+
+    @property
+    def n_columns(self) -> int:
+        """Dimensionality ``d`` of the rows this estimator expects."""
+        return self._n_columns
+
+    @property
+    def alphabet_size(self) -> int:
+        """Alphabet size ``Q`` of the rows this estimator expects."""
+        return self._alphabet_size
+
+    @property
+    def rows_observed(self) -> int:
+        """Number of rows absorbed during the observation phase."""
+        return self._rows_observed
+
+    # -- observation phase ----------------------------------------------------
+
+    @abc.abstractmethod
+    def _observe(self, row: Word) -> None:
+        """Absorb one row (already validated)."""
+
+    def observe_row(self, row: Word) -> None:
+        """Absorb one row of the stream."""
+        if len(row) != self._n_columns:
+            raise EstimationError(
+                f"row of length {len(row)} fed to an estimator expecting "
+                f"{self._n_columns} columns"
+            )
+        self._rows_observed += 1
+        self._observe(tuple(int(symbol) for symbol in row))
+
+    def observe(self, rows: Iterable[Word] | Dataset) -> "ProjectedFrequencyEstimator":
+        """Absorb every row of ``rows`` (a dataset or any iterable of words)."""
+        for row in rows:
+            self.observe_row(row)
+        return self
+
+    # -- query phase -----------------------------------------------------------
+
+    def estimate_fp(self, query: ColumnQuery, p: float) -> float:
+        """Estimate the projected moment ``F_p(A, C)``."""
+        raise EstimationError(
+            f"{type(self).__name__} does not support F_p estimation"
+        )
+
+    def estimate_frequency(self, query: ColumnQuery, pattern: Word) -> float:
+        """Estimate the frequency of ``pattern`` among the projected rows."""
+        raise EstimationError(
+            f"{type(self).__name__} does not support point frequency estimation"
+        )
+
+    def heavy_hitters(
+        self, query: ColumnQuery, phi: float, p: float = 1.0
+    ) -> dict[Word, float]:
+        """Report (approximate) ``φ``-``ℓ_p`` heavy hitters of the projection."""
+        raise EstimationError(
+            f"{type(self).__name__} does not support heavy hitters"
+        )
+
+    def supports(self, capability: str) -> bool:
+        """Whether this estimator overrides the named query method."""
+        base_method = getattr(ProjectedFrequencyEstimator, capability, None)
+        own_method = getattr(type(self), capability, None)
+        if base_method is None or own_method is None:
+            return False
+        return own_method is not base_method
+
+    # -- accounting --------------------------------------------------------------
+
+    @abc.abstractmethod
+    def size_in_bits(self) -> int:
+        """Structural space usage of the summary, in bits."""
+
+
+class EstimatorRegistry:
+    """Name → factory registry so benchmarks can sweep estimator families."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, type] = {}
+
+    def register(self, name: str, factory: type) -> None:
+        """Register an estimator factory under ``name``."""
+        self._factories[name] = factory
+
+    def create(self, name: str, **kwargs) -> ProjectedFrequencyEstimator:
+        """Instantiate the estimator registered under ``name``."""
+        if name not in self._factories:
+            raise EstimationError(
+                f"no estimator registered under {name!r}; "
+                f"known: {sorted(self._factories)}"
+            )
+        return self._factories[name](**kwargs)
+
+    def names(self) -> list[str]:
+        """Registered estimator names, sorted."""
+        return sorted(self._factories)

@@ -1,0 +1,170 @@
+"""Naïve baselines discussed in Section 3.1.
+
+Two trivial strategies bracket the interesting regime:
+
+* :class:`ExactBaseline` — retain the entire input (``Θ(n d)`` space, where
+  ``n`` may itself be exponential in ``d``) and answer every query exactly.
+* :class:`AllSubsetsBaseline` — when the query size ``t = |C|`` is known in
+  advance, maintain one summary per subset of size ``t`` (``Ω(d^t)``
+  summaries) or, in the fully general form, per *every* subset (``2^d``
+  summaries).  This is the strawman the α-net approach of Section 6 improves
+  on.
+
+Both implement the same estimator interface as the real algorithms so the
+benchmarks can report their space and accuracy side by side.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+from typing import Callable, Iterable
+
+from ..coding.words import Word, project_word
+from ..errors import EstimationError, InvalidParameterError
+from ..sketches.base import DistinctCountSketch
+from ..sketches.kmv import KMVSketch
+from .dataset import ColumnQuery, Dataset
+from .estimator import ProjectedFrequencyEstimator
+from .frequency import FrequencyVector
+
+__all__ = ["ExactBaseline", "AllSubsetsBaseline"]
+
+
+class ExactBaseline(ProjectedFrequencyEstimator):
+    """Store every row; answer any projected query exactly.
+
+    This is the ``Θ(n d)`` upper bound mentioned in Section 3.1 — always
+    correct, never small.
+    """
+
+    def __init__(self, n_columns: int, alphabet_size: int = 2) -> None:
+        super().__init__(n_columns=n_columns, alphabet_size=alphabet_size)
+        self._rows: list[Word] = []
+
+    def _observe(self, row: Word) -> None:
+        self._rows.append(row)
+
+    def _frequencies(self, query: ColumnQuery) -> FrequencyVector:
+        counts: dict[Word, int] = {}
+        for row in self._rows:
+            pattern = project_word(row, query.columns)
+            counts[pattern] = counts.get(pattern, 0) + 1
+        return FrequencyVector.from_counts(
+            counts, alphabet_size=self.alphabet_size, pattern_length=len(query)
+        )
+
+    def frequencies(self, query: ColumnQuery) -> FrequencyVector:
+        """The exact projected frequency vector (public accessor)."""
+        return self._frequencies(query)
+
+    def estimate_fp(self, query: ColumnQuery, p: float) -> float:
+        return self._frequencies(query).frequency_moment(p)
+
+    def estimate_frequency(self, query: ColumnQuery, pattern: Word) -> float:
+        return float(self._frequencies(query).frequency(pattern))
+
+    def heavy_hitters(
+        self, query: ColumnQuery, phi: float, p: float = 1.0
+    ) -> dict[Word, float]:
+        return {
+            pattern: float(count)
+            for pattern, count in self._frequencies(query).heavy_hitters(phi, p).items()
+        }
+
+    def to_dataset(self) -> Dataset:
+        """Materialise the stored rows as a :class:`~repro.core.dataset.Dataset`."""
+        if not self._rows:
+            raise EstimationError("no rows observed")
+        return Dataset.from_words(self._rows, alphabet_size=self.alphabet_size)
+
+    def size_in_bits(self) -> int:
+        bits_per_symbol = max(1, math.ceil(math.log2(self.alphabet_size)))
+        return len(self._rows) * self.n_columns * bits_per_symbol
+
+
+class AllSubsetsBaseline(ProjectedFrequencyEstimator):
+    """Keep one distinct-count sketch per column subset of the allowed sizes.
+
+    Parameters
+    ----------
+    n_columns:
+        Dimensionality ``d``.
+    subset_sizes:
+        The query sizes ``t`` to materialise.  ``None`` means every size
+        ``1..d`` (the full ``2^d`` strawman) — guarded by
+        ``max_subsets``.
+    sketch_factory:
+        Factory producing a fresh distinct-count sketch per subset; defaults
+        to a small KMV sketch.
+    alphabet_size:
+        Alphabet ``Q``.
+    max_subsets:
+        Guard against accidentally materialising an astronomically large
+        family of summaries.
+    """
+
+    def __init__(
+        self,
+        n_columns: int,
+        subset_sizes: Iterable[int] | None = None,
+        sketch_factory: Callable[[int], DistinctCountSketch] | None = None,
+        alphabet_size: int = 2,
+        max_subsets: int = 50_000,
+    ) -> None:
+        super().__init__(n_columns=n_columns, alphabet_size=alphabet_size)
+        if subset_sizes is None:
+            sizes = list(range(1, n_columns + 1))
+        else:
+            sizes = sorted(set(int(size) for size in subset_sizes))
+            for size in sizes:
+                if not 1 <= size <= n_columns:
+                    raise InvalidParameterError(
+                        f"subset size {size} outside [1, {n_columns}]"
+                    )
+        total = sum(math.comb(n_columns, size) for size in sizes)
+        if total > max_subsets:
+            raise InvalidParameterError(
+                f"materialising {total} subsets exceeds the guard of {max_subsets}"
+            )
+        if sketch_factory is None:
+            sketch_factory = lambda index: KMVSketch(k=64, seed=index)  # noqa: E731
+        self._subsets: list[ColumnQuery] = []
+        for size in sizes:
+            for columns in combinations(range(n_columns), size):
+                self._subsets.append(ColumnQuery.of(columns, n_columns))
+        self._sketches: list[DistinctCountSketch] = [
+            sketch_factory(index) for index in range(len(self._subsets))
+        ]
+        self._subset_index = {
+            subset.columns: index for index, subset in enumerate(self._subsets)
+        }
+
+    @property
+    def subset_count(self) -> int:
+        """Number of materialised subsets (and sketches)."""
+        return len(self._subsets)
+
+    def _observe(self, row: Word) -> None:
+        for index, subset in enumerate(self._subsets):
+            self._sketches[index].update(project_word(row, subset.columns))
+
+    def estimate_fp(self, query: ColumnQuery, p: float) -> float:
+        if p == 1:
+            return float(self.rows_observed)
+        if p != 0:
+            raise EstimationError(
+                "AllSubsetsBaseline keeps distinct-count sketches only (p = 0)"
+            )
+        index = self._subset_index.get(query.columns)
+        if index is None:
+            raise EstimationError(
+                f"query {query.columns} was not one of the materialised subsets"
+            )
+        return float(self._sketches[index].estimate())
+
+    def size_in_bits(self) -> int:
+        return (
+            sum(sketch.size_in_bits() for sketch in self._sketches)
+            + self.subset_count * self.n_columns
+        )

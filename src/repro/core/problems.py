@@ -1,0 +1,182 @@
+"""Declarative problem specifications (Section 2.1).
+
+The paper defines four projected frequency estimation problems; each is
+represented here as a small frozen dataclass that captures the query
+parameters and knows how to compute the *exact* answer from a
+:class:`~repro.core.frequency.FrequencyVector`.  Estimators accept these
+problem objects so benchmarks can sweep parameters without touching
+estimator internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..coding.words import Word
+from ..errors import InvalidParameterError
+from .frequency import FrequencyVector
+
+__all__ = [
+    "FpEstimation",
+    "FrequencyEstimation",
+    "HeavyHitters",
+    "LpSampling",
+    "ProjectedProblem",
+]
+
+
+class ProjectedProblem:
+    """Marker base class for the projected problem specifications."""
+
+
+@dataclass(frozen=True)
+class FpEstimation(ProjectedProblem):
+    """Estimate ``F_p(A, C) = Σ_i f_i(A, C)^p`` (Section 2.1).
+
+    ``p = 0`` is the projected distinct-count problem the paper's Section 4
+    is devoted to.
+    """
+
+    p: float
+
+    def __post_init__(self) -> None:
+        if self.p < 0:
+            raise InvalidParameterError(f"p must be non-negative, got {self.p}")
+
+    def exact(self, frequencies: FrequencyVector) -> float:
+        """The exact value of ``F_p`` on the given frequency vector."""
+        return frequencies.frequency_moment(self.p)
+
+
+@dataclass(frozen=True)
+class FrequencyEstimation(ProjectedProblem):
+    """Estimate a single pattern frequency with ``ℓ_p``-relative error.
+
+    The task (Section 2.1) is to return ``f̂`` with
+    ``|f̂ - f_{e(b)}| ≤ φ ‖f‖_p`` for the query pattern ``b``.
+    """
+
+    pattern: Word
+    p: float = 1.0
+    phi: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.p <= 0:
+            raise InvalidParameterError(f"p must be positive, got {self.p}")
+        if not 0 < self.phi < 1:
+            raise InvalidParameterError(f"phi must be in (0, 1), got {self.phi}")
+
+    def exact(self, frequencies: FrequencyVector) -> float:
+        """The exact frequency of the query pattern."""
+        return float(frequencies.frequency(self.pattern))
+
+    def error_budget(self, frequencies: FrequencyVector) -> float:
+        """The allowed additive error ``φ ‖f‖_p``."""
+        return self.phi * frequencies.lp_norm(self.p)
+
+    def is_acceptable(self, estimate: float, frequencies: FrequencyVector) -> bool:
+        """Whether ``estimate`` satisfies the problem's error guarantee."""
+        return abs(estimate - self.exact(frequencies)) <= self.error_budget(frequencies)
+
+
+@dataclass(frozen=True)
+class HeavyHitters(ProjectedProblem):
+    """Report all ``φ``-``ℓ_p`` heavy hitters of the projected data.
+
+    The multiplicative relaxation of Section 2.1 is captured by ``slack``
+    (the paper's ``c > 1``): every pattern with ``f_i ≥ φ ‖f‖_p`` must be
+    reported and no pattern with ``f_i < (φ / slack) ‖f‖_p`` may be.
+    """
+
+    phi: float
+    p: float = 1.0
+    slack: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.phi < 1:
+            raise InvalidParameterError(f"phi must be in (0, 1), got {self.phi}")
+        if self.p <= 0:
+            raise InvalidParameterError(f"p must be positive, got {self.p}")
+        if self.slack <= 1:
+            raise InvalidParameterError(f"slack must be > 1, got {self.slack}")
+
+    def exact(self, frequencies: FrequencyVector) -> dict[Word, int]:
+        """The exact set of ``φ``-``ℓ_p`` heavy hitters with their counts."""
+        return frequencies.heavy_hitters(self.phi, self.p)
+
+    def mandatory_threshold(self, frequencies: FrequencyVector) -> float:
+        """Frequency above which a pattern *must* be reported."""
+        return self.phi * frequencies.lp_norm(self.p)
+
+    def forbidden_threshold(self, frequencies: FrequencyVector) -> float:
+        """Frequency below which a pattern must *not* be reported."""
+        return (self.phi / self.slack) * frequencies.lp_norm(self.p)
+
+    def is_acceptable(
+        self, reported: Mapping[Word, float] | set[Word], frequencies: FrequencyVector
+    ) -> bool:
+        """Check the recall / precision contract of the relaxed problem."""
+        reported_set = set(reported)
+        mandatory = self.mandatory_threshold(frequencies)
+        forbidden = self.forbidden_threshold(frequencies)
+        for pattern, count in frequencies.counts.items():
+            if count >= mandatory and pattern not in reported_set:
+                return False
+        for pattern in reported_set:
+            if frequencies.frequency(pattern) < forbidden:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class LpSampling(ProjectedProblem):
+    """Sample a pattern approximately proportional to ``f_i^p`` (Section 2.1).
+
+    A sampler's output distribution ``q`` is acceptable when
+    ``q_i ∈ (1 ± epsilon) f_i^p / F_p + delta`` for every pattern ``i``.
+    """
+
+    p: float
+    epsilon: float = 0.25
+    delta: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.p <= 0:
+            raise InvalidParameterError(f"p must be positive, got {self.p}")
+        if not 0 < self.epsilon < 1:
+            raise InvalidParameterError(
+                f"epsilon must be in (0, 1), got {self.epsilon}"
+            )
+        if self.delta < 0:
+            raise InvalidParameterError(
+                f"delta must be non-negative, got {self.delta}"
+            )
+
+    def exact(self, frequencies: FrequencyVector) -> dict[Word, float]:
+        """The target distribution ``f_i^p / F_p``."""
+        return frequencies.lp_sampling_distribution(self.p)
+
+    def is_acceptable(
+        self,
+        empirical: Mapping[Word, float],
+        frequencies: FrequencyVector,
+        statistical_slack: float = 0.0,
+    ) -> bool:
+        """Check an empirical sampling distribution against the target.
+
+        ``statistical_slack`` widens the tolerance to account for the Monte
+        Carlo error of estimating ``empirical`` from finitely many draws.
+        """
+        target = self.exact(frequencies)
+        tolerance = self.delta + statistical_slack
+        for pattern, probability in target.items():
+            observed = empirical.get(pattern, 0.0)
+            lower = (1 - self.epsilon) * probability - tolerance
+            upper = (1 + self.epsilon) * probability + tolerance
+            if not lower <= observed <= upper:
+                return False
+        for pattern, observed in empirical.items():
+            if pattern not in target and observed > tolerance:
+                return False
+        return True

@@ -1,0 +1,210 @@
+"""α-nets of column subsets and the rounding distortion (Section 6).
+
+Definition 6.1 fixes, for ``α ∈ (0, 1/2)``, the α-net of ``P([d])`` as the
+family of subsets whose size is at most ``(1/2 - α) d`` or at least
+``(1/2 + α) d``.  Any query ``C`` outside the net can be *rounded* to an
+α-neighbour ``C'`` in the net with ``|C Δ C'| ≤ α d`` by removing (or
+adding) at most ``α d`` columns, and Lemma 6.4 bounds the deterministic
+error ("rounding distortion") incurred by answering on ``C'`` instead of
+``C``:
+
+* ``F_0``:  ``r(α, F_0) = 2^{α d}``
+* ``F_p``, ``p > 1``:  ``r(α, F_p) = 2^{α d (p - 1)}``
+* ``F_p``, ``p < 1``:  ``r(α, F_p) = 2^{α d (1 - p)}``
+
+(and no distortion at all for ``p = 1``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterator, Literal
+
+from ..analysis.entropy import binary_entropy, exact_net_size, net_size_bound
+from ..errors import InvalidParameterError, QueryError
+from .dataset import ColumnQuery
+
+__all__ = ["AlphaNet", "rounding_distortion", "NeighbourRule"]
+
+#: How :meth:`AlphaNet.round_query` picks the α-neighbour for mid-band queries.
+NeighbourRule = Literal["nearest", "shrink", "grow"]
+
+
+def rounding_distortion(alpha: float, d: int, p: float) -> float:
+    """Lemma 6.4: worst-case multiplicative error of answering on an α-neighbour.
+
+    Parameters
+    ----------
+    alpha:
+        Net parameter in ``(0, 1/2)``.
+    d:
+        Dimensionality of the data.
+    p:
+        Moment order (``p = 0`` for distinct counting).
+    """
+    if not 0 < alpha < 0.5:
+        raise InvalidParameterError(f"alpha must be in (0, 1/2), got {alpha}")
+    if d < 1:
+        raise InvalidParameterError(f"d must be >= 1, got {d}")
+    if p < 0:
+        raise InvalidParameterError(f"p must be non-negative, got {p}")
+    if p == 0:
+        return 2.0 ** (alpha * d)
+    if p == 1:
+        return 1.0
+    if p > 1:
+        return 2.0 ** (alpha * d * (p - 1))
+    return 2.0 ** (alpha * d * (1 - p))
+
+
+@dataclass(frozen=True)
+class AlphaNet:
+    """The α-net of ``P([d])`` from Definition 6.1.
+
+    Attributes
+    ----------
+    d:
+        Dimensionality; net members are subsets of ``[d]``.
+    alpha:
+        Net parameter in ``(0, 1/2)``; larger α means a smaller net (more
+        space saved) but coarser answers.
+    """
+
+    d: int
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if self.d < 1:
+            raise InvalidParameterError(f"d must be >= 1, got {self.d}")
+        if not 0 < self.alpha < 0.5:
+            raise InvalidParameterError(
+                f"alpha must be in (0, 1/2), got {self.alpha}"
+            )
+
+    # -- membership bands ---------------------------------------------------
+
+    @property
+    def low_size(self) -> int:
+        """Largest subset size in the lower band, ``⌊(1/2 - α) d⌋``."""
+        return math.floor((0.5 - self.alpha) * self.d)
+
+    @property
+    def high_size(self) -> int:
+        """Smallest subset size in the upper band, ``⌈(1/2 + α) d⌉``."""
+        return math.ceil((0.5 + self.alpha) * self.d)
+
+    def contains_size(self, size: int) -> bool:
+        """Whether subsets of the given size belong to the net."""
+        return size <= self.low_size or size >= self.high_size
+
+    def contains(self, query: ColumnQuery) -> bool:
+        """Whether the query itself is a net member (no rounding needed)."""
+        self._check_query(query)
+        return self.contains_size(len(query))
+
+    def _check_query(self, query: ColumnQuery) -> None:
+        if query.dimension != self.d:
+            raise QueryError(
+                f"query dimension {query.dimension} does not match the net's "
+                f"dimension {self.d}"
+            )
+
+    # -- size accounting ------------------------------------------------------
+
+    def size(self) -> int:
+        """Exact number of net members (excluding the empty set)."""
+        # The empty set is formally a net member but is useless as a query,
+        # so it is excluded from both the enumeration and the count.
+        return exact_net_size(self.d, self.alpha) - 1
+
+    def size_bound(self) -> float:
+        """The Lemma 6.2 upper bound ``2^{H(1/2 - α) d + 1}``."""
+        return net_size_bound(self.d, self.alpha)
+
+    def relative_size(self) -> float:
+        """Net size bound relative to the naive ``2^d`` (Figure 1, left pane)."""
+        return 2.0 ** (binary_entropy(0.5 - self.alpha) * self.d - self.d)
+
+    # -- enumeration -----------------------------------------------------------
+
+    def members(self, max_members: int | None = None) -> Iterator[ColumnQuery]:
+        """Yield every (non-empty) net member as a :class:`ColumnQuery`.
+
+        ``max_members`` guards accidental enumeration of an exponentially
+        large net; exceeding it raises :class:`~repro.errors.QueryError`.
+        """
+        if max_members is not None and self.size() > max_members:
+            raise QueryError(
+                f"the alpha-net has {self.size()} members, exceeding the guard "
+                f"of {max_members}"
+            )
+        sizes = [s for s in range(1, self.low_size + 1)]
+        sizes.extend(range(self.high_size, self.d + 1))
+        for size in sizes:
+            for columns in combinations(range(self.d), size):
+                yield ColumnQuery.of(columns, self.d)
+
+    # -- rounding ---------------------------------------------------------------
+
+    def round_query(
+        self, query: ColumnQuery, rule: NeighbourRule = "nearest"
+    ) -> ColumnQuery:
+        """Return an α-neighbour of ``query`` inside the net.
+
+        If the query is already a net member it is returned unchanged.
+        Otherwise at most ``α d`` columns are removed (``shrink``), added
+        (``grow``) or whichever is cheaper (``nearest``); removal drops the
+        highest-indexed columns and addition inserts the lowest-indexed
+        missing columns, so rounding is deterministic.
+        """
+        self._check_query(query)
+        if self.contains(query):
+            return query
+        size = len(query)
+        shrink_cost = size - self.low_size
+        grow_cost = self.high_size - size
+        if rule == "shrink" or (rule == "nearest" and shrink_cost <= grow_cost):
+            if self.low_size < 1:
+                # Nothing to shrink to; fall back to growing.
+                return self._grow(query)
+            return self._shrink(query)
+        return self._grow(query)
+
+    def _shrink(self, query: ColumnQuery) -> ColumnQuery:
+        keep = list(query.columns)[: self.low_size]
+        return ColumnQuery.of(keep, self.d)
+
+    def _grow(self, query: ColumnQuery) -> ColumnQuery:
+        columns = set(query.columns)
+        for candidate in range(self.d):
+            if len(columns) >= self.high_size:
+                break
+            columns.add(candidate)
+        return ColumnQuery.of(columns, self.d)
+
+    def rounding_cost(self, query: ColumnQuery, rule: NeighbourRule = "nearest") -> int:
+        """``|C Δ C'|`` for the neighbour the given rule selects (0 if in-net)."""
+        neighbour = self.round_query(query, rule)
+        return query.symmetric_difference_size(neighbour)
+
+    def max_rounding_cost(self) -> int:
+        """Worst-case ``|C Δ C'|`` under the ``nearest`` rule over all query sizes.
+
+        The mid-band sizes are ``low_size < s < high_size``; the nearest rule
+        pays ``min(s - low_size, high_size - s)``, maximised at the middle of
+        the band, which is at most ``α d`` up to rounding of the band edges.
+        """
+        worst = 0
+        for size in range(self.low_size + 1, self.high_size):
+            if size < 1:
+                continue
+            shrink_cost = size - self.low_size if self.low_size >= 1 else math.inf
+            grow_cost = self.high_size - size
+            worst = max(worst, int(min(shrink_cost, grow_cost)))
+        return worst
+
+    def distortion(self, p: float) -> float:
+        """Rounding distortion ``r(α, F_p)`` of Lemma 6.4 for this net."""
+        return rounding_distortion(self.alpha, self.d, p)

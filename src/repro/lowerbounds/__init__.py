@@ -1,0 +1,53 @@
+"""Lower-bound constructions and communication-game simulations.
+
+One module per theorem: the Index game harness, the ``F_0`` instances of
+Theorem 4.1 and its corollaries, the heavy-hitters instances of Theorem 5.3,
+the ``F_p`` instances of Theorem 5.4, the ``ℓ_p``-sampling instances of
+Theorem 5.5, plus the gap-measurement helpers and the Table 1 generator.
+"""
+
+from .f0_instance import F0HardInstance, F0InstanceParameters, build_f0_instance
+from .fp_instance import (
+    FpHardInstance,
+    FpInstanceParameters,
+    build_fp_instance,
+    equation_5_bound,
+)
+from .hh_instance import (
+    HeavyHitterHardInstance,
+    HeavyHitterInstanceParameters,
+    build_heavy_hitter_instance,
+)
+from .index_problem import (
+    IndexGame,
+    IndexInstance,
+    ProtocolOutcome,
+    index_lower_bound_bits,
+)
+from .sampling_instance import SamplingHardInstance, build_sampling_instance
+from .separation import SeparationSummary, measure_separation
+from .table1 import Table1Row, format_table1, table1_rows
+
+__all__ = [
+    "F0HardInstance",
+    "F0InstanceParameters",
+    "FpHardInstance",
+    "FpInstanceParameters",
+    "HeavyHitterHardInstance",
+    "HeavyHitterInstanceParameters",
+    "IndexGame",
+    "IndexInstance",
+    "ProtocolOutcome",
+    "SamplingHardInstance",
+    "SeparationSummary",
+    "Table1Row",
+    "build_f0_instance",
+    "build_fp_instance",
+    "build_heavy_hitter_instance",
+    "build_sampling_instance",
+    "equation_5_bound",
+    "format_table1",
+    "index_lower_bound_bits",
+    "measure_separation",
+    "table1_rows",
+]

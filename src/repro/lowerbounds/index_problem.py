@@ -1,0 +1,216 @@
+"""The one-way Index communication problem and its simulation harness.
+
+Every lower bound in the paper is a reduction from Index: Alice holds a bit
+vector ``a ∈ {0,1}^N``, Bob holds an index ``i ∈ [N]``, and after a single
+message from Alice, Bob must output ``a_i``; any protocol succeeding with
+constant probability must send ``Ω(N)`` bits (Kremer–Nisan–Ron).
+
+The reductions instantiate Alice's vector as the characteristic vector of a
+subset ``T`` of a code ``C`` and Bob's index as (the enumeration index of) a
+codeword ``y``; Alice's message is the summary built by a candidate
+streaming algorithm over a hard instance derived from ``T``, and Bob answers
+by querying that summary.  :class:`IndexGame` provides the bookkeeping for
+simulating this protocol with concrete estimators, measuring the message
+size (the estimator's summary size) and the success rate of Bob's decision
+rule, which is how the benchmark suite *exhibits* each theorem's separation
+at finite ``d``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..coding.words import Word
+from ..errors import InvalidParameterError, ProtocolError
+
+__all__ = ["IndexInstance", "IndexGame", "ProtocolOutcome", "index_lower_bound_bits"]
+
+
+def index_lower_bound_bits(universe_size: int, success_probability: float = 2 / 3) -> float:
+    """The Ω(N) one-way communication lower bound for Index.
+
+    The constant follows the standard information-theoretic argument: a
+    protocol with success probability ``q`` conveys at least
+    ``N (1 - H(q))`` bits about Alice's input.  This is the quantity the
+    benchmarks report next to the measured summary sizes.
+    """
+    if universe_size < 1:
+        raise InvalidParameterError(
+            f"universe_size must be >= 1, got {universe_size}"
+        )
+    if not 0.5 < success_probability < 1:
+        raise InvalidParameterError(
+            f"success_probability must be in (1/2, 1), got {success_probability}"
+        )
+    q = success_probability
+    entropy = -q * np.log2(q) - (1 - q) * np.log2(1 - q)
+    return universe_size * (1.0 - float(entropy))
+
+
+@dataclass(frozen=True)
+class IndexInstance:
+    """One instance of the Index problem over a code enumeration.
+
+    Attributes
+    ----------
+    codewords:
+        The enumeration ``{w_1, ..., w_|C|}`` of the code; Alice's bit ``a_j``
+        refers to ``w_j``.
+    alice_subset:
+        The subset ``T ⊆ C`` Alice holds (``a_j = 1`` iff ``w_j ∈ T``).
+    bob_word:
+        The codeword ``y`` whose membership Bob must decide.
+    """
+
+    codewords: tuple[Word, ...]
+    alice_subset: frozenset[Word]
+    bob_word: Word
+
+    def __post_init__(self) -> None:
+        codeword_set = set(self.codewords)
+        if not self.alice_subset <= codeword_set:
+            raise InvalidParameterError("Alice's subset contains non-codewords")
+        if self.bob_word not in codeword_set:
+            raise InvalidParameterError("Bob's word is not a codeword")
+
+    @property
+    def universe_size(self) -> int:
+        """``N = |C|`` — the length of Alice's bit vector."""
+        return len(self.codewords)
+
+    @property
+    def bob_index(self) -> int:
+        """The index ``e(y)`` of Bob's word in the enumeration."""
+        return self.codewords.index(self.bob_word)
+
+    @property
+    def answer(self) -> bool:
+        """The ground-truth bit ``a_{e(y)}`` (whether ``y ∈ T``)."""
+        return self.bob_word in self.alice_subset
+
+    def alice_bits(self) -> tuple[int, ...]:
+        """Alice's full bit vector ``a`` under the code enumeration."""
+        return tuple(
+            1 if word in self.alice_subset else 0 for word in self.codewords
+        )
+
+    @classmethod
+    def random(
+        cls,
+        codewords: Sequence[Word],
+        membership_probability: float = 0.5,
+        force_membership: bool | None = None,
+        seed: int = 0,
+    ) -> "IndexInstance":
+        """Draw a random instance over the given code.
+
+        ``force_membership`` fixes whether Bob's word is in Alice's set
+        (useful for balanced yes/no trials); ``None`` leaves it random.
+        """
+        if not codewords:
+            raise InvalidParameterError("the code must be non-empty")
+        if not 0 <= membership_probability <= 1:
+            raise InvalidParameterError(
+                "membership_probability must be in [0, 1], got "
+                f"{membership_probability}"
+            )
+        rng = np.random.default_rng(seed)
+        codeword_tuple = tuple(codewords)
+        bob_position = int(rng.integers(0, len(codeword_tuple)))
+        bob_word = codeword_tuple[bob_position]
+        subset = {
+            word
+            for index, word in enumerate(codeword_tuple)
+            if index != bob_position and rng.random() < membership_probability
+        }
+        if force_membership is None:
+            include_bob = bool(rng.random() < membership_probability)
+        else:
+            include_bob = bool(force_membership)
+        if include_bob:
+            subset.add(bob_word)
+        if not subset:
+            # Alice's set must be non-empty for the instance arrays to exist.
+            fallback = next(
+                word for word in codeword_tuple if word != bob_word or include_bob
+            )
+            subset.add(fallback)
+        return cls(
+            codewords=codeword_tuple,
+            alice_subset=frozenset(subset),
+            bob_word=bob_word,
+        )
+
+
+@dataclass
+class ProtocolOutcome:
+    """Result of simulating the one-way protocol on one instance."""
+
+    instance: IndexInstance
+    bob_answer: bool
+    message_bits: int
+    statistic: float
+
+    @property
+    def correct(self) -> bool:
+        """Whether Bob recovered ``a_{e(y)}``."""
+        return self.bob_answer == self.instance.answer
+
+
+@dataclass
+class IndexGame:
+    """Simulate the reduction: Alice streams an instance, Bob queries it.
+
+    Parameters
+    ----------
+    encode:
+        Alice's encoder — maps an :class:`IndexInstance` to the rows she
+        feeds the algorithm (the hard-instance construction of the relevant
+        theorem).
+    summarise:
+        The streaming algorithm under test — consumes the rows and returns an
+        opaque summary object plus its size in bits (Alice's message).
+    decide:
+        Bob's decision rule — given the summary and the instance, returns the
+        distinguishing statistic and his answer to "is ``y ∈ T``?".
+    """
+
+    encode: Callable[[IndexInstance], Sequence[Word]]
+    summarise: Callable[[Sequence[Word]], tuple[object, int]]
+    decide: Callable[[object, IndexInstance], tuple[float, bool]]
+    outcomes: list[ProtocolOutcome] = field(default_factory=list)
+
+    def play(self, instance: IndexInstance) -> ProtocolOutcome:
+        """Run the protocol once and record the outcome."""
+        rows = self.encode(instance)
+        if not rows:
+            raise ProtocolError("the encoder produced an empty instance")
+        summary, message_bits = self.summarise(rows)
+        statistic, answer = self.decide(summary, instance)
+        outcome = ProtocolOutcome(
+            instance=instance,
+            bob_answer=answer,
+            message_bits=message_bits,
+            statistic=statistic,
+        )
+        self.outcomes.append(outcome)
+        return outcome
+
+    def success_rate(self) -> float:
+        """Fraction of recorded outcomes in which Bob answered correctly."""
+        if not self.outcomes:
+            raise ProtocolError("no outcomes recorded yet")
+        return sum(1 for outcome in self.outcomes if outcome.correct) / len(
+            self.outcomes
+        )
+
+    def mean_message_bits(self) -> float:
+        """Average size of Alice's message across recorded outcomes."""
+        if not self.outcomes:
+            raise ProtocolError("no outcomes recorded yet")
+        return float(
+            np.mean([outcome.message_bits for outcome in self.outcomes])
+        )

@@ -1,0 +1,183 @@
+"""Hard instances for projected ``ℓ_p`` sampling, ``p ≠ 1`` (Theorem 5.5).
+
+Theorem 5.5 shows that, unlike the classical streaming setting where
+``ℓ_p`` sampling reduces to heavy hitters, *projected* ``ℓ_p`` sampling
+requires ``2^{Ω(d)}`` space for every ``p ≠ 1``:
+
+* for ``p > 1`` the Theorem 5.3 instance is reused: the distinguished
+  pattern ``0_S`` carries a constant fraction of the ``F_p`` mass exactly
+  when ``y ∈ T``, so the empirical frequency with which a sampler returns
+  ``0_S`` decides Index;
+* for ``0 < p < 1`` the Theorem 5.4 instance is reused with the witness set
+  ``M' = {z ∈ star(y) : |supp(z)| ≥ εd/2}``: when ``y ∈ T`` at least a
+  quarter (in the ideal case) of the ``F_p`` mass lies on ``M'``, whereas
+  when ``y ∉ T`` no pattern of ``M'`` can be generated at all, because every
+  other codeword shares at most ``cd < εd/2`` coordinates with ``y``.
+
+This module wraps the corresponding instances with the witness sets and the
+membership-decision rules based on empirical sampling frequencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..coding.star import star
+from ..coding.words import Word, support, weight
+from ..core.frequency import FrequencyVector
+from ..errors import InvalidParameterError
+from .fp_instance import FpHardInstance, build_fp_instance
+from .hh_instance import HeavyHitterHardInstance, build_heavy_hitter_instance
+
+__all__ = [
+    "SamplingHardInstance",
+    "build_sampling_instance",
+]
+
+
+@dataclass(frozen=True)
+class SamplingHardInstance:
+    """A Theorem 5.5 instance: base instance, witness patterns, decision rule.
+
+    Attributes
+    ----------
+    p:
+        The sampling exponent.
+    base:
+        The underlying hard instance (Theorem 5.3's for ``p > 1``,
+        Theorem 5.4's for ``p < 1``).
+    witness_patterns:
+        The set of projected patterns whose sampled mass decides Index
+        (``{0_S}`` for ``p > 1``; ``M'`` projected onto the query for
+        ``p < 1``).
+    """
+
+    p: float
+    base: HeavyHitterHardInstance | FpHardInstance
+    witness_patterns: frozenset[Word]
+
+    @property
+    def answer(self) -> bool:
+        """Whether Bob's word is in Alice's set."""
+        return self.base.answer
+
+    @property
+    def dataset(self):
+        """The instance dataset (delegates to the base instance)."""
+        return self.base.dataset
+
+    @property
+    def query(self):
+        """The column query (delegates to the base instance)."""
+        return self.base.query
+
+    def frequencies(self) -> FrequencyVector:
+        """Exact projected frequency vector."""
+        return FrequencyVector.from_dataset(self.base.dataset, self.base.query)
+
+    def witness_mass(self) -> float:
+        """Exact ``ℓ_p``-sampling probability mass on the witness patterns."""
+        distribution = self.frequencies().lp_sampling_distribution(self.p)
+        return float(
+            sum(distribution.get(pattern, 0.0) for pattern in self.witness_patterns)
+        )
+
+    def decision_threshold(self) -> float:
+        """Threshold on the witness mass separating the two cases.
+
+        The proof guarantees mass at least ``1/10`` when ``y ∈ T`` (for
+        ``p < 1``; a constant for ``p > 1``) and essentially zero mass when
+        ``y ∉ T``, so the midpoint ``1/20`` is a robust finite-``d`` choice.
+        """
+        return 0.05
+
+    def decide_from_empirical(self, empirical: Mapping[Word, float]) -> bool:
+        """Bob's rule from an empirical sampling distribution."""
+        observed = sum(
+            empirical.get(pattern, 0.0) for pattern in self.witness_patterns
+        )
+        return observed >= self.decision_threshold()
+
+    def decide_from_draws(self, draws: Iterable[Word]) -> bool:
+        """Bob's rule from raw sampled patterns."""
+        draws = list(draws)
+        if not draws:
+            return False
+        hits = sum(1 for pattern in draws if pattern in self.witness_patterns)
+        return (hits / len(draws)) >= self.decision_threshold()
+
+    def separation_holds(self) -> bool:
+        """Whether the exact witness mass sits on the correct side of the threshold."""
+        mass = self.witness_mass()
+        if self.answer:
+            return mass >= self.decision_threshold()
+        return mass < self.decision_threshold()
+
+
+def _witness_set_small_p(bob_word: Word, query_columns: tuple[int, ...]) -> frozenset[Word]:
+    """The set ``M'`` of Theorem 5.5 projected onto the query columns.
+
+    ``M'`` consists of the child words of ``y`` whose support has size at
+    least ``εd / 2`` (half the weight of ``y``); since the query is
+    ``S = supp(y)``, the projection of a child word onto ``S`` simply reads
+    off its values on the support of ``y``.
+    """
+    y_weight = weight(bob_word)
+    minimum_support = math.ceil(y_weight / 2)
+    witnesses = set()
+    for child in star(bob_word, 2):
+        if weight(child) >= minimum_support:
+            projected = tuple(child[column] for column in query_columns)
+            witnesses.add(projected)
+    return frozenset(witnesses)
+
+
+def build_sampling_instance(
+    d: int,
+    epsilon: float,
+    gamma: float,
+    p: float,
+    membership: bool,
+    code_size: int | None = None,
+    membership_probability: float = 0.5,
+    seed: int = 0,
+) -> SamplingHardInstance:
+    """Build a Theorem 5.5 hard instance for the given ``p ≠ 1``."""
+    if p <= 0 or p == 1:
+        raise InvalidParameterError(f"Theorem 5.5 requires p > 0, p != 1; got {p}")
+    if p > 1:
+        base: HeavyHitterHardInstance | FpHardInstance = build_heavy_hitter_instance(
+            d=d,
+            epsilon=epsilon,
+            gamma=gamma,
+            p=p,
+            membership=membership,
+            code_size=code_size,
+            membership_probability=membership_probability,
+            seed=seed,
+        )
+        witness = frozenset({(0,) * len(base.query)})
+        return SamplingHardInstance(p=p, base=base, witness_patterns=witness)
+    base = build_fp_instance(
+        d=d,
+        epsilon=epsilon,
+        gamma=gamma,
+        p=p,
+        membership=membership,
+        code_size=code_size,
+        membership_probability=membership_probability,
+        seed=seed,
+    )
+    assert isinstance(base, FpHardInstance)
+    witness = _witness_set_small_p(
+        base.index_instance.bob_word, base.query.columns
+    )
+    # Sanity: the witness set must be non-trivial, otherwise the decision
+    # rule degenerates.
+    if not witness:
+        raise InvalidParameterError(
+            "the witness set M' is empty; increase epsilon * d"
+        )
+    return SamplingHardInstance(p=p, base=base, witness_patterns=witness)

@@ -1,0 +1,122 @@
+"""Separation experiments: measuring the gaps the lower-bound proofs exploit.
+
+Each lower bound in the paper hinges on a *distinguishing statistic* whose
+value differs by (at least) a constant or ``Q/k`` factor between the
+``y ∈ T`` and ``y ∉ T`` branches of the Index reduction.  The helpers here
+run both branches over several random instances and summarise the observed
+statistics, so tests can assert the gap exists and benchmarks can report how
+it scales with ``d`` — the operational, finite-``d`` content of each
+``2^{Ω(d)}`` theorem.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..errors import InvalidParameterError
+
+__all__ = ["SeparationSummary", "measure_separation"]
+
+
+@dataclass(frozen=True)
+class SeparationSummary:
+    """Observed distinguishing statistics for the two membership branches.
+
+    Attributes
+    ----------
+    member_values:
+        Statistic values measured on instances with ``y ∈ T``.
+    non_member_values:
+        Statistic values measured on instances with ``y ∉ T``.
+    """
+
+    member_values: tuple[float, ...]
+    non_member_values: tuple[float, ...]
+
+    @property
+    def member_mean(self) -> float:
+        """Mean statistic over the ``y ∈ T`` instances."""
+        return statistics.fmean(self.member_values)
+
+    @property
+    def non_member_mean(self) -> float:
+        """Mean statistic over the ``y ∉ T`` instances."""
+        return statistics.fmean(self.non_member_values)
+
+    @property
+    def member_min(self) -> float:
+        """Minimum statistic over the ``y ∈ T`` instances."""
+        return min(self.member_values)
+
+    @property
+    def non_member_max(self) -> float:
+        """Maximum statistic over the ``y ∉ T`` instances."""
+        return max(self.non_member_values)
+
+    @property
+    def gap(self) -> float:
+        """Worst-case multiplicative gap ``min(member) / max(non-member)``.
+
+        Values above 1 mean the two branches are perfectly separable by a
+        single threshold; ``inf`` when the non-member branch is identically
+        zero.
+        """
+        if self.non_member_max == 0:
+            return float("inf")
+        return self.member_min / self.non_member_max
+
+    @property
+    def mean_gap(self) -> float:
+        """Average-case multiplicative gap ``mean(member) / mean(non-member)``."""
+        if self.non_member_mean == 0:
+            return float("inf")
+        return self.member_mean / self.non_member_mean
+
+    def separable(self) -> bool:
+        """Whether a single threshold classifies every instance correctly."""
+        return self.member_min > self.non_member_max
+
+    def best_threshold(self) -> float:
+        """The midpoint threshold between the two branches (geometric mean)."""
+        low = max(self.non_member_max, 1e-12)
+        high = max(self.member_min, low)
+        return (low * high) ** 0.5
+
+
+def measure_separation(
+    build_statistic: Callable[[bool, int], float],
+    trials: int = 5,
+    seeds: Sequence[int] | None = None,
+) -> SeparationSummary:
+    """Run both branches of a reduction and collect the distinguishing statistic.
+
+    Parameters
+    ----------
+    build_statistic:
+        Callable ``(membership, seed) -> statistic`` that constructs one hard
+        instance with the given membership bit and returns the statistic Bob
+        thresholds on (for example the exact projected ``F_0``).
+    trials:
+        Number of instances per branch.
+    seeds:
+        Explicit seeds (one per trial); defaults to ``0..trials-1``.
+    """
+    if trials < 1:
+        raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+    if seeds is None:
+        seeds = list(range(trials))
+    if len(seeds) < trials:
+        raise InvalidParameterError(
+            f"need at least {trials} seeds, got {len(seeds)}"
+        )
+    member_values = tuple(
+        float(build_statistic(True, seed)) for seed in seeds[:trials]
+    )
+    non_member_values = tuple(
+        float(build_statistic(False, seed)) for seed in seeds[:trials]
+    )
+    return SeparationSummary(
+        member_values=member_values, non_member_values=non_member_values
+    )

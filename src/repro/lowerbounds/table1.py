@@ -1,0 +1,142 @@
+"""Table 1: comparison of the ``F_0`` lower-bound constructions.
+
+Table 1 of the paper lists, for Theorem 4.1 and Corollaries 4.2–4.4, the
+shape of the hard instance ``A`` (rows × columns and the alphabet) and the
+approximation factor the bound rules out.  This module reproduces each row
+symbolically (as formulas in ``d``, ``k``, ``Q``, ``q``) and numerically for
+concrete parameter choices, and can additionally *construct* the instance at
+small ``d`` to confirm the stated shape; the Table 1 benchmark prints the
+result in the same four-row layout as the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import InvalidParameterError
+
+__all__ = ["Table1Row", "table1_rows", "format_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1.
+
+    Attributes
+    ----------
+    label:
+        Which result the row describes (e.g. ``"Theorem 4.1"``).
+    instance_rows:
+        Number of rows of the hard instance ``A`` (the paper's first column,
+        evaluated for the concrete parameters).
+    instance_columns:
+        Number of columns of ``A``.
+    alphabet:
+        The alphabet the instance is written over.
+    approximation_factor:
+        The approximation factor the construction rules out.
+    instance_rows_formula:
+        Human-readable formula for the row count (as printed in the paper).
+    approximation_formula:
+        Human-readable formula for the approximation factor.
+    """
+
+    label: str
+    instance_rows: float
+    instance_columns: int
+    alphabet: int
+    approximation_factor: float
+    instance_rows_formula: str
+    approximation_formula: str
+
+
+def table1_rows(d: int, k: int, big_q: int, small_q: int = 2) -> list[Table1Row]:
+    """Evaluate the four rows of Table 1 for concrete ``(d, k, Q, q)``.
+
+    Parameters
+    ----------
+    d:
+        Dimensionality of the binary code.
+    k:
+        Query size / codeword weight used by the Theorem 4.1 row (the
+        corollary rows always use ``k = d/2``).
+    big_q:
+        The large alphabet ``Q`` (must exceed ``k`` and, for Corollary 4.2,
+        be at least ``d/2``).
+    small_q:
+        The reduced alphabet ``q`` of Corollary 4.4 (``2 ≤ q ≤ Q``).
+    """
+    if d < 2 or d % 2 != 0:
+        raise InvalidParameterError(f"d must be even and >= 2, got {d}")
+    if not 1 <= k < d / 2:
+        raise InvalidParameterError(f"Theorem 4.1 needs 1 <= k < d/2, got k={k}")
+    if big_q <= k:
+        raise InvalidParameterError(f"Q must exceed k, got Q={big_q}, k={k}")
+    if big_q < d / 2:
+        raise InvalidParameterError(
+            f"Corollary 4.2 needs Q >= d/2, got Q={big_q}, d={d}"
+        )
+    if not 2 <= small_q <= big_q:
+        raise InvalidParameterError(
+            f"Corollary 4.4 needs 2 <= q <= Q, got q={small_q}, Q={big_q}"
+        )
+    half = d // 2
+    rows = [
+        Table1Row(
+            label="Theorem 4.1",
+            instance_rows=(d / k) ** k * big_q**k,
+            instance_columns=d,
+            alphabet=big_q,
+            approximation_factor=big_q / k,
+            instance_rows_formula="(d/k)^k * Q^k",
+            approximation_formula="Q / k",
+        ),
+        Table1Row(
+            label="Corollary 4.2",
+            instance_rows=2.0**d * big_q**half,
+            instance_columns=d,
+            alphabet=big_q,
+            approximation_factor=2.0 * big_q / d,
+            instance_rows_formula="2^d * Q^(d/2)",
+            approximation_formula="2Q / d",
+        ),
+        Table1Row(
+            label="Corollary 4.3",
+            instance_rows=2.0**d * float(d) ** half,
+            instance_columns=d,
+            alphabet=d,
+            approximation_factor=2.0,
+            instance_rows_formula="2^d * d^(d/2)",
+            approximation_formula="2",
+        ),
+        Table1Row(
+            label="Corollary 4.4",
+            instance_rows=2.0**d * big_q**half,
+            instance_columns=d * max(1, math.ceil(math.log(big_q, small_q))),
+            alphabet=small_q,
+            approximation_factor=2.0 * big_q / d,
+            instance_rows_formula="2^d * Q^(d/2)",
+            approximation_formula="2Q / d",
+        ),
+    ]
+    return rows
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Render Table 1 rows in the paper's layout as an ASCII table."""
+    header = (
+        f"{'Result':<16}{'Instance A (rows x cols, alphabet)':<48}"
+        f"{'Approx. factor':<18}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        shape = (
+            f"{row.instance_rows:.3e} x {row.instance_columns} over "
+            f"[{row.alphabet}]  ({row.instance_rows_formula})"
+        )
+        lines.append(
+            f"{row.label:<16}{shape:<48}"
+            f"{row.approximation_factor:<10.4g} ({row.approximation_formula})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Streaming sketch substrate.
+
+Every sketch used by the projected-frequency estimators is implemented here
+from scratch: distinct-count sketches (KMV, BJKST, HyperLogLog, linear
+counting), point-query / heavy-hitter sketches (Count-Min, Count-Sketch,
+Misra–Gries, SpaceSaving), frequency-moment sketches (AMS ``F_2``, p-stable
+``ℓ_p``), samplers (reservoir, with-replacement, Bernoulli, level-set
+``ℓ_p`` sampler) and the hash-function families they rely on.
+"""
+
+from .ams import AMSSketch
+from .base import (
+    DistinctCountSketch,
+    FrequencyMomentSketch,
+    MergeableSketch,
+    PointQuerySketch,
+    Sketch,
+)
+from .bjkst import BJKSTSketch
+from .countmin import CountMinSketch
+from .countsketch import CountSketch
+from .hashing import (
+    MERSENNE_PRIME_61,
+    HashFamily,
+    MultiplyShiftHash,
+    PolynomialHash,
+    TabulationHash,
+    hash_to_unit_interval,
+    stable_hash64,
+)
+from .hyperloglog import HyperLogLog
+from .kmv import KMVSketch, kmv_size_for_epsilon
+from .linear_counting import LinearCounting
+from .lp_sampler import LpSampler, LpSampleResult
+from .misra_gries import MisraGries
+from .reservoir import BernoulliSampler, ReservoirSampler, WithReplacementSampler
+from .space_saving import SpaceSaving, TrackedCount
+from .stable_lp import StableLpSketch, median_of_absolute_stable, sample_p_stable
+
+__all__ = [
+    "AMSSketch",
+    "BJKSTSketch",
+    "BernoulliSampler",
+    "CountMinSketch",
+    "CountSketch",
+    "DistinctCountSketch",
+    "FrequencyMomentSketch",
+    "HashFamily",
+    "HyperLogLog",
+    "KMVSketch",
+    "LinearCounting",
+    "LpSampleResult",
+    "LpSampler",
+    "MERSENNE_PRIME_61",
+    "MergeableSketch",
+    "MisraGries",
+    "MultiplyShiftHash",
+    "PointQuerySketch",
+    "PolynomialHash",
+    "ReservoirSampler",
+    "Sketch",
+    "SpaceSaving",
+    "StableLpSketch",
+    "TabulationHash",
+    "TrackedCount",
+    "WithReplacementSampler",
+    "hash_to_unit_interval",
+    "kmv_size_for_epsilon",
+    "median_of_absolute_stable",
+    "sample_p_stable",
+    "stable_hash64",
+]

@@ -1,0 +1,124 @@
+"""AMS (Alon–Matias–Szegedy) sketch for the second frequency moment ``F_2``.
+
+The "tug-of-war" sketch maintains ``width x depth`` counters, each the inner
+product of the frequency vector with a vector of 4-wise independent random
+signs.  Squaring a counter gives an unbiased estimate of ``F_2``; averaging
+within a row and taking the median across rows yields a
+``(1 ± epsilon)``-approximation with probability ``1 - delta`` when
+``width = O(1/epsilon^2)`` and ``depth = O(log 1/delta)``.
+
+The paper's Section 5.3 studies projected ``F_p`` estimation; this sketch is
+the classical ``p = 2`` building block used by the α-net estimator and the
+baselines in those experiments.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import Hashable
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .base import FrequencyMomentSketch
+from .hashing import HashFamily
+
+__all__ = ["AMSSketch"]
+
+
+class AMSSketch(FrequencyMomentSketch[Hashable]):
+    """Tug-of-war ``F_2`` estimator.
+
+    Parameters
+    ----------
+    width:
+        Number of independent sign-counters averaged within each row.
+    depth:
+        Number of rows whose averages are combined by a median.
+    seed:
+        Seed of the hash family; sketches must share a seed, width and depth
+        to be mergeable.
+    """
+
+    p = 2.0
+
+    def __init__(self, width: int = 64, depth: int = 5, seed: int = 0) -> None:
+        if width < 1:
+            raise InvalidParameterError(f"width must be >= 1, got {width}")
+        if depth < 1:
+            raise InvalidParameterError(f"depth must be >= 1, got {depth}")
+        self._width = int(width)
+        self._depth = int(depth)
+        self._seed = int(seed)
+        family = HashFamily(seed)
+        self._sign_hashes = [
+            [family.polynomial(independence=4) for _ in range(self._width)]
+            for _ in range(self._depth)
+        ]
+        self._counters = np.zeros((self._depth, self._width), dtype=np.int64)
+        self._items_processed = 0
+
+    @classmethod
+    def from_error(
+        cls, epsilon: float, delta: float = 0.05, seed: int = 0
+    ) -> "AMSSketch":
+        """Construct a sketch with a ``(1 ± epsilon)`` guarantee w.p. ``1 - delta``."""
+        if not 0 < epsilon < 1:
+            raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+        if not 0 < delta < 1:
+            raise InvalidParameterError(f"delta must be in (0, 1), got {delta}")
+        width = max(8, math.ceil(8.0 / (epsilon * epsilon)))
+        depth = max(1, math.ceil(4 * math.log(1.0 / delta)))
+        return cls(width=width, depth=depth, seed=seed)
+
+    @property
+    def width(self) -> int:
+        """Counters per row."""
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        """Number of rows."""
+        return self._depth
+
+    @property
+    def seed(self) -> int:
+        """Hash-family seed."""
+        return self._seed
+
+    @property
+    def items_processed(self) -> int:
+        return self._items_processed
+
+    def update(self, item: Hashable, count: int = 1) -> None:
+        if count < 1:
+            raise InvalidParameterError(f"count must be >= 1, got {count}")
+        self._items_processed += count
+        for row in range(self._depth):
+            row_hashes = self._sign_hashes[row]
+            for column in range(self._width):
+                self._counters[row, column] += row_hashes[column].sign(item) * count
+
+    def merge(self, other: "AMSSketch") -> None:
+        if not isinstance(other, AMSSketch):
+            raise InvalidParameterError("can only merge with another AMSSketch")
+        if (
+            other._width != self._width
+            or other._depth != self._depth
+            or other._seed != self._seed
+        ):
+            raise InvalidParameterError(
+                "AMS sketches must share width, depth and seed to be merged"
+            )
+        self._items_processed += other._items_processed
+        self._counters += other._counters
+
+    def estimate(self) -> float:
+        """Return the estimated ``F_2`` of the observed stream."""
+        squared = self._counters.astype(np.float64) ** 2
+        row_means = np.mean(squared, axis=1)
+        return float(statistics.median(row_means.tolist()))
+
+    def size_in_bits(self) -> int:
+        return 64 * self._width * self._depth + 4 * 64 * self._width * self._depth

@@ -1,0 +1,132 @@
+"""Common interfaces for streaming sketches.
+
+The α-net meta-algorithm of Section 6 (Algorithm 1 in the paper) is agnostic
+to the concrete sketch it stores for each column subset in the net: it only
+needs a *β-approximate sketch* that can be updated one item at a time and
+queried once the column query arrives.  These abstract base classes pin down
+that contract so sketches, estimators, and benchmarks can be mixed freely.
+
+Three sketch flavours are distinguished:
+
+* :class:`DistinctCountSketch` — estimates ``F_0``, the number of distinct
+  items observed.
+* :class:`FrequencyMomentSketch` — estimates ``F_p = sum_i f_i^p`` for some
+  fixed ``p``.
+* :class:`PointQuerySketch` — estimates individual item frequencies ``f_i``
+  and, by enumeration of candidates, heavy hitters.
+
+Each sketch also reports an estimate of its own memory footprint in bits via
+:meth:`Sketch.size_in_bits`, which the benchmarks use for space accounting.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Generic, Hashable, Iterable, TypeVar
+
+__all__ = [
+    "Sketch",
+    "MergeableSketch",
+    "DistinctCountSketch",
+    "FrequencyMomentSketch",
+    "PointQuerySketch",
+]
+
+ItemT = TypeVar("ItemT", bound=Hashable)
+
+
+class Sketch(abc.ABC, Generic[ItemT]):
+    """A one-pass streaming summary of a multiset of items."""
+
+    @abc.abstractmethod
+    def update(self, item: ItemT, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``item``.
+
+        ``count`` must be a positive integer; the sketches in this package
+        model insertion-only streams, matching the paper's model where the
+        input array ``A`` only ever gains rows.
+        """
+
+    def update_many(self, items: Iterable[ItemT]) -> None:
+        """Record one occurrence of every item in ``items``."""
+        for item in items:
+            self.update(item)
+
+    @abc.abstractmethod
+    def size_in_bits(self) -> int:
+        """Upper bound on the memory footprint of this summary, in bits.
+
+        The accounting is structural (number of counters times their width)
+        rather than a measurement of the Python object graph, so it reflects
+        the space complexity a C implementation would achieve and is directly
+        comparable to the paper's space bounds.
+        """
+
+    @property
+    @abc.abstractmethod
+    def items_processed(self) -> int:
+        """Total number of stream updates absorbed so far (with multiplicity)."""
+
+
+class MergeableSketch(Sketch[ItemT]):
+    """A sketch whose summaries for two streams can be combined.
+
+    Mergeability is what lets the exhaustive baseline and the α-net estimator
+    build per-subset sketches in a single pass over distributed data.  The
+    merge must be an *idempotent-free* union: the result must summarise the
+    concatenation of the two input streams.
+    """
+
+    @abc.abstractmethod
+    def merge(self, other: "MergeableSketch[ItemT]") -> None:
+        """Fold ``other`` into ``self`` in place.
+
+        Raises
+        ------
+        InvalidParameterError
+            If the two sketches are structurally incompatible (different
+            widths, seeds, or parameters).
+        """
+
+
+class DistinctCountSketch(MergeableSketch[ItemT]):
+    """Sketch estimating the number of distinct items (``F_0``)."""
+
+    @abc.abstractmethod
+    def estimate(self) -> float:
+        """Return the estimated number of distinct items observed."""
+
+
+class FrequencyMomentSketch(MergeableSketch[ItemT]):
+    """Sketch estimating a frequency moment ``F_p``."""
+
+    #: The moment order this sketch estimates.
+    p: float
+
+    @abc.abstractmethod
+    def estimate(self) -> float:
+        """Return the estimated value of ``F_p``."""
+
+
+class PointQuerySketch(MergeableSketch[ItemT]):
+    """Sketch supporting per-item frequency estimates."""
+
+    @abc.abstractmethod
+    def estimate(self, item: ItemT) -> float:
+        """Return an estimate of the frequency of ``item``."""
+
+    def heavy_hitters(
+        self, candidates: Iterable[ItemT], threshold: float
+    ) -> dict[ItemT, float]:
+        """Return candidates whose estimated frequency reaches ``threshold``.
+
+        The candidate set must be supplied by the caller; sketches that track
+        their own candidate set (Misra–Gries, SpaceSaving) override this with
+        a parameter-free variant.
+        """
+        report: dict[ItemT, float] = {}
+        for candidate in candidates:
+            estimate = self.estimate(candidate)
+            if estimate >= threshold:
+                report[candidate] = estimate
+        return report

@@ -1,0 +1,140 @@
+"""Count-Min sketch for point frequency queries and heavy hitters.
+
+The Count-Min sketch (Cormode & Muthukrishnan) keeps a ``depth x width``
+array of counters; each of the ``depth`` rows hashes items into ``width``
+buckets with an independent 2-universal hash function, and a point query
+returns the minimum counter over the rows.  With ``width = ceil(e / epsilon)``
+and ``depth = ceil(ln(1 / delta))`` the estimate ``f̂_i`` satisfies
+``f_i <= f̂_i <= f_i + epsilon * F_1`` with probability at least ``1 - delta``.
+
+Within this reproduction Count-Min sketches are the default point-query and
+heavy-hitter summary stored per column subset by the α-net estimator, and a
+baseline against which the uniform-sample estimator of Theorem 5.1 is
+compared in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .base import PointQuerySketch
+from .hashing import HashFamily
+
+__all__ = ["CountMinSketch"]
+
+
+class CountMinSketch(PointQuerySketch[Hashable]):
+    """Count-Min sketch with conservative ``min`` point queries.
+
+    Parameters
+    ----------
+    width:
+        Number of counters per row.
+    depth:
+        Number of independent rows.
+    seed:
+        Seed of the hash family; sketches must share a seed, width and depth
+        to be mergeable.
+    """
+
+    def __init__(self, width: int = 272, depth: int = 5, seed: int = 0) -> None:
+        if width < 2:
+            raise InvalidParameterError(f"width must be >= 2, got {width}")
+        if depth < 1:
+            raise InvalidParameterError(f"depth must be >= 1, got {depth}")
+        self._width = int(width)
+        self._depth = int(depth)
+        self._seed = int(seed)
+        family = HashFamily(seed)
+        self._hashes = [
+            family.polynomial(independence=2, range_size=self._width)
+            for _ in range(self._depth)
+        ]
+        self._table = np.zeros((self._depth, self._width), dtype=np.int64)
+        self._items_processed = 0
+
+    @classmethod
+    def from_error(
+        cls, epsilon: float, delta: float = 0.01, seed: int = 0
+    ) -> "CountMinSketch":
+        """Construct a sketch guaranteeing additive error ``epsilon * F_1``."""
+        if not 0 < epsilon < 1:
+            raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+        if not 0 < delta < 1:
+            raise InvalidParameterError(f"delta must be in (0, 1), got {delta}")
+        width = math.ceil(math.e / epsilon)
+        depth = max(1, math.ceil(math.log(1.0 / delta)))
+        return cls(width=width, depth=depth, seed=seed)
+
+    @property
+    def width(self) -> int:
+        """Number of counters per row."""
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        """Number of rows."""
+        return self._depth
+
+    @property
+    def seed(self) -> int:
+        """Hash-family seed."""
+        return self._seed
+
+    @property
+    def items_processed(self) -> int:
+        return self._items_processed
+
+    def update(self, item: Hashable, count: int = 1) -> None:
+        if count < 1:
+            raise InvalidParameterError(f"count must be >= 1, got {count}")
+        self._items_processed += count
+        for row, hash_function in enumerate(self._hashes):
+            self._table[row, hash_function(item)] += count
+
+    def merge(self, other: "CountMinSketch") -> None:
+        if not isinstance(other, CountMinSketch):
+            raise InvalidParameterError("can only merge with another CountMinSketch")
+        if (
+            other._width != self._width
+            or other._depth != self._depth
+            or other._seed != self._seed
+        ):
+            raise InvalidParameterError(
+                "CountMin sketches must share width, depth and seed to be merged"
+            )
+        self._items_processed += other._items_processed
+        self._table += other._table
+
+    def estimate(self, item: Hashable) -> float:
+        """Return the (over-)estimate of the frequency of ``item``."""
+        return float(
+            min(
+                self._table[row, hash_function(item)]
+                for row, hash_function in enumerate(self._hashes)
+            )
+        )
+
+    def heavy_hitters(
+        self, candidates: Iterable[Hashable], threshold: float
+    ) -> dict[Hashable, float]:
+        """Return candidates whose estimated frequency reaches ``threshold``."""
+        report: dict[Hashable, float] = {}
+        for candidate in candidates:
+            estimate = self.estimate(candidate)
+            if estimate >= threshold:
+                report[candidate] = estimate
+        return report
+
+    def additive_error_bound(self, delta: float = 0.01) -> float:
+        """Additive error guaranteed with probability ``1 - delta`` for ``F_1`` mass."""
+        if not 0 < delta < 1:
+            raise InvalidParameterError(f"delta must be in (0, 1), got {delta}")
+        return math.e / self._width * self._items_processed
+
+    def size_in_bits(self) -> int:
+        return 64 * self._width * self._depth + 2 * 64 * self._depth + 3 * 64

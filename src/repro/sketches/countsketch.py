@@ -1,0 +1,148 @@
+"""Count-Sketch for point frequency queries with ``ℓ_2`` error guarantees.
+
+Count-Sketch (Charikar, Chen, Farach-Colton) resembles Count-Min but pairs
+each row hash with a random sign and answers point queries by the *median*
+of the signed counters.  The resulting estimate is unbiased and its error is
+bounded in terms of the ``ℓ_2`` norm of the frequency vector rather than
+``F_1``, which makes it the natural building block for ``ℓ_2`` heavy hitters
+and for the residual-norm estimates used by the ``ℓ_p`` sampler in
+:mod:`repro.sketches.lp_sampler`.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .base import PointQuerySketch
+from .hashing import HashFamily
+
+__all__ = ["CountSketch"]
+
+
+class CountSketch(PointQuerySketch[Hashable]):
+    """Count-Sketch with median-of-rows point queries.
+
+    Parameters
+    ----------
+    width:
+        Number of counters per row.
+    depth:
+        Number of independent rows; should be odd so the median is a single
+        counter value.
+    seed:
+        Seed of the hash family; sketches must share a seed, width and depth
+        to be mergeable.
+    """
+
+    def __init__(self, width: int = 256, depth: int = 5, seed: int = 0) -> None:
+        if width < 2:
+            raise InvalidParameterError(f"width must be >= 2, got {width}")
+        if depth < 1:
+            raise InvalidParameterError(f"depth must be >= 1, got {depth}")
+        self._width = int(width)
+        self._depth = int(depth)
+        self._seed = int(seed)
+        family = HashFamily(seed)
+        self._bucket_hashes = [
+            family.polynomial(independence=2, range_size=self._width)
+            for _ in range(self._depth)
+        ]
+        self._sign_hashes = [
+            family.polynomial(independence=4) for _ in range(self._depth)
+        ]
+        self._table = np.zeros((self._depth, self._width), dtype=np.int64)
+        self._items_processed = 0
+
+    @classmethod
+    def from_error(
+        cls, epsilon: float, delta: float = 0.01, seed: int = 0
+    ) -> "CountSketch":
+        """Construct a sketch guaranteeing additive error ``epsilon * ||f||_2``."""
+        if not 0 < epsilon < 1:
+            raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+        if not 0 < delta < 1:
+            raise InvalidParameterError(f"delta must be in (0, 1), got {delta}")
+        width = math.ceil(3.0 / (epsilon * epsilon))
+        depth = max(1, math.ceil(math.log(1.0 / delta)))
+        if depth % 2 == 0:
+            depth += 1
+        return cls(width=width, depth=depth, seed=seed)
+
+    @property
+    def width(self) -> int:
+        """Number of counters per row."""
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        """Number of rows."""
+        return self._depth
+
+    @property
+    def seed(self) -> int:
+        """Hash-family seed."""
+        return self._seed
+
+    @property
+    def items_processed(self) -> int:
+        return self._items_processed
+
+    def update(self, item: Hashable, count: int = 1) -> None:
+        if count < 1:
+            raise InvalidParameterError(f"count must be >= 1, got {count}")
+        self._items_processed += count
+        for row in range(self._depth):
+            bucket = self._bucket_hashes[row](item)
+            sign = self._sign_hashes[row].sign(item)
+            self._table[row, bucket] += sign * count
+
+    def merge(self, other: "CountSketch") -> None:
+        if not isinstance(other, CountSketch):
+            raise InvalidParameterError("can only merge with another CountSketch")
+        if (
+            other._width != self._width
+            or other._depth != self._depth
+            or other._seed != self._seed
+        ):
+            raise InvalidParameterError(
+                "CountSketch instances must share width, depth and seed to be merged"
+            )
+        self._items_processed += other._items_processed
+        self._table += other._table
+
+    def estimate(self, item: Hashable) -> float:
+        """Return the (unbiased) estimate of the frequency of ``item``."""
+        estimates = []
+        for row in range(self._depth):
+            bucket = self._bucket_hashes[row](item)
+            sign = self._sign_hashes[row].sign(item)
+            estimates.append(sign * self._table[row, bucket])
+        return float(statistics.median(estimates))
+
+    def heavy_hitters(
+        self, candidates: Iterable[Hashable], threshold: float
+    ) -> dict[Hashable, float]:
+        """Return candidates whose estimated frequency reaches ``threshold``."""
+        report: dict[Hashable, float] = {}
+        for candidate in candidates:
+            estimate = self.estimate(candidate)
+            if estimate >= threshold:
+                report[candidate] = estimate
+        return report
+
+    def l2_estimate(self) -> float:
+        """Estimate ``||f||_2`` as the median over rows of the row norms.
+
+        Each row of the table is a random-sign projection of the frequency
+        vector, so its squared norm is an unbiased estimator of ``F_2``.
+        """
+        row_norms = np.sqrt(np.sum(self._table.astype(np.float64) ** 2, axis=1))
+        return float(np.median(row_norms))
+
+    def size_in_bits(self) -> int:
+        return 64 * self._width * self._depth + 4 * 64 * self._depth + 3 * 64

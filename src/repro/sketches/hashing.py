@@ -1,0 +1,301 @@
+"""Hash function families used by the streaming sketches.
+
+Every sketch in :mod:`repro.sketches` consumes *hashable items* (bytes,
+strings, ints or tuples thereof).  The families implemented here provide the
+independence guarantees the classical analyses require:
+
+* :class:`MultiplyShiftHash` — 2-universal hashing of 64-bit integers via the
+  Dietzfelbinger multiply-shift scheme.
+* :class:`PolynomialHash` — k-wise independent hashing by evaluating a random
+  degree ``k-1`` polynomial over the Mersenne prime ``2^61 - 1``.
+* :class:`TabulationHash` — simple tabulation hashing (3-independent, and
+  behaves like full randomness for most streaming applications).
+* :func:`stable_hash64` — a deterministic, seed-able 64-bit hash of arbitrary
+  Python objects, used to map items into the integer domain the families
+  operate on.
+
+All families are deterministic functions of their seed, which keeps every
+experiment in the repository reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "MERSENNE_PRIME_61",
+    "stable_hash64",
+    "hash_to_unit_interval",
+    "MultiplyShiftHash",
+    "PolynomialHash",
+    "TabulationHash",
+    "HashFamily",
+]
+
+#: The Mersenne prime :math:`2^{61} - 1` used for polynomial hashing.
+MERSENNE_PRIME_61 = (1 << 61) - 1
+
+_MASK64 = (1 << 64) - 1
+
+
+def _item_to_bytes(item: object) -> bytes:
+    """Serialise ``item`` into a canonical byte string.
+
+    Integers, strings, bytes and (nested) tuples of those are supported; any
+    other object falls back to ``repr`` which is stable within a process and
+    adequate for test data.
+    """
+    if isinstance(item, bytes):
+        return b"b" + item
+    if isinstance(item, str):
+        return b"s" + item.encode("utf-8")
+    if isinstance(item, (int, np.integer)):
+        return b"i" + int(item).to_bytes(16, "little", signed=True)
+    if isinstance(item, tuple):
+        parts = [b"t", len(item).to_bytes(4, "little")]
+        for element in item:
+            encoded = _item_to_bytes(element)
+            parts.append(len(encoded).to_bytes(4, "little"))
+            parts.append(encoded)
+        return b"".join(parts)
+    return b"r" + repr(item).encode("utf-8")
+
+
+def stable_hash64(item: object, seed: int = 0) -> int:
+    """Return a deterministic 64-bit hash of ``item`` for the given ``seed``.
+
+    The hash is derived from BLAKE2b, so distinct seeds give effectively
+    independent hash functions.  This function is the single entry point
+    through which arbitrary Python items are reduced to integers before the
+    structured families below are applied.
+    """
+    digest = hashlib.blake2b(
+        _item_to_bytes(item), digest_size=8, key=seed.to_bytes(8, "little", signed=False)
+    ).digest()
+    return struct.unpack("<Q", digest)[0]
+
+
+def hash_to_unit_interval(item: object, seed: int = 0) -> float:
+    """Hash ``item`` to a float uniformly distributed in ``[0, 1)``."""
+    return stable_hash64(item, seed) / float(1 << 64)
+
+
+@dataclass
+class MultiplyShiftHash:
+    """Dietzfelbinger's 2-universal multiply-shift hash of 64-bit keys.
+
+    Maps a 64-bit integer to ``output_bits`` bits via
+    ``(a * x + b) >> (64 - output_bits)`` with a random odd multiplier ``a``
+    and random offset ``b``.
+
+    Parameters
+    ----------
+    output_bits:
+        Number of output bits, ``1 <= output_bits <= 64``.
+    seed:
+        Seed controlling the random draw of ``a`` and ``b``.
+    """
+
+    output_bits: int
+    seed: int = 0
+    _a: int = field(init=False, repr=False)
+    _b: int = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.output_bits <= 64:
+            raise InvalidParameterError(
+                f"output_bits must be in [1, 64], got {self.output_bits}"
+            )
+        rng = np.random.default_rng(self.seed)
+        self._a = (int(rng.integers(0, 1 << 63)) << 1) | 1
+        self._b = int(rng.integers(0, 1 << 63))
+
+    @property
+    def range_size(self) -> int:
+        """Number of distinct output values, ``2**output_bits``."""
+        return 1 << self.output_bits
+
+    def __call__(self, item: object) -> int:
+        key = stable_hash64(item, self.seed)
+        return ((self._a * key + self._b) & _MASK64) >> (64 - self.output_bits)
+
+
+@dataclass
+class PolynomialHash:
+    """k-wise independent hashing over the Mersenne prime ``2^61 - 1``.
+
+    Evaluates a random polynomial of degree ``independence - 1`` at the key.
+    With ``independence = 2`` this is the classical Carter–Wegman universal
+    family; ``independence = 4`` suffices for the AMS second-moment sketch.
+
+    Parameters
+    ----------
+    independence:
+        Level of independence ``k >= 2``.
+    range_size:
+        Output range ``[0, range_size)``.  Defaults to the full prime field.
+    seed:
+        Seed controlling the polynomial coefficients.
+    """
+
+    independence: int = 2
+    range_size: int | None = None
+    seed: int = 0
+    _coefficients: tuple[int, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.independence < 2:
+            raise InvalidParameterError(
+                f"independence must be >= 2, got {self.independence}"
+            )
+        if self.range_size is not None and self.range_size < 1:
+            raise InvalidParameterError(
+                f"range_size must be positive, got {self.range_size}"
+            )
+        rng = np.random.default_rng(self.seed)
+        coefficients = [
+            int(rng.integers(1, MERSENNE_PRIME_61))
+        ]  # leading coefficient non-zero
+        coefficients.extend(
+            int(rng.integers(0, MERSENNE_PRIME_61))
+            for _ in range(self.independence - 1)
+        )
+        self._coefficients = tuple(coefficients)
+
+    def field_value(self, item: object) -> int:
+        """Evaluate the polynomial at ``item`` in the field ``GF(2^61 - 1)``."""
+        key = stable_hash64(item, self.seed) % MERSENNE_PRIME_61
+        value = 0
+        for coefficient in self._coefficients:
+            value = (value * key + coefficient) % MERSENNE_PRIME_61
+        return value
+
+    def __call__(self, item: object) -> int:
+        value = self.field_value(item)
+        if self.range_size is None:
+            return value
+        return value % self.range_size
+
+    def sign(self, item: object) -> int:
+        """Return a pseudo-random sign in ``{-1, +1}`` for ``item``."""
+        return 1 if self.field_value(item) & 1 else -1
+
+
+@dataclass
+class TabulationHash:
+    """Simple tabulation hashing of 64-bit keys.
+
+    The key is split into eight bytes; each byte indexes a table of random
+    64-bit words and the results are XORed.  Simple tabulation is
+    3-independent and known to support most hashing-based algorithms as if it
+    were fully random.
+
+    Parameters
+    ----------
+    output_bits:
+        Number of output bits, ``1 <= output_bits <= 64``.
+    seed:
+        Seed controlling the table contents.
+    """
+
+    output_bits: int = 64
+    seed: int = 0
+    _tables: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.output_bits <= 64:
+            raise InvalidParameterError(
+                f"output_bits must be in [1, 64], got {self.output_bits}"
+            )
+        rng = np.random.default_rng(self.seed)
+        self._tables = rng.integers(0, 1 << 64, size=(8, 256), dtype=np.uint64)
+
+    @property
+    def range_size(self) -> int:
+        """Number of distinct output values, ``2**output_bits``."""
+        return 1 << self.output_bits
+
+    def __call__(self, item: object) -> int:
+        key = stable_hash64(item, self.seed)
+        value = 0
+        for byte_index in range(8):
+            byte = (key >> (8 * byte_index)) & 0xFF
+            value ^= int(self._tables[byte_index, byte])
+        return value >> (64 - self.output_bits)
+
+
+class HashFamily:
+    """Factory producing independent hash functions from a master seed.
+
+    Sketches that need several independent hash functions (for example one
+    per CountMin row) draw them from a single :class:`HashFamily` so that the
+    whole sketch remains a deterministic function of one seed.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._counter = 0
+
+    @property
+    def seed(self) -> int:
+        """The master seed of this family."""
+        return self._seed
+
+    def _next_seed(self) -> int:
+        self._counter += 1
+        return stable_hash64(("family", self._seed, self._counter)) & _MASK64
+
+    def multiply_shift(self, output_bits: int) -> MultiplyShiftHash:
+        """Draw a fresh :class:`MultiplyShiftHash` with ``output_bits`` bits."""
+        return MultiplyShiftHash(output_bits=output_bits, seed=self._next_seed())
+
+    def polynomial(
+        self, independence: int = 2, range_size: int | None = None
+    ) -> PolynomialHash:
+        """Draw a fresh :class:`PolynomialHash`."""
+        return PolynomialHash(
+            independence=independence, range_size=range_size, seed=self._next_seed()
+        )
+
+    def tabulation(self, output_bits: int = 64) -> TabulationHash:
+        """Draw a fresh :class:`TabulationHash`."""
+        return TabulationHash(output_bits=output_bits, seed=self._next_seed())
+
+    def unit_interval_seed(self) -> int:
+        """Draw a seed suitable for :func:`hash_to_unit_interval`."""
+        return self._next_seed()
+
+    def draw_seeds(self, count: int) -> list[int]:
+        """Draw ``count`` independent integer seeds."""
+        if count < 0:
+            raise InvalidParameterError(f"count must be non-negative, got {count}")
+        return [self._next_seed() for _ in range(count)]
+
+
+def pairwise_collision_rate(
+    hash_function, items: Sequence[object] | Iterable[object]
+) -> float:
+    """Empirical pairwise collision rate of ``hash_function`` over ``items``.
+
+    Used by the test-suite to sanity-check universality: for a 2-universal
+    family into ``m`` buckets the expected rate is at most ``1/m``.
+    """
+    values = [hash_function(item) for item in items]
+    n = len(values)
+    if n < 2:
+        return 0.0
+    collisions = 0
+    pairs = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            pairs += 1
+            if values[i] == values[j]:
+                collisions += 1
+    return collisions / pairs

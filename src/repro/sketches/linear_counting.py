@@ -1,0 +1,102 @@
+"""Linear counting (bitmap) distinct-count sketch.
+
+Linear counting hashes items into a bitmap of ``m`` bits and estimates the
+number of distinct items as ``-m * ln(z / m)`` where ``z`` is the number of
+bits still unset.  It is accurate while the bitmap load factor stays modest
+and is used both as a standalone sketch for small domains and as the
+small-range correction inside :class:`repro.sketches.hyperloglog.HyperLogLog`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+import numpy as np
+
+from ..errors import EstimationError, InvalidParameterError
+from .base import DistinctCountSketch
+from .hashing import stable_hash64
+
+__all__ = ["LinearCounting"]
+
+
+class LinearCounting(DistinctCountSketch[Hashable]):
+    """Bitmap-based distinct counter.
+
+    Parameters
+    ----------
+    bitmap_bits:
+        Size of the bitmap ``m``.  The estimator saturates (and raises
+        :class:`~repro.errors.EstimationError`) once every bit is set, so
+        ``m`` should exceed the expected number of distinct items.
+    seed:
+        Hash seed; two sketches must share a seed to be mergeable.
+    """
+
+    def __init__(self, bitmap_bits: int = 4096, seed: int = 0) -> None:
+        if bitmap_bits < 8:
+            raise InvalidParameterError(
+                f"bitmap_bits must be >= 8, got {bitmap_bits}"
+            )
+        self._m = int(bitmap_bits)
+        self._seed = int(seed)
+        self._bitmap = np.zeros(self._m, dtype=bool)
+        self._items_processed = 0
+
+    @property
+    def bitmap_bits(self) -> int:
+        """Number of bits in the bitmap."""
+        return self._m
+
+    @property
+    def seed(self) -> int:
+        """Hash seed of this sketch."""
+        return self._seed
+
+    @property
+    def items_processed(self) -> int:
+        return self._items_processed
+
+    @property
+    def load_factor(self) -> float:
+        """Fraction of bitmap positions currently set."""
+        return float(np.count_nonzero(self._bitmap)) / self._m
+
+    def update(self, item: Hashable, count: int = 1) -> None:
+        if count < 1:
+            raise InvalidParameterError(f"count must be >= 1, got {count}")
+        self._items_processed += count
+        position = stable_hash64(item, self._seed) % self._m
+        self._bitmap[position] = True
+
+    def merge(self, other: "LinearCounting") -> None:
+        if not isinstance(other, LinearCounting):
+            raise InvalidParameterError("can only merge with another LinearCounting")
+        if other._m != self._m or other._seed != self._seed:
+            raise InvalidParameterError(
+                "LinearCounting sketches must share size and seed to be merged"
+            )
+        self._items_processed += other._items_processed
+        np.logical_or(self._bitmap, other._bitmap, out=self._bitmap)
+
+    def estimate(self) -> float:
+        """Return the estimated number of distinct items.
+
+        Raises
+        ------
+        EstimationError
+            If the bitmap is saturated (every bit set), in which case the
+            maximum-likelihood estimate diverges.
+        """
+        unset = self._m - int(np.count_nonzero(self._bitmap))
+        if unset == 0:
+            raise EstimationError(
+                "linear counting bitmap is saturated; increase bitmap_bits"
+            )
+        if unset == self._m:
+            return 0.0
+        return -self._m * math.log(unset / self._m)
+
+    def size_in_bits(self) -> int:
+        return self._m + 3 * 64

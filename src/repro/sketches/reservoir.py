@@ -1,0 +1,195 @@
+"""Reservoir sampling and Bernoulli row sampling.
+
+Uniform row sampling is the workhorse of the paper's positive results:
+Theorem 5.1 / Corollary 5.2 show that a uniform sample of
+``O(epsilon^-2 log(1/delta))`` rows, taken *before* the column query is
+known, suffices for projected ``ℓ_p`` frequency estimation and heavy hitters
+when ``0 < p <= 1``.  Two samplers are provided:
+
+* :class:`ReservoirSampler` — classical Algorithm R giving a uniform sample
+  *without* replacement of fixed size ``t``.
+* :class:`WithReplacementSampler` — ``t`` independent uniform draws (what the
+  paper's uSample analysis literally assumes), implemented with one
+  reservoir per slot.
+
+Both samplers are deterministic functions of their seed.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterable, Iterator, TypeVar
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .base import Sketch
+
+__all__ = ["ReservoirSampler", "WithReplacementSampler", "BernoulliSampler"]
+
+RowT = TypeVar("RowT")
+
+
+class ReservoirSampler(Sketch[RowT], Generic[RowT]):
+    """Uniform sample without replacement of fixed capacity.
+
+    Parameters
+    ----------
+    capacity:
+        Number of rows retained (``t`` in the paper's notation).
+    seed:
+        Seed of the random number generator used for replacement decisions.
+    """
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity < 1:
+            raise InvalidParameterError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        self._rng = np.random.default_rng(seed)
+        self._reservoir: list[RowT] = []
+        self._items_processed = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained rows."""
+        return self._capacity
+
+    @property
+    def items_processed(self) -> int:
+        return self._items_processed
+
+    def update(self, item: RowT, count: int = 1) -> None:
+        if count < 1:
+            raise InvalidParameterError(f"count must be >= 1, got {count}")
+        for _ in range(count):
+            self._items_processed += 1
+            if len(self._reservoir) < self._capacity:
+                self._reservoir.append(item)
+                continue
+            position = int(self._rng.integers(0, self._items_processed))
+            if position < self._capacity:
+                self._reservoir[position] = item
+
+    def sample(self) -> list[RowT]:
+        """Return a copy of the current sample."""
+        return list(self._reservoir)
+
+    def __len__(self) -> int:
+        return len(self._reservoir)
+
+    def __iter__(self) -> Iterator[RowT]:
+        return iter(self._reservoir)
+
+    def sampling_rate(self) -> float:
+        """Effective sampling rate ``min(1, t / n)`` observed so far."""
+        if self._items_processed == 0:
+            return 1.0
+        return min(1.0, self._capacity / self._items_processed)
+
+    def size_in_bits(self) -> int:
+        # Row payload widths vary; account 64 bits per retained reference
+        # plus the generator state.  Callers that need exact payload space
+        # multiply by the row width themselves.
+        return 64 * self._capacity + 5 * 64
+
+
+class WithReplacementSampler(Sketch[RowT], Generic[RowT]):
+    """``t`` independent uniform draws from the stream (with replacement).
+
+    Implemented as ``t`` independent single-slot reservoirs, which yields
+    exactly the distribution of ``t`` i.i.d. uniform indices over the stream
+    regardless of its length.
+    """
+
+    def __init__(self, draws: int, seed: int = 0) -> None:
+        if draws < 1:
+            raise InvalidParameterError(f"draws must be >= 1, got {draws}")
+        self._draws = int(draws)
+        self._rng = np.random.default_rng(seed)
+        self._slots: list[RowT | None] = [None] * self._draws
+        self._items_processed = 0
+
+    @property
+    def draws(self) -> int:
+        """Number of independent draws."""
+        return self._draws
+
+    @property
+    def items_processed(self) -> int:
+        return self._items_processed
+
+    def update(self, item: RowT, count: int = 1) -> None:
+        if count < 1:
+            raise InvalidParameterError(f"count must be >= 1, got {count}")
+        for _ in range(count):
+            self._items_processed += 1
+            # Each slot independently keeps the current item with
+            # probability 1/n, preserving uniformity over the prefix.
+            accept = self._rng.random(self._draws) < (1.0 / self._items_processed)
+            for slot_index in np.nonzero(accept)[0]:
+                self._slots[int(slot_index)] = item
+
+    def sample(self) -> list[RowT]:
+        """Return the ``t`` draws (empty list if no data has been observed)."""
+        if self._items_processed == 0:
+            return []
+        return [slot for slot in self._slots if slot is not None]
+
+    def __len__(self) -> int:
+        return 0 if self._items_processed == 0 else self._draws
+
+    def __iter__(self) -> Iterator[RowT]:
+        return iter(self.sample())
+
+    def size_in_bits(self) -> int:
+        return 64 * self._draws + 5 * 64
+
+
+class BernoulliSampler(Sketch[RowT], Generic[RowT]):
+    """Keep each row independently with probability ``rate``.
+
+    Useful for sub-sampling experiments where the sample size should scale
+    with the stream length (for example the subsample-and-find-heavy-hitters
+    approach to ``ℓ_p`` sampling discussed in Section 5.4).
+    """
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if not 0 < rate <= 1:
+            raise InvalidParameterError(f"rate must be in (0, 1], got {rate}")
+        self._rate = float(rate)
+        self._rng = np.random.default_rng(seed)
+        self._sample: list[RowT] = []
+        self._items_processed = 0
+
+    @property
+    def rate(self) -> float:
+        """Per-row retention probability."""
+        return self._rate
+
+    @property
+    def items_processed(self) -> int:
+        return self._items_processed
+
+    def update(self, item: RowT, count: int = 1) -> None:
+        if count < 1:
+            raise InvalidParameterError(f"count must be >= 1, got {count}")
+        for _ in range(count):
+            self._items_processed += 1
+            if self._rng.random() < self._rate:
+                self._sample.append(item)
+
+    def sample(self) -> list[RowT]:
+        """Return a copy of the retained rows."""
+        return list(self._sample)
+
+    def __len__(self) -> int:
+        return len(self._sample)
+
+    def __iter__(self) -> Iterator[RowT]:
+        return iter(self._sample)
+
+    def scale_factor(self) -> float:
+        """Multiplier converting sample counts into stream-count estimates."""
+        return 1.0 / self._rate
+
+    def size_in_bits(self) -> int:
+        return 64 * len(self._sample) + 5 * 64

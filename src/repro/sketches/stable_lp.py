@@ -1,0 +1,174 @@
+"""Indyk-style p-stable sketch for ``F_p`` / ``ℓ_p`` norm estimation, ``0 < p <= 2``.
+
+The sketch maintains ``width x depth`` counters, each an inner product of the
+frequency vector with i.i.d. draws from a p-stable distribution (Cauchy for
+``p = 1``, Gaussian for ``p = 2``, Chambers–Mallows–Stuck generation for
+general ``p``).  By p-stability each counter is distributed as
+``||f||_p * X`` with ``X`` p-stable, so the median of ``|counter|`` values,
+normalised by the median of the absolute p-stable distribution, estimates
+``||f||_p`` (and hence ``F_p = ||f||_p^p``) to within ``(1 ± epsilon)`` using
+``O(1/epsilon^2)`` counters.
+
+The per-item stable draws are generated *on demand* from the item's hash, so
+the sketch stays sub-linear in the domain size: no random matrix over the
+``Q^{|C|}`` pattern domain is ever materialised.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import Hashable
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .base import FrequencyMomentSketch
+from .hashing import HashFamily, stable_hash64
+
+__all__ = ["StableLpSketch", "sample_p_stable", "median_of_absolute_stable"]
+
+
+def sample_p_stable(p: float, rng: np.random.Generator, size: int) -> np.ndarray:
+    """Draw ``size`` samples from a standard symmetric p-stable distribution.
+
+    Uses the Chambers–Mallows–Stuck method; for ``p = 2`` the output is
+    Gaussian (scaled by ``sqrt(2)`` to match the stability convention) and for
+    ``p = 1`` it is standard Cauchy.
+    """
+    if not 0 < p <= 2:
+        raise InvalidParameterError(f"p must be in (0, 2], got {p}")
+    if p == 2.0:
+        return rng.normal(0.0, math.sqrt(2.0), size=size)
+    theta = rng.uniform(-math.pi / 2.0, math.pi / 2.0, size=size)
+    w = rng.exponential(1.0, size=size)
+    if p == 1.0:
+        return np.tan(theta)
+    numerator = np.sin(p * theta)
+    denominator = np.power(np.cos(theta), 1.0 / p)
+    correction = np.power(np.cos(theta * (1.0 - p)) / w, (1.0 - p) / p)
+    return (numerator / denominator) * correction
+
+
+def median_of_absolute_stable(p: float, samples: int = 200_001, seed: int = 7) -> float:
+    """Estimate the median of ``|X|`` for ``X`` standard p-stable.
+
+    The scaling constant needed to de-bias the median estimator has no closed
+    form for general ``p``; a one-off Monte-Carlo estimate (deterministic via
+    the fixed seed) is accurate to well under a percent and cached by callers.
+    """
+    if p == 1.0:
+        return 1.0  # median of |Cauchy| is tan(pi/4) = 1
+    rng = np.random.default_rng(seed)
+    draws = np.abs(sample_p_stable(p, rng, samples))
+    return float(np.median(draws))
+
+
+class StableLpSketch(FrequencyMomentSketch[Hashable]):
+    """Median-of-p-stable-projections estimator of ``||f||_p`` and ``F_p``.
+
+    Parameters
+    ----------
+    p:
+        Norm order in ``(0, 2]``.
+    width:
+        Number of counters per row (controls accuracy, ``O(1/epsilon^2)``).
+    depth:
+        Number of independent rows combined by a median of medians.
+    seed:
+        Hash seed; sketches must share all parameters to be mergeable.
+    """
+
+    def __init__(
+        self, p: float, width: int = 128, depth: int = 3, seed: int = 0
+    ) -> None:
+        if not 0 < p <= 2:
+            raise InvalidParameterError(f"p must be in (0, 2], got {p}")
+        if width < 4:
+            raise InvalidParameterError(f"width must be >= 4, got {width}")
+        if depth < 1:
+            raise InvalidParameterError(f"depth must be >= 1, got {depth}")
+        self.p = float(p)
+        self._width = int(width)
+        self._depth = int(depth)
+        self._seed = int(seed)
+        self._family = HashFamily(seed)
+        self._row_seeds = self._family.draw_seeds(self._depth)
+        self._counters = np.zeros((self._depth, self._width), dtype=np.float64)
+        self._scale = median_of_absolute_stable(self.p)
+        self._items_processed = 0
+
+    @classmethod
+    def from_error(
+        cls, p: float, epsilon: float, delta: float = 0.05, seed: int = 0
+    ) -> "StableLpSketch":
+        """Construct a sketch with roughly ``(1 ± epsilon)`` accuracy."""
+        if not 0 < epsilon < 1:
+            raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+        if not 0 < delta < 1:
+            raise InvalidParameterError(f"delta must be in (0, 1), got {delta}")
+        width = max(16, math.ceil(12.0 / (epsilon * epsilon)))
+        depth = max(1, math.ceil(2 * math.log(1.0 / delta)))
+        return cls(p=p, width=width, depth=depth, seed=seed)
+
+    @property
+    def width(self) -> int:
+        """Counters per row."""
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        """Number of rows."""
+        return self._depth
+
+    @property
+    def seed(self) -> int:
+        """Hash seed."""
+        return self._seed
+
+    @property
+    def items_processed(self) -> int:
+        return self._items_processed
+
+    def _stable_row(self, item: Hashable, row: int) -> np.ndarray:
+        """Deterministic p-stable projection row for ``item``."""
+        item_seed = stable_hash64(item, self._row_seeds[row])
+        rng = np.random.default_rng(item_seed)
+        return sample_p_stable(self.p, rng, self._width)
+
+    def update(self, item: Hashable, count: int = 1) -> None:
+        if count < 1:
+            raise InvalidParameterError(f"count must be >= 1, got {count}")
+        self._items_processed += count
+        for row in range(self._depth):
+            self._counters[row] += count * self._stable_row(item, row)
+
+    def merge(self, other: "StableLpSketch") -> None:
+        if not isinstance(other, StableLpSketch):
+            raise InvalidParameterError("can only merge with another StableLpSketch")
+        if (
+            other.p != self.p
+            or other._width != self._width
+            or other._depth != self._depth
+            or other._seed != self._seed
+        ):
+            raise InvalidParameterError(
+                "stable sketches must share p, width, depth and seed to be merged"
+            )
+        self._items_processed += other._items_processed
+        self._counters += other._counters
+
+    def norm_estimate(self) -> float:
+        """Return the estimated ``ℓ_p`` norm ``||f||_p`` of the frequency vector."""
+        row_medians = [
+            float(statistics.median(np.abs(self._counters[row]).tolist()))
+            for row in range(self._depth)
+        ]
+        return float(statistics.median(row_medians)) / self._scale
+
+    def estimate(self) -> float:
+        """Return the estimated frequency moment ``F_p = ||f||_p^p``."""
+        return self.norm_estimate() ** self.p
+
+    def size_in_bits(self) -> int:
+        return 64 * self._width * self._depth + 4 * 64

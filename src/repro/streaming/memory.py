@@ -1,0 +1,102 @@
+"""Space accounting helpers.
+
+The paper's results are space bounds, so the benchmarks need a consistent
+way to talk about summary sizes.  Every sketch and estimator reports a
+*structural* size in bits (number of counters × their width); the helpers
+here convert those figures into human-readable units, compare them against
+the trivial baselines of Section 3.1 (store everything: ``Θ(n d)``; store a
+summary per size-``t`` subset: ``Ω(d^t)``), and compute how much of the
+naive ``2^d``-summaries budget a configuration consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "format_bits",
+    "naive_storage_bits",
+    "per_subset_summaries",
+    "SpaceComparison",
+    "compare_space",
+]
+
+
+def format_bits(bits: float) -> str:
+    """Render a bit count with binary-prefix units (bits, KiB, MiB, ...)."""
+    if bits < 0:
+        raise InvalidParameterError(f"bits must be non-negative, got {bits}")
+    if bits < 8 * 1024:
+        return f"{bits:.0f} bits"
+    units = ["KiB", "MiB", "GiB", "TiB", "PiB"]
+    value = bits / 8.0
+    for unit in units:
+        value /= 1024.0
+        if value < 1024.0:
+            return f"{value:.2f} {unit}"
+    return f"{value:.2f} EiB"
+
+
+def naive_storage_bits(n_rows: int, n_columns: int, alphabet_size: int = 2) -> int:
+    """The Section 3.1 store-everything baseline: ``n · d · ceil(log2 Q)`` bits."""
+    if n_rows < 0 or n_columns < 1:
+        raise InvalidParameterError(
+            f"invalid shape ({n_rows}, {n_columns}) for storage accounting"
+        )
+    if alphabet_size < 2:
+        raise InvalidParameterError(
+            f"alphabet_size must be >= 2, got {alphabet_size}"
+        )
+    return n_rows * n_columns * max(1, math.ceil(math.log2(alphabet_size)))
+
+
+def per_subset_summaries(d: int, query_size: int) -> int:
+    """The Section 3.1 per-subset baseline: ``C(d, t)`` summaries for known ``t``."""
+    if not 1 <= query_size <= d:
+        raise InvalidParameterError(
+            f"query_size must be in [1, {d}], got {query_size}"
+        )
+    return math.comb(d, query_size)
+
+
+@dataclass(frozen=True)
+class SpaceComparison:
+    """A summary's size set against the naive baselines."""
+
+    summary_bits: int
+    naive_bits: int
+    all_subsets: int
+
+    @property
+    def fraction_of_naive(self) -> float:
+        """Summary size as a fraction of storing the whole input."""
+        if self.naive_bits == 0:
+            return float("inf")
+        return self.summary_bits / self.naive_bits
+
+    @property
+    def saves_space(self) -> bool:
+        """Whether the summary is strictly smaller than the raw input."""
+        return self.summary_bits < self.naive_bits
+
+
+def compare_space(
+    summary_bits: int,
+    n_rows: int,
+    n_columns: int,
+    alphabet_size: int = 2,
+    query_size: int | None = None,
+) -> SpaceComparison:
+    """Compare a summary against the two naive baselines of Section 3.1."""
+    naive = naive_storage_bits(n_rows, n_columns, alphabet_size)
+    subsets = (
+        per_subset_summaries(n_columns, query_size)
+        if query_size is not None
+        else 2**n_columns
+    )
+    return SpaceComparison(
+        summary_bits=int(summary_bits), naive_bits=naive, all_subsets=subsets
+    )

@@ -1,0 +1,143 @@
+"""Estimator runner: feed streams to estimators and collect measurements.
+
+The benchmark harness repeatedly performs the same choreography — stream the
+rows of an instance into one or more estimators, issue the late-arriving
+queries, and compare answers, space and time against an exact reference.
+:class:`StreamRunner` packages that choreography so individual benchmarks
+stay declarative.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..core.dataset import ColumnQuery
+from ..core.estimator import ProjectedFrequencyEstimator
+from ..core.exhaustive import ExactBaseline
+from ..errors import InvalidParameterError
+from .stream import RowStream
+
+__all__ = ["QueryMeasurement", "RunReport", "StreamRunner"]
+
+
+@dataclass(frozen=True)
+class QueryMeasurement:
+    """One estimator's answer to one query, with the exact reference value."""
+
+    estimator_name: str
+    query: ColumnQuery
+    p: float
+    estimate: float
+    exact: float
+    space_bits: int
+    observe_seconds: float
+    query_seconds: float
+
+    @property
+    def multiplicative_error(self) -> float:
+        """``max(estimate/exact, exact/estimate)`` (``inf`` on sign disagreement)."""
+        if self.exact == 0 and self.estimate == 0:
+            return 1.0
+        if self.exact <= 0 or self.estimate <= 0:
+            return float("inf")
+        return max(self.estimate / self.exact, self.exact / self.estimate)
+
+    @property
+    def relative_error(self) -> float:
+        """``|estimate - exact| / max(exact, 1)``."""
+        return abs(self.estimate - self.exact) / max(self.exact, 1.0)
+
+
+@dataclass
+class RunReport:
+    """All measurements from one :class:`StreamRunner` invocation."""
+
+    measurements: list[QueryMeasurement] = field(default_factory=list)
+
+    def for_estimator(self, name: str) -> list[QueryMeasurement]:
+        """Measurements belonging to the named estimator."""
+        return [m for m in self.measurements if m.estimator_name == name]
+
+    def worst_multiplicative_error(self, name: str) -> float:
+        """Worst multiplicative error observed for the named estimator."""
+        errors = [m.multiplicative_error for m in self.for_estimator(name)]
+        if not errors:
+            raise InvalidParameterError(f"no measurements for estimator {name!r}")
+        return max(errors)
+
+    def mean_multiplicative_error(self, name: str) -> float:
+        """Mean multiplicative error observed for the named estimator."""
+        errors = [m.multiplicative_error for m in self.for_estimator(name)]
+        if not errors:
+            raise InvalidParameterError(f"no measurements for estimator {name!r}")
+        return sum(errors) / len(errors)
+
+    def space_bits(self, name: str) -> int:
+        """Summary size of the named estimator (identical across its measurements)."""
+        rows = self.for_estimator(name)
+        if not rows:
+            raise InvalidParameterError(f"no measurements for estimator {name!r}")
+        return rows[0].space_bits
+
+
+class StreamRunner:
+    """Drive estimators through the observe-then-query protocol.
+
+    Parameters
+    ----------
+    stream:
+        The row stream to observe (replayed once per estimator).
+    estimator_factories:
+        Mapping from a display name to a zero-argument factory producing a
+        fresh estimator.
+    """
+
+    def __init__(
+        self,
+        stream: RowStream,
+        estimator_factories: Mapping[str, Callable[[], ProjectedFrequencyEstimator]],
+    ) -> None:
+        if not estimator_factories:
+            raise InvalidParameterError("at least one estimator factory is required")
+        self._stream = stream
+        self._factories = dict(estimator_factories)
+
+    def run_fp_queries(
+        self, queries: list[ColumnQuery], p: float
+    ) -> RunReport:
+        """Observe the stream once per estimator, then answer ``F_p`` on each query."""
+        if not queries:
+            raise InvalidParameterError("at least one query is required")
+        exact = ExactBaseline(
+            n_columns=self._stream.n_columns,
+            alphabet_size=self._stream.alphabet_size,
+        )
+        exact.observe(self._stream)
+        exact_answers = {
+            query.columns: exact.estimate_fp(query, p) for query in queries
+        }
+        report = RunReport()
+        for name, factory in self._factories.items():
+            estimator = factory()
+            started = time.perf_counter()
+            estimator.observe(self._stream)
+            observe_seconds = time.perf_counter() - started
+            for query in queries:
+                query_started = time.perf_counter()
+                estimate = estimator.estimate_fp(query, p)
+                query_seconds = time.perf_counter() - query_started
+                report.measurements.append(
+                    QueryMeasurement(
+                        estimator_name=name,
+                        query=query,
+                        p=p,
+                        estimate=float(estimate),
+                        exact=float(exact_answers[query.columns]),
+                        space_bits=estimator.size_in_bits(),
+                        observe_seconds=observe_seconds,
+                        query_seconds=query_seconds,
+                    )
+                )
+        return report

@@ -1,0 +1,142 @@
+"""Row-stream abstraction.
+
+The paper's computational model receives the array ``A`` as a stream of rows
+too large to hold in memory.  :class:`RowStream` wraps any row source (an
+in-memory dataset, a generator, a file of encoded rows) behind a uniform
+iteration interface with replay support, chunking, deterministic shuffling
+and on-the-fly transformations, so estimators and benchmarks never need to
+care where the rows come from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..coding.words import Word
+from ..core.dataset import Dataset
+from ..errors import DimensionError, InvalidParameterError
+
+__all__ = ["RowStream"]
+
+
+class RowStream:
+    """A replayable stream of rows (words over ``[Q]^d``).
+
+    Parameters
+    ----------
+    source:
+        Either a :class:`~repro.core.dataset.Dataset` or a callable returning
+        a fresh iterator of rows each time it is invoked (so the stream can
+        be replayed).
+    n_columns:
+        Row width; inferred from the dataset when one is given.
+    alphabet_size:
+        Alphabet size ``Q``; inferred from the dataset when one is given.
+    """
+
+    def __init__(
+        self,
+        source: Dataset | Callable[[], Iterable[Word]],
+        n_columns: int | None = None,
+        alphabet_size: int | None = None,
+    ) -> None:
+        if isinstance(source, Dataset):
+            self._factory: Callable[[], Iterable[Word]] = source.iter_rows
+            self._n_columns = source.n_columns
+            self._alphabet_size = source.alphabet_size
+        else:
+            if n_columns is None or alphabet_size is None:
+                raise InvalidParameterError(
+                    "n_columns and alphabet_size are required for generator sources"
+                )
+            self._factory = source
+            self._n_columns = int(n_columns)
+            self._alphabet_size = int(alphabet_size)
+        if self._n_columns < 1:
+            raise DimensionError(f"n_columns must be >= 1, got {self._n_columns}")
+        if self._alphabet_size < 2:
+            raise InvalidParameterError(
+                f"alphabet_size must be >= 2, got {self._alphabet_size}"
+            )
+
+    @classmethod
+    def from_rows(
+        cls, rows: Sequence[Word], n_columns: int, alphabet_size: int = 2
+    ) -> "RowStream":
+        """A stream replaying an in-memory list of rows."""
+        materialised = [tuple(int(s) for s in row) for row in rows]
+        return cls(lambda: iter(materialised), n_columns, alphabet_size)
+
+    @property
+    def n_columns(self) -> int:
+        """Row width ``d``."""
+        return self._n_columns
+
+    @property
+    def alphabet_size(self) -> int:
+        """Alphabet size ``Q``."""
+        return self._alphabet_size
+
+    def __iter__(self) -> Iterator[Word]:
+        for row in self._factory():
+            if len(row) != self._n_columns:
+                raise DimensionError(
+                    f"stream produced a row of length {len(row)}, expected "
+                    f"{self._n_columns}"
+                )
+            yield tuple(int(symbol) for symbol in row)
+
+    def take(self, count: int) -> list[Word]:
+        """Materialise the first ``count`` rows."""
+        if count < 0:
+            raise InvalidParameterError(f"count must be non-negative, got {count}")
+        rows = []
+        for row in self:
+            if len(rows) >= count:
+                break
+            rows.append(row)
+        return rows
+
+    def count(self) -> int:
+        """Number of rows in one full replay of the stream."""
+        return sum(1 for _ in self)
+
+    def chunks(self, chunk_size: int) -> Iterator[list[Word]]:
+        """Yield the stream in chunks of at most ``chunk_size`` rows."""
+        if chunk_size < 1:
+            raise InvalidParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+        buffer: list[Word] = []
+        for row in self:
+            buffer.append(row)
+            if len(buffer) == chunk_size:
+                yield buffer
+                buffer = []
+        if buffer:
+            yield buffer
+
+    def shuffled(self, seed: int = 0) -> "RowStream":
+        """A stream replaying the same rows in a deterministic shuffled order.
+
+        Materialises the rows; intended for robustness experiments on row
+        order (the paper's lower bounds are order-insensitive).
+        """
+        rows = list(self)
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(rows))
+        shuffled_rows = [rows[int(index)] for index in order]
+        return RowStream.from_rows(shuffled_rows, self._n_columns, self._alphabet_size)
+
+    def map_rows(self, transform: Callable[[Word], Word], n_columns: int | None = None,
+                 alphabet_size: int | None = None) -> "RowStream":
+        """A stream applying ``transform`` to every row on the fly."""
+        return RowStream(
+            lambda: (transform(row) for row in self),
+            n_columns=n_columns or self._n_columns,
+            alphabet_size=alphabet_size or self._alphabet_size,
+        )
+
+    def to_dataset(self) -> Dataset:
+        """Materialise the stream as a :class:`~repro.core.dataset.Dataset`."""
+        return Dataset.from_words(list(self), alphabet_size=self._alphabet_size)

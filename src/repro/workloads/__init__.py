@@ -1,0 +1,45 @@
+"""Synthetic data and query workloads used by examples, tests and benchmarks."""
+
+from .bias import DEFAULT_ATTRIBUTES, BiasGroundTruth, demographic_dataset
+from .linkability import (
+    LinkabilitySchema,
+    quasi_identifier_dataset,
+    uniqueness_profile,
+)
+from .queries import (
+    all_queries_of_size,
+    drill_down_chain,
+    random_queries,
+    size_sweep_queries,
+)
+from .subspace_cluster import (
+    PlantedSubspace,
+    hidden_subspace_dataset,
+    subspace_concentration,
+)
+from .synthetic import (
+    correlated_columns,
+    planted_heavy_hitters,
+    uniform_rows,
+    zipfian_rows,
+)
+
+__all__ = [
+    "DEFAULT_ATTRIBUTES",
+    "BiasGroundTruth",
+    "LinkabilitySchema",
+    "PlantedSubspace",
+    "all_queries_of_size",
+    "correlated_columns",
+    "demographic_dataset",
+    "drill_down_chain",
+    "hidden_subspace_dataset",
+    "planted_heavy_hitters",
+    "quasi_identifier_dataset",
+    "random_queries",
+    "size_sweep_queries",
+    "subspace_concentration",
+    "uniform_rows",
+    "uniqueness_profile",
+    "zipfian_rows",
+]

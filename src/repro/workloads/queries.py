@@ -1,0 +1,100 @@
+"""Column-query workload generators.
+
+The estimators answer queries that arrive only after the data; benchmarks
+therefore need realistic *query* workloads as well as data workloads.  The
+generators here produce deterministic, seedable families of column subsets:
+uniformly random subsets of a fixed size, size sweeps, overlapping drill-down
+chains (as an analyst exploring subspaces would issue), and exhaustive
+enumerations for small ``d``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator
+
+import numpy as np
+
+from ..core.dataset import ColumnQuery
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "random_queries",
+    "size_sweep_queries",
+    "drill_down_chain",
+    "all_queries_of_size",
+]
+
+
+def random_queries(
+    d: int, query_size: int, count: int, seed: int = 0
+) -> list[ColumnQuery]:
+    """``count`` uniformly random column subsets of the given size."""
+    if not 1 <= query_size <= d:
+        raise InvalidParameterError(
+            f"query_size must be in [1, {d}], got {query_size}"
+        )
+    if count < 1:
+        raise InvalidParameterError(f"count must be >= 1, got {count}")
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(count):
+        columns = rng.choice(d, size=query_size, replace=False)
+        queries.append(ColumnQuery.of((int(c) for c in columns), d))
+    return queries
+
+
+def size_sweep_queries(
+    d: int, sizes: list[int] | None = None, per_size: int = 3, seed: int = 0
+) -> list[ColumnQuery]:
+    """Random queries at each requested size (defaults to a spread of sizes)."""
+    if sizes is None:
+        sizes = sorted(set([1, max(1, d // 4), max(1, d // 2), max(1, (3 * d) // 4), d]))
+    queries = []
+    for offset, size in enumerate(sizes):
+        queries.extend(random_queries(d, size, per_size, seed=seed + offset))
+    return queries
+
+
+def drill_down_chain(
+    d: int, start_size: int, steps: int, seed: int = 0
+) -> list[ColumnQuery]:
+    """An analyst-style chain of nested queries, each adding one column.
+
+    Starts from a random subset of ``start_size`` columns and adds one new
+    random column per step, producing ``steps + 1`` nested queries — the
+    access pattern of interactive subspace exploration.
+    """
+    if not 1 <= start_size <= d:
+        raise InvalidParameterError(
+            f"start_size must be in [1, {d}], got {start_size}"
+        )
+    if steps < 0 or start_size + steps > d:
+        raise InvalidParameterError(
+            f"cannot drill down {steps} steps from size {start_size} with d={d}"
+        )
+    rng = np.random.default_rng(seed)
+    columns = set(int(c) for c in rng.choice(d, size=start_size, replace=False))
+    chain = [ColumnQuery.of(columns, d)]
+    remaining = [c for c in range(d) if c not in columns]
+    rng.shuffle(remaining)
+    for step in range(steps):
+        columns.add(remaining[step])
+        chain.append(ColumnQuery.of(columns, d))
+    return chain
+
+
+def all_queries_of_size(d: int, query_size: int, limit: int = 10_000) -> Iterator[ColumnQuery]:
+    """Every column subset of the given size (guarded by ``limit``)."""
+    if not 1 <= query_size <= d:
+        raise InvalidParameterError(
+            f"query_size must be in [1, {d}], got {query_size}"
+        )
+    produced = 0
+    for columns in combinations(range(d), query_size):
+        produced += 1
+        if produced > limit:
+            raise InvalidParameterError(
+                f"enumeration exceeds the guard of {limit} queries"
+            )
+        yield ColumnQuery.of(columns, d)

@@ -1,0 +1,127 @@
+"""Hidden-subspace cluster workload (the "Clustering" motivation, Section 1).
+
+Subspace clustering looks for column subsets in which the data is tightly
+clustered even though it looks unstructured in the full space.  In the
+projected-frequency language this means: on the right column subset the
+frequency vector is concentrated (few distinct patterns, strong heavy
+hitters, low ``F_0``, high ``F_2``), while on arbitrary subsets it is flat.
+
+:func:`hidden_subspace_dataset` plants one or more such subspaces and
+returns their ground truth, and :func:`subspace_concentration` scores a
+column subset by how concentrated its projection is — the statistic a
+subspace-exploration loop would maximise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.dataset import ColumnQuery, Dataset
+from ..core.frequency import FrequencyVector
+from ..errors import InvalidParameterError
+
+__all__ = ["PlantedSubspace", "hidden_subspace_dataset", "subspace_concentration"]
+
+
+@dataclass(frozen=True)
+class PlantedSubspace:
+    """One planted cluster subspace.
+
+    Attributes
+    ----------
+    columns:
+        The columns spanning the subspace.
+    centroids:
+        The distinct patterns rows of this subspace concentrate on.
+    member_fraction:
+        Fraction of all rows belonging to this subspace's cluster.
+    """
+
+    columns: tuple[int, ...]
+    centroids: tuple[tuple[int, ...], ...]
+    member_fraction: float
+
+
+def hidden_subspace_dataset(
+    n_rows: int,
+    n_columns: int,
+    subspace_size: int = 4,
+    n_subspaces: int = 2,
+    centroids_per_subspace: int = 2,
+    noise: float = 0.02,
+    seed: int = 0,
+) -> tuple[Dataset, list[PlantedSubspace]]:
+    """Generate binary data with clusters hidden in small column subsets.
+
+    Rows are split evenly among the planted subspaces (plus a uniform
+    background share); a row belonging to subspace ``j`` copies one of that
+    subspace's centroid patterns on its columns (with per-bit flip
+    probability ``noise``) and is uniform elsewhere.
+    """
+    if n_rows < 10 or n_columns < 2:
+        raise InvalidParameterError(
+            f"dataset shape must be at least (10, 2), got ({n_rows}, {n_columns})"
+        )
+    if not 1 <= subspace_size <= n_columns:
+        raise InvalidParameterError(
+            f"subspace_size must be in [1, {n_columns}], got {subspace_size}"
+        )
+    if n_subspaces < 1:
+        raise InvalidParameterError(f"n_subspaces must be >= 1, got {n_subspaces}")
+    if n_subspaces * subspace_size > n_columns:
+        raise InvalidParameterError(
+            "planted subspaces must fit in disjoint column blocks: "
+            f"{n_subspaces} x {subspace_size} > {n_columns}"
+        )
+    if not 0 <= noise < 0.5:
+        raise InvalidParameterError(f"noise must be in [0, 0.5), got {noise}")
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 2, size=(n_rows, n_columns))
+    groups = rng.integers(0, n_subspaces + 1, size=n_rows)  # group n_subspaces = noise
+    planted: list[PlantedSubspace] = []
+    for subspace_index in range(n_subspaces):
+        columns = tuple(
+            range(subspace_index * subspace_size, (subspace_index + 1) * subspace_size)
+        )
+        centroids = tuple(
+            tuple(int(v) for v in rng.integers(0, 2, size=subspace_size))
+            for _ in range(centroids_per_subspace)
+        )
+        members = np.nonzero(groups == subspace_index)[0]
+        for row_index in members:
+            centroid = centroids[int(rng.integers(0, centroids_per_subspace))]
+            for offset, column in enumerate(columns):
+                bit = centroid[offset]
+                if rng.random() < noise:
+                    bit = 1 - bit
+                data[row_index, column] = bit
+        planted.append(
+            PlantedSubspace(
+                columns=columns,
+                centroids=centroids,
+                member_fraction=len(members) / n_rows,
+            )
+        )
+    return Dataset(data, alphabet_size=2), planted
+
+
+def subspace_concentration(
+    dataset: Dataset, query: ColumnQuery | tuple[int, ...]
+) -> float:
+    """Concentration score of a projection: ``F_2 / (F_1^2 / Q^{|C|}...)`` normalised.
+
+    The score is the ratio between the projection's actual ``F_2`` and the
+    ``F_2`` of a perfectly uniform frequency vector with the same ``F_0`` and
+    ``F_1``; it equals 1 for flat projections and grows as the projection
+    concentrates on few patterns, so higher means "more clustered".
+    """
+    frequencies = FrequencyVector.from_dataset(dataset, query)
+    distinct = frequencies.distinct_patterns()
+    total = frequencies.total_rows()
+    if distinct == 0 or total == 0:
+        return 0.0
+    actual_f2 = frequencies.frequency_moment(2.0)
+    uniform_f2 = distinct * (total / distinct) ** 2
+    return float(actual_f2 / uniform_f2)

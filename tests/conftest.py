@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import ColumnQuery, Dataset
+from repro.core.frequency import FrequencyVector
+from repro.workloads.synthetic import planted_heavy_hitters, zipfian_rows
+
+
+@pytest.fixture(scope="session")
+def small_binary_dataset() -> Dataset:
+    """A deterministic 500 x 8 binary dataset."""
+    return Dataset.random(n_rows=500, n_columns=8, alphabet_size=2, seed=11)
+
+
+@pytest.fixture(scope="session")
+def qary_dataset() -> Dataset:
+    """A deterministic 400 x 6 dataset over a 4-symbol alphabet."""
+    return Dataset.random(n_rows=400, n_columns=6, alphabet_size=4, seed=7)
+
+
+@pytest.fixture(scope="session")
+def zipfian_dataset() -> Dataset:
+    """A skewed 3000 x 10 binary dataset with heavy-hitter structure."""
+    return zipfian_rows(
+        n_rows=3000, n_columns=10, distinct_patterns=40, exponent=1.3, seed=3
+    )
+
+
+@pytest.fixture(scope="session")
+def planted_dataset():
+    """A dataset with three planted heavy rows plus its ground truth."""
+    return planted_heavy_hitters(
+        n_rows=2000, n_columns=10, heavy_patterns=3, heavy_fraction=0.5, seed=5
+    )
+
+
+@pytest.fixture()
+def example_query() -> ColumnQuery:
+    """The running-example query {0, 3, 5} over d = 8."""
+    return ColumnQuery.of([0, 3, 5], 8)
+
+
+def exact_frequencies(dataset: Dataset, query: ColumnQuery) -> FrequencyVector:
+    """Convenience wrapper used across tests."""
+    return FrequencyVector.from_dataset(dataset, query)

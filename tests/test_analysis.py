@@ -1,0 +1,150 @@
+"""Tests for entropy bounds, analytical bound calculators, Figure 1 curves and rendering."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    abstract_tradeoff,
+    f0_lower_bound_space,
+    theorem_6_5_approximation,
+    theorem_6_5_space,
+    usample_size,
+)
+from repro.analysis.entropy import (
+    binary_entropy,
+    entropy_counting_bound,
+    exact_net_size,
+    net_size_bound,
+    truncated_binomial_sum,
+)
+from repro.analysis.reporting import format_quantity, render_series, render_table, sparkline
+from repro.analysis.tradeoff import figure1_curves, tradeoff_at_relative_space
+from repro.errors import InvalidParameterError
+
+
+class TestEntropy:
+    def test_endpoint_values(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+        assert binary_entropy(0.5) == 1.0
+
+    def test_symmetry(self):
+        assert binary_entropy(0.3) == pytest.approx(binary_entropy(0.7))
+
+    def test_counting_bound_dominates_truncated_sum(self):
+        for d in (10, 16, 20):
+            for fraction in (0.1, 0.25, 0.4):
+                limit = math.floor(fraction * d)
+                assert truncated_binomial_sum(d, limit) <= entropy_counting_bound(
+                    d, fraction
+                ) * 1.0001
+
+    def test_net_size_bound_dominates_exact_size(self):
+        for d in (8, 12, 16):
+            for alpha in (0.1, 0.2, 0.3, 0.4):
+                assert exact_net_size(d, alpha) <= net_size_bound(d, alpha)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            binary_entropy(1.5)
+        with pytest.raises(InvalidParameterError):
+            entropy_counting_bound(10, 0.7)
+
+
+class TestBoundCalculators:
+    def test_f0_lower_bound_space(self):
+        assert f0_lower_bound_space(20, 5) == pytest.approx(4.0**5)
+        assert f0_lower_bound_space(20, 10) == pytest.approx(2**20 / math.sqrt(40))
+        with pytest.raises(InvalidParameterError):
+            f0_lower_bound_space(20, 11)
+
+    def test_usample_size_matches_theorem_5_1_shape(self):
+        assert usample_size(0.1, 0.05) == pytest.approx(math.log(20) / 0.01)
+        assert usample_size(0.05, 0.05) == pytest.approx(4 * usample_size(0.1, 0.05))
+
+    def test_theorem_6_5_space_smaller_than_power_set(self):
+        assert theorem_6_5_space(20, 0.25) < 2**20
+
+    def test_theorem_6_5_approximation_cases(self):
+        assert theorem_6_5_approximation(20, 0.2, p=0) == pytest.approx(2**4)
+        assert theorem_6_5_approximation(20, 0.2, p=1) == 1.0
+        assert theorem_6_5_approximation(20, 0.2, p=2) == pytest.approx(2**4)
+        assert theorem_6_5_approximation(20, 0.2, p=0.5, beta=2.0) == pytest.approx(
+            2 * 2**2
+        )
+
+    def test_abstract_tradeoff_exponents(self):
+        point = abstract_tradeoff(0.25)
+        assert point.approximation_exponent == 0.25
+        assert point.space_exponent == pytest.approx(binary_entropy(0.25))
+        assert point.space_exponent < 1.0  # strictly better than N = 2^d
+        assert "N^" in point.space_of_n and "N^" in point.approximation_factor_of_n
+
+
+class TestFigure1Curves:
+    def test_curve_shape_and_monotonicity(self):
+        curve = figure1_curves(d=20, num_points=25)
+        spaces = curve.relative_space()
+        factors = curve.approximation_factors()
+        assert len(curve.points) == 25
+        # Relative space decreases as alpha grows; approximation increases.
+        assert all(a >= b for a, b in zip(spaces, spaces[1:]))
+        assert all(a <= b for a, b in zip(factors, factors[1:]))
+        assert all(0 < space <= 1 for space in spaces)
+
+    def test_paper_reading_of_the_right_pane(self):
+        # The paper: relative space 2^-2 -> approximation "on the order of
+        # 10s"; relative space 2^-8 -> "order of hundreds" (2^12 = 4096
+        # summaries instead of ~10^6).
+        curve = figure1_curves(d=20, num_points=400)
+        at_quarter = tradeoff_at_relative_space(curve, 2.0**-2)
+        at_two_fifty_sixth = tradeoff_at_relative_space(curve, 2.0**-8)
+        assert 10 <= at_quarter.approximation_factor < 100
+        assert 100 <= at_two_fifty_sixth.approximation_factor < 1000
+        assert at_two_fifty_sixth.sketch_count == pytest.approx(4096, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            figure1_curves(d=1)
+        curve = figure1_curves(d=10)
+        with pytest.raises(InvalidParameterError):
+            tradeoff_at_relative_space(curve, 0.0)
+
+
+class TestReporting:
+    def test_format_quantity(self):
+        assert format_quantity(0) == "0"
+        assert format_quantity(42) == "42"
+        assert "e" in format_quantity(1.23456e8)
+        assert format_quantity(0.25) == "0.25"
+
+    def test_render_table_alignment_and_content(self):
+        table = render_table(
+            ["name", "value"], [("alpha", 1), ("beta", 2.5)], title="demo"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "alpha" in table and "2.5" in table
+
+    def test_render_table_validates_row_width(self):
+        with pytest.raises(InvalidParameterError):
+            render_table(["a", "b"], [(1,)])
+
+    def test_sparkline_levels(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] != line[-1]
+        assert sparkline([]) == ""
+        assert sparkline([5, 5]) == "▁▁"
+
+    def test_render_series_subsamples_long_series(self):
+        xs = list(range(100))
+        ys = [x * x for x in xs]
+        rendered = render_series("x", "y", xs, ys, max_points=10)
+        assert "trend" in rendered
+        assert rendered.count("\n") < 25
+        with pytest.raises(InvalidParameterError):
+            render_series("x", "y", [1], [1, 2])

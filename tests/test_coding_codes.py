@@ -1,0 +1,183 @@
+"""Tests for codes, the star operator and the alphabet reduction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.coding.alphabet import AlphabetReduction
+from repro.coding.binary_codes import (
+    ConstantWeightCode,
+    binomial,
+    binomial_lower_bound,
+    central_binomial_lower_bound,
+    enumerate_constant_weight_words,
+    max_pairwise_intersection,
+    sample_constant_weight_words,
+)
+from repro.coding.random_codes import (
+    RandomCodeParameters,
+    build_low_intersection_code,
+    lemma_3_2_code_size,
+    lemma_3_2_failure_probability,
+)
+from repro.coding.star import is_child_word, sample_star, star, star_of_set, star_size
+from repro.coding.words import support, weight
+from repro.errors import AlphabetError, CodeConstructionError, InvalidParameterError
+
+
+class TestConstantWeightCode:
+    def test_full_enumeration_size_matches_binomial(self):
+        code = ConstantWeightCode.full(d=6, k=2)
+        assert len(code) == binomial(6, 2) == 15
+
+    def test_every_codeword_has_the_right_weight(self):
+        code = ConstantWeightCode.full(d=7, k=3)
+        assert all(weight(word) == 3 for word in code)
+
+    def test_pairwise_intersection_is_at_most_k_minus_one(self):
+        # The "trivial but crucial property" of Section 3.2.
+        code = ConstantWeightCode.full(d=8, k=3)
+        assert code.max_intersection() == 2
+
+    def test_sampled_codewords_are_distinct_and_valid(self):
+        code = ConstantWeightCode.sampled(d=12, k=4, count=30, seed=1)
+        assert len(set(code.words)) == 30
+        assert all(weight(word) == 4 for word in code)
+
+    def test_sampling_more_than_the_family_size_fails(self):
+        with pytest.raises(InvalidParameterError):
+            sample_constant_weight_words(d=4, k=2, count=binomial(4, 2) + 1)
+
+    def test_size_lower_bounds(self):
+        assert binomial(10, 3) >= binomial_lower_bound(10, 3)
+        assert binomial(12, 6) >= central_binomial_lower_bound(12)
+        code = ConstantWeightCode.full(d=10, k=3)
+        assert code.full_size >= code.size_lower_bound()
+
+    def test_index_of_roundtrip(self):
+        code = ConstantWeightCode.full(d=5, k=2)
+        for index, word in enumerate(code.words):
+            assert code.index_of(word) == index
+
+    def test_index_of_non_codeword_rejected(self):
+        code = ConstantWeightCode.full(d=5, k=2)
+        with pytest.raises(InvalidParameterError):
+            code.index_of((1, 1, 1, 0, 0))
+
+    def test_enumeration_rejects_bad_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            list(enumerate_constant_weight_words(4, 5))
+
+
+class TestRandomCodes:
+    def test_parameters_expose_weight_and_intersection(self):
+        params = RandomCodeParameters(d=30, epsilon=0.3, gamma=0.05)
+        assert params.weight == 9
+        assert params.max_intersection == math.floor((0.3**2 + 0.05) * 30)
+
+    def test_lemma_3_2_formulas_are_monotone_in_d(self):
+        assert lemma_3_2_code_size(40, 0.1) > lemma_3_2_code_size(20, 0.1)
+        assert lemma_3_2_failure_probability(40, 0.1) < lemma_3_2_failure_probability(
+            20, 0.1
+        )
+
+    def test_built_code_satisfies_the_certified_intersection_bound(self):
+        code = build_low_intersection_code(d=30, epsilon=0.3, gamma=0.05, size=12, seed=0)
+        assert len(code) == 12
+        assert code.observed_max_intersection() <= code.max_intersection
+        assert all(weight(word) == code.weight for word in code)
+
+    def test_impossible_request_raises_construction_error(self):
+        # Asking for far more codewords than rejection sampling can certify
+        # with a very tight intersection bound must fail loudly.
+        with pytest.raises(CodeConstructionError):
+            build_low_intersection_code(
+                d=10, epsilon=0.4, gamma=0.01, size=500, seed=0, max_attempts_per_word=5
+            )
+
+    def test_code_membership_and_index(self):
+        code = build_low_intersection_code(d=20, epsilon=0.25, gamma=0.05, size=8, seed=3)
+        first = code.words[0]
+        assert first in code
+        assert code.index_of(first) == 0
+
+
+class TestStarOperator:
+    def test_star_size_is_q_to_the_weight(self):
+        word = (1, 0, 1, 1, 0)
+        assert star_size(word, 3) == 27
+        assert len(list(star(word, 3))) == 27
+
+    def test_children_are_supported_inside_the_parent(self):
+        word = (0, 1, 0, 1)
+        children = list(star(word, 2))
+        assert len(children) == 4
+        assert all(support(child) <= support(word) for child in children)
+        assert all(is_child_word(child, word) for child in children)
+
+    def test_star_of_set_deduplicates_shared_children(self):
+        # The all-zeros word is a child of every codeword.
+        words = [(1, 1, 0, 0), (0, 0, 1, 1)]
+        deduplicated = star_of_set(words, 2, deduplicate=True)
+        multiset = star_of_set(words, 2, deduplicate=False)
+        assert len(multiset) == 8
+        assert len(deduplicated) == 7  # 0000 appears once instead of twice
+        assert len(set(deduplicated)) == len(deduplicated)
+
+    def test_sample_star_produces_valid_children(self):
+        word = (1, 1, 1, 0, 0, 0)
+        samples = sample_star(word, 4, count=50, seed=2)
+        assert len(samples) == 50
+        assert all(is_child_word(sample, word) for sample in samples)
+
+    def test_is_child_word_rejects_larger_support(self):
+        assert not is_child_word((1, 1, 0), (1, 0, 0))
+        assert not is_child_word((1, 0), (1, 0, 0))
+
+
+class TestAlphabetReduction:
+    def test_symbol_roundtrip(self):
+        reduction = AlphabetReduction(source_size=17, target_size=3)
+        for symbol in range(17):
+            assert reduction.decode_symbol(reduction.encode_symbol(symbol)) == symbol
+
+    def test_word_roundtrip_and_dimension(self):
+        reduction = AlphabetReduction(source_size=16, target_size=2)
+        assert reduction.symbol_length == 4
+        word = (3, 0, 15, 7)
+        encoded = reduction.encode_word(word)
+        assert len(encoded) == reduction.expanded_dimension(len(word))
+        assert reduction.decode_word(encoded) == word
+
+    def test_encoding_is_injective_on_distinct_words(self):
+        reduction = AlphabetReduction(source_size=5, target_size=2)
+        words = [(i, j) for i in range(5) for j in range(5)]
+        encodings = {reduction.encode_word(word) for word in words}
+        assert len(encodings) == len(words)
+
+    def test_expand_columns_maps_to_blocks(self):
+        reduction = AlphabetReduction(source_size=9, target_size=3)
+        assert reduction.symbol_length == 2
+        assert reduction.expand_columns([0, 2]) == (0, 1, 4, 5)
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            AlphabetReduction(source_size=4, target_size=8)
+        with pytest.raises(AlphabetError):
+            AlphabetReduction(source_size=4, target_size=2).encode_symbol(4)
+
+    def test_alpha_matches_corollary_4_4(self):
+        reduction = AlphabetReduction(source_size=16, target_size=2)
+        assert reduction.alpha() == pytest.approx(16 * math.log2(16))
+
+
+class TestMaxPairwiseIntersection:
+    def test_empty_and_singleton_codes(self):
+        assert max_pairwise_intersection([]) == 0
+        assert max_pairwise_intersection([(1, 0, 1)]) == 0
+
+    def test_known_value(self):
+        words = [(1, 1, 0, 0), (1, 0, 1, 0), (0, 0, 1, 1)]
+        assert max_pairwise_intersection(words) == 1

@@ -1,0 +1,131 @@
+"""Tests for word utilities: supports, weights, projections and the index map."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coding.words import (
+    all_words,
+    hamming_distance,
+    index_to_word,
+    intersection_size,
+    ones,
+    project_word,
+    support,
+    validate_word,
+    weight,
+    word_from_support,
+    word_to_index,
+    zeros,
+)
+from repro.errors import AlphabetError, DimensionError, InvalidParameterError
+
+
+class TestValidateWord:
+    def test_returns_canonical_tuple(self):
+        assert validate_word([1, 0, 2], alphabet_size=3) == (1, 0, 2)
+
+    def test_rejects_out_of_alphabet_symbol(self):
+        with pytest.raises(AlphabetError):
+            validate_word([0, 3], alphabet_size=3)
+
+    def test_rejects_negative_symbol(self):
+        with pytest.raises(AlphabetError):
+            validate_word([0, -1], alphabet_size=2)
+
+    def test_rejects_tiny_alphabet(self):
+        with pytest.raises(InvalidParameterError):
+            validate_word([0, 1], alphabet_size=1)
+
+
+class TestSupportAndWeight:
+    def test_support_of_mixed_word(self):
+        assert support((0, 2, 0, 1)) == frozenset({1, 3})
+
+    def test_support_of_zero_word_is_empty(self):
+        assert support(zeros(5)) == frozenset()
+
+    def test_weight_counts_nonzeros(self):
+        assert weight((0, 2, 0, 1)) == 2
+        assert weight(ones(6)) == 6
+        assert weight(zeros(4)) == 0
+
+    def test_intersection_size_matches_paper_definition(self):
+        # |x ∩ y| counts coordinates where both are non-zero.
+        assert intersection_size((1, 1, 0, 0), (0, 1, 1, 0)) == 1
+        assert intersection_size((1, 1, 1, 0), (1, 1, 0, 1)) == 2
+
+    def test_intersection_size_rejects_length_mismatch(self):
+        with pytest.raises(DimensionError):
+            intersection_size((1, 0), (1, 0, 1))
+
+    def test_hamming_distance(self):
+        assert hamming_distance((0, 1, 1), (1, 1, 0)) == 2
+        assert hamming_distance((0, 1, 1), (0, 1, 1)) == 0
+
+
+class TestProjection:
+    def test_projection_keeps_sorted_column_order(self):
+        assert project_word((5, 6, 7, 8), [2, 0]) == (5, 7)
+
+    def test_projection_deduplicates_columns(self):
+        assert project_word((5, 6, 7), [1, 1, 2]) == (6, 7)
+
+    def test_projection_rejects_out_of_range_column(self):
+        with pytest.raises(DimensionError):
+            project_word((1, 0), [2])
+
+    def test_paper_running_example(self):
+        # Section 2 example: A is 5x3 binary, C = {columns 0, 1} (1-indexed
+        # {1,2} in the paper); the projected rows give f = (1, 1, 0, 3).
+        rows = [(1, 1, 0), (0, 1, 0), (0, 0, 1), (1, 1, 1), (1, 1, 0)]
+        projected = [project_word(row, [0, 1]) for row in rows]
+        counts = {}
+        for pattern in projected:
+            counts[pattern] = counts.get(pattern, 0) + 1
+        assert counts == {(1, 1): 3, (0, 1): 1, (0, 0): 1}
+
+
+class TestIndexFunction:
+    def test_roundtrip_binary(self):
+        for index in range(16):
+            word = index_to_word(index, length=4, alphabet_size=2)
+            assert word_to_index(word, alphabet_size=2) == index
+
+    def test_roundtrip_qary(self):
+        for index in range(27):
+            word = index_to_word(index, length=3, alphabet_size=3)
+            assert word_to_index(word, alphabet_size=3) == index
+
+    def test_canonical_mapping_matches_remark_1(self):
+        # e(00)=0, e(01)=1, e(10)=2, e(11)=3.
+        assert word_to_index((0, 0), 2) == 0
+        assert word_to_index((0, 1), 2) == 1
+        assert word_to_index((1, 0), 2) == 2
+        assert word_to_index((1, 1), 2) == 3
+
+    def test_index_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            index_to_word(8, length=3, alphabet_size=2)
+
+    def test_all_words_enumerates_full_domain(self):
+        words = list(all_words(3, 2))
+        assert len(words) == 8
+        assert len(set(words)) == 8
+        assert words[0] == (0, 0, 0)
+        assert words[-1] == (1, 1, 1)
+
+
+class TestConstructors:
+    def test_word_from_support(self):
+        assert word_from_support([0, 3], 5) == (1, 0, 0, 1, 0)
+
+    def test_word_from_support_rejects_bad_position(self):
+        with pytest.raises(DimensionError):
+            word_from_support([5], 5)
+
+    def test_zeros_and_ones(self):
+        assert zeros(3) == (0, 0, 0)
+        assert ones(3) == (1, 1, 1)
+        with pytest.raises(InvalidParameterError):
+            zeros(-1)

@@ -1,0 +1,88 @@
+"""Tests for the estimator base interface, registry and capability probing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import ColumnQuery, Dataset
+from repro.core.estimator import EstimatorRegistry, ProjectedFrequencyEstimator
+from repro.core.exhaustive import ExactBaseline
+from repro.core.uniform_sample import UniformSampleEstimator
+from repro.errors import EstimationError
+
+
+class _CountOnlyEstimator(ProjectedFrequencyEstimator):
+    """Minimal estimator that only tracks the row count (supports F1 only)."""
+
+    def _observe(self, row):
+        pass
+
+    def estimate_fp(self, query: ColumnQuery, p: float) -> float:
+        if p != 1:
+            raise EstimationError("only F1 is supported")
+        return float(self.rows_observed)
+
+    def size_in_bits(self) -> int:
+        return 64
+
+
+class TestEstimatorBase:
+    def test_observe_accepts_datasets_and_iterables(self):
+        estimator = _CountOnlyEstimator(n_columns=3)
+        estimator.observe(Dataset.random(10, 3, seed=0))
+        estimator.observe([(0, 1, 0), (1, 1, 1)])
+        assert estimator.rows_observed == 12
+
+    def test_observe_returns_self_for_chaining(self):
+        estimator = _CountOnlyEstimator(n_columns=2)
+        assert estimator.observe([(0, 1)]) is estimator
+
+    def test_row_width_is_validated(self):
+        estimator = _CountOnlyEstimator(n_columns=3)
+        with pytest.raises(EstimationError):
+            estimator.observe_row((0, 1))
+
+    def test_default_query_methods_raise(self):
+        estimator = _CountOnlyEstimator(n_columns=2)
+        query = ColumnQuery.of([0], 2)
+        with pytest.raises(EstimationError):
+            estimator.estimate_frequency(query, (0,))
+        with pytest.raises(EstimationError):
+            estimator.heavy_hitters(query, phi=0.1)
+
+    def test_supports_reflects_overrides(self):
+        count_only = _CountOnlyEstimator(n_columns=2)
+        assert count_only.supports("estimate_fp")
+        assert not count_only.supports("heavy_hitters")
+        assert not count_only.supports("estimate_frequency")
+        assert not count_only.supports("not_a_method")
+
+        usample = UniformSampleEstimator(n_columns=4, sample_size=8)
+        assert usample.supports("estimate_frequency")
+        assert usample.supports("heavy_hitters")
+
+        exact = ExactBaseline(n_columns=4)
+        assert exact.supports("estimate_fp")
+        assert exact.supports("estimate_frequency")
+        assert exact.supports("heavy_hitters")
+
+
+class TestEstimatorRegistry:
+    def test_register_create_and_names(self):
+        registry = EstimatorRegistry()
+        registry.register("exact", ExactBaseline)
+        registry.register("usample", UniformSampleEstimator)
+        assert registry.names() == ["exact", "usample"]
+
+        exact = registry.create("exact", n_columns=5)
+        assert isinstance(exact, ExactBaseline)
+        usample = registry.create("usample", n_columns=5, sample_size=16)
+        assert isinstance(usample, UniformSampleEstimator)
+        assert usample.sample_size == 16
+
+    def test_unknown_name_raises_with_known_names_listed(self):
+        registry = EstimatorRegistry()
+        registry.register("exact", ExactBaseline)
+        with pytest.raises(EstimationError) as excinfo:
+            registry.create("missing", n_columns=3)
+        assert "exact" in str(excinfo.value)

@@ -1,0 +1,110 @@
+"""Tests for the declarative problem specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import ColumnQuery, Dataset
+from repro.core.frequency import FrequencyVector
+from repro.core.problems import (
+    FpEstimation,
+    FrequencyEstimation,
+    HeavyHitters,
+    LpSampling,
+)
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture()
+def frequencies() -> FrequencyVector:
+    rows = [(1, 1)] * 6 + [(0, 1)] * 3 + [(0, 0)] * 1
+    dataset = Dataset.from_words(rows, alphabet_size=2)
+    return FrequencyVector.from_dataset(dataset, ColumnQuery.of([0, 1], 2))
+
+
+class TestFpEstimation:
+    def test_exact_values(self, frequencies):
+        assert FpEstimation(p=0).exact(frequencies) == 3
+        assert FpEstimation(p=1).exact(frequencies) == 10
+        assert FpEstimation(p=2).exact(frequencies) == 36 + 9 + 1
+
+    def test_rejects_negative_p(self):
+        with pytest.raises(InvalidParameterError):
+            FpEstimation(p=-0.5)
+
+
+class TestFrequencyEstimation:
+    def test_exact_and_budget(self, frequencies):
+        problem = FrequencyEstimation(pattern=(1, 1), p=1.0, phi=0.2)
+        assert problem.exact(frequencies) == 6
+        assert problem.error_budget(frequencies) == pytest.approx(2.0)
+
+    def test_acceptance_window(self, frequencies):
+        problem = FrequencyEstimation(pattern=(0, 1), p=1.0, phi=0.1)
+        assert problem.is_acceptable(3.5, frequencies)
+        assert not problem.is_acceptable(6.0, frequencies)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            FrequencyEstimation(pattern=(0,), p=0.0)
+        with pytest.raises(InvalidParameterError):
+            FrequencyEstimation(pattern=(0,), phi=1.0)
+
+
+class TestHeavyHitters:
+    def test_exact_report(self, frequencies):
+        problem = HeavyHitters(phi=0.5, p=1.0)
+        assert problem.exact(frequencies) == {(1, 1): 6}
+
+    def test_thresholds(self, frequencies):
+        problem = HeavyHitters(phi=0.4, p=1.0, slack=2.0)
+        assert problem.mandatory_threshold(frequencies) == pytest.approx(4.0)
+        assert problem.forbidden_threshold(frequencies) == pytest.approx(2.0)
+
+    def test_acceptance_requires_recall(self, frequencies):
+        problem = HeavyHitters(phi=0.4, p=1.0, slack=2.0)
+        assert problem.is_acceptable({(1, 1)}, frequencies)
+        assert not problem.is_acceptable(set(), frequencies)  # misses (1,1)
+
+    def test_acceptance_rejects_false_positives(self, frequencies):
+        problem = HeavyHitters(phi=0.4, p=1.0, slack=2.0)
+        # (0, 0) has frequency 1 < forbidden threshold 2, so reporting it fails.
+        assert not problem.is_acceptable({(1, 1), (0, 0)}, frequencies)
+        # (0, 1) has frequency 3 which is allowed (between the thresholds).
+        assert problem.is_acceptable({(1, 1), (0, 1)}, frequencies)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            HeavyHitters(phi=0.0)
+        with pytest.raises(InvalidParameterError):
+            HeavyHitters(phi=0.5, slack=1.0)
+
+
+class TestLpSampling:
+    def test_exact_distribution(self, frequencies):
+        problem = LpSampling(p=1.0)
+        distribution = problem.exact(frequencies)
+        assert distribution[(1, 1)] == pytest.approx(0.6)
+
+    def test_acceptance_of_close_empirical_distribution(self, frequencies):
+        problem = LpSampling(p=1.0, epsilon=0.3)
+        empirical = {(1, 1): 0.58, (0, 1): 0.31, (0, 0): 0.11}
+        assert problem.is_acceptable(empirical, frequencies, statistical_slack=0.02)
+
+    def test_rejection_of_distorted_distribution(self, frequencies):
+        problem = LpSampling(p=1.0, epsilon=0.1)
+        empirical = {(1, 1): 0.2, (0, 1): 0.7, (0, 0): 0.1}
+        assert not problem.is_acceptable(empirical, frequencies)
+
+    def test_rejection_of_mass_on_unobserved_patterns(self, frequencies):
+        problem = LpSampling(p=1.0, epsilon=0.3)
+        empirical = {(1, 0): 0.5, (1, 1): 0.5}
+        assert not problem.is_acceptable(empirical, frequencies)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            LpSampling(p=0.0)
+        with pytest.raises(InvalidParameterError):
+            LpSampling(p=1.0, epsilon=1.5)
+        with pytest.raises(InvalidParameterError):
+            LpSampling(p=1.0, delta=-0.1)

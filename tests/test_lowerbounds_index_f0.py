@@ -1,0 +1,196 @@
+"""Tests for the Index game harness and the Theorem 4.1 / Corollary 4.x instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.frequency import FrequencyVector
+from repro.errors import InvalidParameterError, ProtocolError
+from repro.lowerbounds.f0_instance import (
+    F0InstanceParameters,
+    build_f0_instance,
+)
+from repro.lowerbounds.index_problem import (
+    IndexGame,
+    IndexInstance,
+    index_lower_bound_bits,
+)
+from repro.coding.binary_codes import ConstantWeightCode
+
+
+class TestIndexInstance:
+    def test_random_instance_respects_forced_membership(self):
+        code = ConstantWeightCode.full(d=6, k=2)
+        member = IndexInstance.random(code.words, force_membership=True, seed=1)
+        non_member = IndexInstance.random(code.words, force_membership=False, seed=1)
+        assert member.answer is True
+        assert non_member.answer is False
+
+    def test_alice_bits_match_subset(self):
+        code = ConstantWeightCode.full(d=5, k=2)
+        instance = IndexInstance.random(code.words, seed=2)
+        bits = instance.alice_bits()
+        assert len(bits) == instance.universe_size
+        for index, word in enumerate(instance.codewords):
+            assert bits[index] == (1 if word in instance.alice_subset else 0)
+
+    def test_bob_index_consistency(self):
+        code = ConstantWeightCode.full(d=5, k=2)
+        instance = IndexInstance.random(code.words, seed=3)
+        assert instance.codewords[instance.bob_index] == instance.bob_word
+
+    def test_invalid_construction_rejected(self):
+        code = ConstantWeightCode.full(d=4, k=2)
+        with pytest.raises(InvalidParameterError):
+            IndexInstance(
+                codewords=code.words,
+                alice_subset=frozenset({(1, 1, 1, 1)}),
+                bob_word=code.words[0],
+            )
+
+    def test_lower_bound_bits_scale_linearly(self):
+        assert index_lower_bound_bits(2000) == pytest.approx(
+            2 * index_lower_bound_bits(1000)
+        )
+        with pytest.raises(InvalidParameterError):
+            index_lower_bound_bits(100, success_probability=0.4)
+
+
+class TestIndexGame:
+    def test_exact_f0_protocol_always_succeeds(self):
+        # Bob uses an exact F0 computation as the "algorithm": the reduction
+        # must then decode the membership bit perfectly.
+        def encode(instance):
+            built = build_f0_instance(
+                d=8, k=2, alphabet_size=4, membership=instance.answer, seed=0
+            )
+            encode.current = built  # stash for the decide step
+            return list(built.dataset.iter_rows())
+
+        def summarise(rows):
+            return rows, 64 * len(rows)
+
+        def decide(summary, instance):
+            built = encode.current
+            exact = built.exact_f0()
+            return float(exact), built.decide_from_estimate(exact)
+
+        game = IndexGame(encode=encode, summarise=summarise, decide=decide)
+        code = ConstantWeightCode.full(d=8, k=2)
+        for seed in range(4):
+            game.play(IndexInstance.random(code.words, seed=seed))
+        assert game.success_rate() == 1.0
+        assert game.mean_message_bits() > 0
+
+    def test_empty_outcomes_raise(self):
+        game = IndexGame(
+            encode=lambda instance: [(0,)],
+            summarise=lambda rows: (rows, 1),
+            decide=lambda summary, instance: (0.0, True),
+        )
+        with pytest.raises(ProtocolError):
+            game.success_rate()
+
+    def test_empty_encoding_rejected(self):
+        game = IndexGame(
+            encode=lambda instance: [],
+            summarise=lambda rows: (rows, 1),
+            decide=lambda summary, instance: (0.0, True),
+        )
+        code = ConstantWeightCode.full(d=4, k=2)
+        with pytest.raises(ProtocolError):
+            game.play(IndexInstance.random(code.words, seed=0))
+
+
+class TestF0InstanceParameters:
+    def test_approximation_factor_is_q_over_k(self):
+        params = F0InstanceParameters(d=10, k=3, alphabet_size=6)
+        assert params.approximation_factor == pytest.approx(2.0)
+
+    def test_separation_bounds(self):
+        params = F0InstanceParameters(d=10, k=3, alphabet_size=6)
+        assert params.patterns_if_member == 6**3
+        assert params.patterns_if_not_member == 3 * 6**2
+        assert params.patterns_if_member / params.patterns_if_not_member == (
+            pytest.approx(params.approximation_factor)
+        )
+
+    def test_code_size_bound(self):
+        params = F0InstanceParameters(d=12, k=3, alphabet_size=4)
+        assert params.code_size >= params.code_size_lower_bound
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            F0InstanceParameters(d=10, k=6, alphabet_size=8)  # k > d/2
+        with pytest.raises(InvalidParameterError):
+            F0InstanceParameters(d=10, k=3, alphabet_size=3)  # Q <= k
+
+
+class TestF0HardInstance:
+    @pytest.mark.parametrize("membership", [True, False])
+    def test_separation_holds_for_both_branches(self, membership):
+        instance = build_f0_instance(
+            d=10, k=3, alphabet_size=5, membership=membership, code_size=40, seed=1
+        )
+        assert instance.answer is membership
+        assert instance.separation_holds()
+
+    def test_exact_count_decides_membership(self):
+        for seed in range(3):
+            for membership in (True, False):
+                instance = build_f0_instance(
+                    d=10,
+                    k=3,
+                    alphabet_size=5,
+                    membership=membership,
+                    code_size=40,
+                    seed=seed,
+                )
+                decided = instance.decide_from_estimate(instance.exact_f0())
+                assert decided is membership
+
+    def test_query_is_the_support_of_bobs_word(self):
+        instance = build_f0_instance(
+            d=10, k=3, alphabet_size=4, membership=True, code_size=30, seed=2
+        )
+        assert len(instance.query) == 3
+        bob = instance.index_instance.bob_word
+        assert set(instance.query.columns) == {
+            index for index, symbol in enumerate(bob) if symbol
+        }
+
+    def test_instance_rows_are_child_words_of_alices_set(self):
+        instance = build_f0_instance(
+            d=8, k=2, alphabet_size=4, membership=True, code_size=20, seed=3
+        )
+        supports = [
+            frozenset(i for i, s in enumerate(word) if s)
+            for word in instance.index_instance.alice_subset
+        ]
+        for row in instance.dataset.iter_rows():
+            row_support = frozenset(i for i, s in enumerate(row) if s)
+            assert any(row_support <= parent for parent in supports)
+
+    def test_corollary_4_4_alphabet_reduction_preserves_f0(self):
+        instance = build_f0_instance(
+            d=8, k=2, alphabet_size=5, membership=True, code_size=20, seed=4
+        )
+        reduced = instance.reduce_alphabet(target_alphabet=2)
+        assert reduced.dataset.alphabet_size == 2
+        assert reduced.dataset.n_columns == 8 * 3  # ceil(log2 5) = 3
+        original_f0 = instance.exact_f0()
+        reduced_f0 = FrequencyVector.from_dataset(
+            reduced.dataset, reduced.query
+        ).distinct_patterns()
+        assert reduced_f0 == original_f0
+
+    def test_gap_grows_with_alphabet(self):
+        small = F0InstanceParameters(d=10, k=3, alphabet_size=4)
+        large = F0InstanceParameters(d=10, k=3, alphabet_size=16)
+        assert large.approximation_factor > small.approximation_factor
+
+    def test_invalid_code_size(self):
+        with pytest.raises(InvalidParameterError):
+            build_f0_instance(
+                d=10, k=3, alphabet_size=5, membership=True, code_size=1
+            )

@@ -1,0 +1,99 @@
+"""Tests for the Table 1 generator and the separation-measurement helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.lowerbounds.f0_instance import build_f0_instance
+from repro.lowerbounds.separation import SeparationSummary, measure_separation
+from repro.lowerbounds.table1 import format_table1, table1_rows
+
+
+class TestTable1:
+    def test_four_rows_in_paper_order(self):
+        rows = table1_rows(d=20, k=4, big_q=20, small_q=2)
+        assert [row.label for row in rows] == [
+            "Theorem 4.1",
+            "Corollary 4.2",
+            "Corollary 4.3",
+            "Corollary 4.4",
+        ]
+
+    def test_theorem_4_1_row_formulas(self):
+        rows = table1_rows(d=20, k=4, big_q=20, small_q=2)
+        theorem = rows[0]
+        assert theorem.instance_rows == pytest.approx((20 / 4) ** 4 * 20**4)
+        assert theorem.approximation_factor == pytest.approx(5.0)
+        assert theorem.alphabet == 20
+        assert theorem.instance_columns == 20
+
+    def test_corollary_4_2_and_4_3(self):
+        rows = table1_rows(d=20, k=4, big_q=20, small_q=2)
+        corollary_42, corollary_43 = rows[1], rows[2]
+        assert corollary_42.approximation_factor == pytest.approx(2.0)  # 2Q/d = 2
+        assert corollary_43.approximation_factor == 2.0
+        assert corollary_43.alphabet == 20  # Q = d
+
+    def test_corollary_4_4_dimension_blowup(self):
+        rows = table1_rows(d=20, k=4, big_q=16, small_q=2)
+        corollary_44 = rows[3]
+        assert corollary_44.instance_columns == 20 * 4  # log2(16) = 4
+        assert corollary_44.alphabet == 2
+        # Same approximation factor as Corollary 4.2, per the paper.
+        assert corollary_44.approximation_factor == rows[1].approximation_factor
+
+    def test_formatting_contains_every_label(self):
+        rendered = format_table1(table1_rows(d=20, k=4, big_q=20, small_q=2))
+        for label in ("Theorem 4.1", "Corollary 4.2", "Corollary 4.3", "Corollary 4.4"):
+            assert label in rendered
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            table1_rows(d=21, k=4, big_q=21)  # odd d
+        with pytest.raises(InvalidParameterError):
+            table1_rows(d=20, k=10, big_q=20)  # k >= d/2
+        with pytest.raises(InvalidParameterError):
+            table1_rows(d=20, k=4, big_q=4)  # Q < d/2
+
+
+class TestSeparationSummary:
+    def test_gap_and_threshold(self):
+        summary = SeparationSummary(
+            member_values=(100.0, 120.0), non_member_values=(10.0, 20.0)
+        )
+        assert summary.gap == pytest.approx(5.0)
+        assert summary.separable()
+        assert 20.0 < summary.best_threshold() < 100.0
+
+    def test_inseparable_case(self):
+        summary = SeparationSummary(
+            member_values=(10.0, 30.0), non_member_values=(20.0, 5.0)
+        )
+        assert not summary.separable()
+        assert summary.gap == 0.5
+
+    def test_infinite_gap_when_non_member_is_zero(self):
+        summary = SeparationSummary(member_values=(3.0,), non_member_values=(0.0,))
+        assert summary.gap == float("inf")
+        assert summary.mean_gap == float("inf")
+
+    def test_measure_separation_runs_both_branches(self):
+        def statistic(membership: bool, seed: int) -> float:
+            instance = build_f0_instance(
+                d=8, k=2, alphabet_size=4, membership=membership, code_size=20, seed=seed
+            )
+            return instance.exact_f0()
+
+        summary = measure_separation(statistic, trials=3)
+        assert len(summary.member_values) == 3
+        assert len(summary.non_member_values) == 3
+        assert summary.separable()
+        # Theorem 4.1 predicts a gap of at least Q/k = 2 between the branches.
+        assert summary.gap >= 2.0
+
+    def test_measure_separation_validation(self):
+        with pytest.raises(InvalidParameterError):
+            measure_separation(lambda membership, seed: 1.0, trials=0)
+        with pytest.raises(InvalidParameterError):
+            measure_separation(lambda membership, seed: 1.0, trials=3, seeds=[1])

