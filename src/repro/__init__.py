@@ -16,6 +16,8 @@ constructions and experimental harness of Cormode, Dickens and Woodruff
 * :mod:`repro.streaming`, :mod:`repro.workloads`, :mod:`repro.analysis` —
   stream plumbing, synthetic workloads, and the analytical bound/trade-off
   calculators behind Figure 1.
+* :mod:`repro.engine` — the sharded serving layer: stream partitioning,
+  parallel shard ingest, summary merging, and a cached batch-query service.
 
 Quickstart::
 
@@ -47,6 +49,13 @@ from .core import (
     rounding_distortion,
     sample_size_for,
 )
+from .engine import (
+    Coordinator,
+    IngestReport,
+    QueryService,
+    Shard,
+    StreamPartitioner,
+)
 from .errors import (
     AlphabetError,
     CodeConstructionError,
@@ -57,6 +66,7 @@ from .errors import (
     QueryError,
     ReproError,
 )
+from .streaming import RowStream
 
 __version__ = "1.0.0"
 
@@ -67,10 +77,12 @@ __all__ = [
     "AlphabetError",
     "CodeConstructionError",
     "ColumnQuery",
+    "Coordinator",
     "Dataset",
     "DimensionError",
     "EstimationError",
     "ExactBaseline",
+    "IngestReport",
     "FpEstimation",
     "FrequencyEstimation",
     "FrequencyVector",
@@ -80,8 +92,12 @@ __all__ = [
     "ProjectedFrequencyEstimator",
     "ProtocolError",
     "QueryError",
+    "QueryService",
     "ReproError",
+    "RowStream",
+    "Shard",
     "SketchPlan",
+    "StreamPartitioner",
     "UniformSampleEstimator",
     "__version__",
     "rounding_distortion",

@@ -18,6 +18,7 @@ to answer arbitrary late-arriving queries.
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass, field
 from typing import Callable
@@ -196,6 +197,47 @@ class AlphaNetEstimator(ProjectedFrequencyEstimator):
                 self._moment_sketches[index].update(pattern)
             if self._point_sketches is not None:
                 self._point_sketches[index].update(pattern)
+
+    def _merge_summaries(self, other: "ProjectedFrequencyEstimator") -> None:
+        """Merge member-by-member via the sketches' own ``merge()`` methods.
+
+        For the default plans (KMV / Count-Min / p-stable, all built with a
+        per-member seed) the merged state is *identical* to having streamed
+        the concatenated input into one estimator, so sharded ingestion is
+        lossless for Algorithm 1.
+        """
+        assert isinstance(other, AlphaNetEstimator)
+        if other._net.alpha != self._net.alpha or (
+            other._member_index != self._member_index
+        ):
+            raise InvalidParameterError(
+                "alpha-net estimators must share alpha and the same net "
+                "members to be merged"
+            )
+        # Merge into clones and commit only on full success, so a sketch
+        # incompatibility surfacing in a later family cannot leave ``self``
+        # partially merged (and thus double-counting) behind a caught error.
+        merged_families: list[list] = []
+        for ours, theirs in (
+            (self._distinct_sketches, other._distinct_sketches),
+            (self._moment_sketches, other._moment_sketches),
+            (self._point_sketches, other._point_sketches),
+        ):
+            if (ours is None) != (theirs is None):
+                raise InvalidParameterError(
+                    "alpha-net estimators must keep the same sketch families "
+                    "to be merged"
+                )
+            if ours is None or theirs is None:
+                merged_families.append(None)
+                continue
+            clones = copy.deepcopy(ours)
+            for mine, its in zip(clones, theirs):
+                mine.merge(its)
+            merged_families.append(clones)
+        self._distinct_sketches, self._moment_sketches, self._point_sketches = (
+            merged_families
+        )
 
     # -- query helpers ---------------------------------------------------------------
 

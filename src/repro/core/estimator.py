@@ -12,10 +12,11 @@ summaries against the paper's space bounds.
 from __future__ import annotations
 
 import abc
+import copy
 from typing import Iterable
 
 from ..coding.words import Word
-from ..errors import EstimationError
+from ..errors import EstimationError, InvalidParameterError
 from .dataset import ColumnQuery, Dataset
 
 __all__ = ["ProjectedFrequencyEstimator", "EstimatorRegistry"]
@@ -71,6 +72,76 @@ class ProjectedFrequencyEstimator(abc.ABC):
         for row in rows:
             self.observe_row(row)
         return self
+
+    # -- merge protocol --------------------------------------------------------
+
+    def _merge_summaries(self, other: "ProjectedFrequencyEstimator") -> None:
+        """Fold ``other``'s summary state into ``self`` (hook for subclasses).
+
+        Implementations may assume ``other`` is the same concrete type with a
+        matching ``n_columns``/``alphabet_size`` (checked by :meth:`merge`)
+        and must not touch ``_rows_observed`` — the caller accounts for it.
+        """
+        raise EstimationError(
+            f"{type(self).__name__} does not support merging"
+        )
+
+    @property
+    def is_mergeable(self) -> bool:
+        """Whether this estimator participates in the merge protocol.
+
+        The capability flag shard coordinators check before attempting a
+        distributed merge; ``True`` iff the subclass overrides
+        :meth:`_merge_summaries`.
+        """
+        return (
+            type(self)._merge_summaries
+            is not ProjectedFrequencyEstimator._merge_summaries
+        )
+
+    def merge(self, other: "ProjectedFrequencyEstimator") -> "ProjectedFrequencyEstimator":
+        """Fold ``other`` into ``self`` so the result summarises both streams.
+
+        Mergeability is what turns a single-node summary into a sharded one:
+        each shard observes a substream independently and the union summary
+        is recovered by merging, mirroring the sketch-level ``merge()``
+        contract of :class:`~repro.sketches.base.MergeableSketch`.
+
+        Raises
+        ------
+        EstimationError
+            If this estimator type does not support merging.
+        InvalidParameterError
+            If ``other`` is a different concrete type or its configuration
+            (dimension, alphabet, summary parameters) is incompatible.
+        """
+        if type(other) is not type(self):
+            raise InvalidParameterError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+        if other.n_columns != self.n_columns:
+            raise InvalidParameterError(
+                f"cannot merge estimators over {other.n_columns} and "
+                f"{self.n_columns} columns"
+            )
+        if other.alphabet_size != self.alphabet_size:
+            raise InvalidParameterError(
+                f"cannot merge estimators over alphabets of size "
+                f"{other.alphabet_size} and {self.alphabet_size}"
+            )
+        self._merge_summaries(other)
+        self._rows_observed += other.rows_observed
+        return self
+
+    def snapshot(self) -> "ProjectedFrequencyEstimator":
+        """An independent deep copy of the current summary state.
+
+        Snapshots are what shards ship across process boundaries: they are
+        pickle-able (every summary in this package is built from plain
+        containers and numpy state) and observing further rows on the
+        original never mutates a snapshot.
+        """
+        return copy.deepcopy(self)
 
     # -- query phase -----------------------------------------------------------
 

@@ -45,6 +45,11 @@ class ExactBaseline(ProjectedFrequencyEstimator):
     def _observe(self, row: Word) -> None:
         self._rows.append(row)
 
+    def _merge_summaries(self, other: "ProjectedFrequencyEstimator") -> None:
+        """Concatenate the stored rows (trivially exact under merging)."""
+        assert isinstance(other, ExactBaseline)
+        self._rows.extend(other._rows)
+
     def _frequencies(self, query: ColumnQuery) -> FrequencyVector:
         counts: dict[Word, int] = {}
         for row in self._rows:
@@ -148,6 +153,17 @@ class AllSubsetsBaseline(ProjectedFrequencyEstimator):
     def _observe(self, row: Word) -> None:
         for index, subset in enumerate(self._subsets):
             self._sketches[index].update(project_word(row, subset.columns))
+
+    def _merge_summaries(self, other: "ProjectedFrequencyEstimator") -> None:
+        """Merge the per-subset sketches pairwise."""
+        assert isinstance(other, AllSubsetsBaseline)
+        if other._subset_index != self._subset_index:
+            raise InvalidParameterError(
+                "all-subsets baselines must materialise the same subsets to "
+                "be merged"
+            )
+        for mine, its in zip(self._sketches, other._sketches):
+            mine.merge(its)
 
     def estimate_fp(self, query: ColumnQuery, p: float) -> float:
         if p == 1:

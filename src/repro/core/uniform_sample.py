@@ -111,6 +111,21 @@ class UniformSampleEstimator(ProjectedFrequencyEstimator):
     def _observe(self, row: Word) -> None:
         self._sampler.update(row)
 
+    def _merge_summaries(self, other: "ProjectedFrequencyEstimator") -> None:
+        """Merge by subsampling the two row samples (Theorem 5.1 is oblivious
+        to *which* uniform sample is kept, so the merged summary retains the
+        full accuracy guarantee for the concatenated stream)."""
+        assert isinstance(other, UniformSampleEstimator)
+        if other._sample_size != self._sample_size:
+            raise InvalidParameterError(
+                "uniform-sample estimators must share sample_size to be merged"
+            )
+        if other._with_replacement != self._with_replacement:
+            raise InvalidParameterError(
+                "cannot merge with- and without-replacement sample summaries"
+            )
+        self._sampler.merge(other._sampler)  # type: ignore[arg-type]
+
     # -- queries -----------------------------------------------------------------
 
     def _scale_factor(self) -> float:

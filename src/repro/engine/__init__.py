@@ -1,0 +1,28 @@
+"""Sharded, mergeable, parallel ingest + query-serving engine.
+
+The scaling layer on top of the reproduction: partition a row stream across
+shards (:mod:`~repro.engine.partition`), ingest the shards in parallel into
+mergeable estimator replicas (:mod:`~repro.engine.shard`,
+:mod:`~repro.engine.coordinator`), and serve batch queries from the merged
+summary with caching and latency accounting (:mod:`~repro.engine.service`,
+:mod:`~repro.engine.stats`).
+"""
+
+from .coordinator import INGEST_BACKENDS, Coordinator, IngestReport
+from .partition import PARTITION_POLICIES, StreamPartitioner
+from .service import CacheInfo, QueryService
+from .shard import Shard
+from .stats import LatencyRecorder, LatencySummary
+
+__all__ = [
+    "CacheInfo",
+    "Coordinator",
+    "INGEST_BACKENDS",
+    "IngestReport",
+    "LatencyRecorder",
+    "LatencySummary",
+    "PARTITION_POLICIES",
+    "QueryService",
+    "Shard",
+    "StreamPartitioner",
+]

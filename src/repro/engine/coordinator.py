@@ -1,0 +1,217 @@
+"""The engine coordinator: partition, parallel ingest, merge.
+
+:class:`Coordinator` turns the single-node observe-then-query protocol into
+a sharded one:
+
+1. a :class:`~repro.engine.partition.StreamPartitioner` assigns every row of
+   the input stream to one of ``n_shards`` shards;
+2. each :class:`~repro.engine.shard.Shard` feeds its rows to a fresh
+   estimator replica — serially, or in parallel worker processes (each
+   shard's estimator is pickled out, updated in the worker, and pickled
+   back);
+3. the per-shard summaries are folded together through the estimator-level
+   ``merge()`` protocol, yielding one summary of the whole stream.
+
+Because every partition policy produces disjoint substreams whose union is
+the input, and because merging is lossless for the default sketch plans,
+the merged summary answers queries exactly as a single-node summary of the
+same stream would (identically for deterministic summaries, in distribution
+for sampling-based ones).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
+
+from ..coding.words import Word
+from ..core.estimator import ProjectedFrequencyEstimator
+from ..errors import EstimationError, InvalidParameterError
+from ..streaming.stream import RowStream
+from .partition import StreamPartitioner
+from .service import QueryService
+from .shard import Shard
+
+__all__ = ["Coordinator", "IngestReport", "INGEST_BACKENDS"]
+
+#: Supported ingest execution backends.
+INGEST_BACKENDS = ("serial", "processes")
+
+
+def _ingest_shard(shard: Shard, rows: list[Word]) -> Shard:
+    """Worker entry point: feed one shard and hand it back (pickled)."""
+    return shard.ingest(rows)
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """Timings and row accounting for one :meth:`Coordinator.ingest` call."""
+
+    n_shards: int
+    backend: str
+    policy: str
+    rows_total: int
+    rows_per_shard: tuple[int, ...]
+    wall_seconds: float
+    shard_seconds: tuple[float, ...]
+    merge_seconds: float
+
+    @property
+    def rows_per_second(self) -> float:
+        """End-to-end ingest throughput (partition + ingest + merge)."""
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.rows_total / self.wall_seconds
+
+
+class Coordinator:
+    """Sharded ingest plus a merged summary serving late-arriving queries.
+
+    Parameters
+    ----------
+    estimator_factory:
+        Zero-argument factory producing a fresh estimator replica per shard.
+        Replicas of randomized summaries should share seeds so that sharded
+        and single-node ingestion are comparable run to run.
+    n_shards:
+        Number of estimator replicas (and, under the ``"processes"``
+        backend, worker processes).
+    policy:
+        Shard assignment policy, see
+        :data:`~repro.engine.partition.PARTITION_POLICIES`.
+    backend:
+        ``"processes"`` ingests shards in parallel worker processes;
+        ``"serial"`` ingests them one after another in-process (useful as a
+        baseline and wherever multiprocessing is unavailable).
+    hash_seed:
+        Seed for the ``"hash"`` partition policy.
+    max_workers:
+        Cap on concurrent worker processes; defaults to ``n_shards``.
+    """
+
+    def __init__(
+        self,
+        estimator_factory: Callable[[], ProjectedFrequencyEstimator],
+        n_shards: int = 4,
+        policy: str = "round_robin",
+        backend: str = "processes",
+        hash_seed: int = 0,
+        max_workers: int | None = None,
+    ) -> None:
+        if backend not in INGEST_BACKENDS:
+            raise InvalidParameterError(
+                f"unknown ingest backend {backend!r}; expected one of "
+                f"{INGEST_BACKENDS}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise InvalidParameterError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self._factory = estimator_factory
+        self._partitioner = StreamPartitioner(n_shards, policy, hash_seed)
+        self._backend = backend
+        self._max_workers = max_workers
+        self._shards: list[Shard] = []
+        self._merged: ProjectedFrequencyEstimator | None = None
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        """Number of estimator replicas per ingest."""
+        return self._partitioner.n_shards
+
+    @property
+    def backend(self) -> str:
+        """The configured ingest backend."""
+        return self._backend
+
+    @property
+    def shards(self) -> list[Shard]:
+        """The shards of the most recent :meth:`ingest` call."""
+        return list(self._shards)
+
+    @property
+    def merged_estimator(self) -> ProjectedFrequencyEstimator:
+        """The merged summary of every stream ingested so far."""
+        if self._merged is None:
+            raise EstimationError("nothing ingested yet; call ingest() first")
+        return self._merged
+
+    # -- ingest ------------------------------------------------------------------
+
+    def ingest(self, stream: RowStream) -> IngestReport:
+        """Partition ``stream``, ingest the shards, and merge the summaries.
+
+        Repeated calls accumulate: each batch's merged summary is folded
+        into the summary of all earlier batches, so the engine can ingest an
+        unbounded sequence of stream segments.
+
+        The serial backend dispatches rows to shards in a single pass with
+        ``O(summary)`` memory, honouring the streaming model; the process
+        backend materialises each shard's rows once, because workers receive
+        their input by pickle.
+        """
+        started = time.perf_counter()
+        shards = [Shard(index, self._factory()) for index in range(self.n_shards)]
+        # Anything that will need a merge later — multiple replicas now, or
+        # folding this batch into previously ingested ones — must be
+        # mergeable, and saying so before ingesting beats failing after.
+        if (self.n_shards > 1 or self._merged is not None) and (
+            not shards[0].estimator.is_mergeable
+        ):
+            raise EstimationError(
+                f"{type(shards[0].estimator).__name__} is not mergeable; it "
+                "cannot be sharded or ingested incrementally"
+            )
+        if self._backend == "serial" or self.n_shards == 1:
+            for index, row in enumerate(stream):
+                shards[self._partitioner.assign(index, row)].ingest_row(row)
+        else:
+            buckets = self._partitioner.split(stream)
+            shards = self._ingest_in_processes(shards, buckets)
+        merge_started = time.perf_counter()
+        merged = shards[0].snapshot()
+        for shard in shards[1:]:
+            merged.merge(shard.estimator)
+        if self._merged is not None:
+            self._merged.merge(merged)
+        else:
+            self._merged = merged
+        merge_seconds = time.perf_counter() - merge_started
+        self._shards = shards
+        rows_per_shard = tuple(shard.rows_ingested for shard in shards)
+        return IngestReport(
+            n_shards=self.n_shards,
+            backend=self._backend,
+            policy=self._partitioner.policy,
+            rows_total=sum(rows_per_shard),
+            rows_per_shard=rows_per_shard,
+            wall_seconds=time.perf_counter() - started,
+            shard_seconds=tuple(shard.ingest_seconds for shard in shards),
+            merge_seconds=merge_seconds,
+        )
+
+    def _ingest_in_processes(
+        self, shards: list[Shard], buckets: list[list[Word]]
+    ) -> list[Shard]:
+        """Run :func:`_ingest_shard` for every shard in a process pool."""
+        # Fork (where available) shares the parent's loaded modules and is
+        # dramatically cheaper to start than spawn; estimators travel by
+        # pickle in both directions either way.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0]
+        )
+        workers = min(self._max_workers or self.n_shards, self.n_shards)
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            return list(pool.map(_ingest_shard, shards, buckets))
+
+    # -- serving -----------------------------------------------------------------
+
+    def query_service(self, cache_size: int = 1024) -> QueryService:
+        """A query-serving front end over the merged summary."""
+        return QueryService(self.merged_estimator, cache_size=cache_size)

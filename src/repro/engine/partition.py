@@ -1,0 +1,98 @@
+"""Stream partitioning: split one row stream into per-shard substreams.
+
+The first stage of the sharded engine.  A :class:`StreamPartitioner` assigns
+every row of a :class:`~repro.streaming.stream.RowStream` to exactly one of
+``n_shards`` shards under one of two policies:
+
+* ``"round_robin"`` — row ``i`` goes to shard ``i mod n_shards``.  Perfectly
+  balanced and cheap, but placement depends on arrival order, so it models a
+  load balancer spraying traffic.
+* ``"hash"`` — each row is placed by a stable 64-bit hash of its content.
+  Placement is order independent (two ingest pipelines replaying the same
+  rows in different orders agree on every assignment), which is what
+  content-addressed routing in a distributed ingest tier needs.
+
+Both policies are *partitions*: the substreams are disjoint and their union
+is the input stream, which is exactly the precondition under which merging
+per-shard summaries recovers the single-node summary.
+"""
+
+from __future__ import annotations
+
+from ..coding.words import Word
+from ..errors import InvalidParameterError
+from ..streaming.stream import SHARD_POLICIES, RowStream, shard_assignment
+
+__all__ = ["PARTITION_POLICIES", "StreamPartitioner"]
+
+#: Supported shard-assignment policies (one definition, shared with
+#: :meth:`~repro.streaming.stream.RowStream.shard`).
+PARTITION_POLICIES = SHARD_POLICIES
+
+
+class StreamPartitioner:
+    """Assign rows of a stream to shards under a fixed policy.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shards to partition into.
+    policy:
+        One of :data:`PARTITION_POLICIES`.
+    hash_seed:
+        Seed of the content hash used by the ``"hash"`` policy, so distinct
+        partitioners (for example for re-sharding experiments) can be made
+        independent.
+    """
+
+    def __init__(
+        self, n_shards: int, policy: str = "round_robin", hash_seed: int = 0
+    ) -> None:
+        if n_shards < 1:
+            raise InvalidParameterError(f"n_shards must be >= 1, got {n_shards}")
+        if policy not in PARTITION_POLICIES:
+            raise InvalidParameterError(
+                f"unknown partition policy {policy!r}; expected one of "
+                f"{PARTITION_POLICIES}"
+            )
+        self._n_shards = int(n_shards)
+        self._policy = policy
+        self._hash_seed = int(hash_seed)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards rows are assigned to."""
+        return self._n_shards
+
+    @property
+    def policy(self) -> str:
+        """The configured assignment policy."""
+        return self._policy
+
+    def assign(self, index: int, row: Word) -> int:
+        """Shard id for the row at stream position ``index``."""
+        return shard_assignment(
+            index, row, self._n_shards, self._policy, self._hash_seed
+        )
+
+    def split(self, stream: RowStream) -> list[list[Word]]:
+        """Materialise the shard assignment in a single pass over ``stream``.
+
+        Used by the coordinator to hand each worker its rows without
+        replaying the stream once per shard.
+        """
+        buckets: list[list[Word]] = [[] for _ in range(self._n_shards)]
+        for index, row in enumerate(stream):
+            buckets[self.assign(index, row)].append(row)
+        return buckets
+
+    def substreams(self, stream: RowStream) -> list[RowStream]:
+        """Lazy per-shard substreams (each replays and filters ``stream``).
+
+        Equivalent to :meth:`split` row-for-row but without materialising
+        anything; suited to shards that pull their own input.
+        """
+        return [
+            stream.shard(index, self._n_shards, self._policy, self._hash_seed)
+            for index in range(self._n_shards)
+        ]

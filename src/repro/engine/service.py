@@ -1,0 +1,162 @@
+"""Query-serving front end: batch queries, result cache, latency stats.
+
+:class:`QueryService` wraps a (merged) estimator behind the three query
+methods of the paper's model — ``F_p`` moments, point frequencies, and heavy
+hitters — and adds the serving-side machinery a query tier needs:
+
+* an LRU result cache keyed by the query content (summaries are frozen once
+  the observation phase ends, so cached answers never go stale until more
+  data is merged in — :meth:`invalidate` resets the cache for that case);
+* per-query-kind latency recorders, fed only by cache misses so that the
+  numbers reflect actual summary work;
+* batch entry points that answer many queries in one call.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Sequence
+
+from ..coding.words import Word
+from ..core.dataset import ColumnQuery
+from ..core.estimator import ProjectedFrequencyEstimator
+from ..errors import InvalidParameterError
+from .stats import LatencyRecorder, LatencySummary
+
+__all__ = ["CacheInfo", "QueryService"]
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Hit/miss accounting of the service's LRU result cache."""
+
+    hits: int
+    misses: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries answered from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class QueryService:
+    """Serve batch queries from a frozen summary with caching and stats.
+
+    Parameters
+    ----------
+    estimator:
+        The summary to answer from (typically
+        :attr:`~repro.engine.coordinator.Coordinator.merged_estimator`).
+    cache_size:
+        Capacity of the LRU result cache; ``0`` disables caching.
+    """
+
+    def __init__(
+        self, estimator: ProjectedFrequencyEstimator, cache_size: int = 1024
+    ) -> None:
+        if cache_size < 0:
+            raise InvalidParameterError(
+                f"cache_size must be >= 0, got {cache_size}"
+            )
+        self._estimator = estimator
+        self._cache_size = int(cache_size)
+        self._cache: OrderedDict[Hashable, object] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._recorders: dict[str, LatencyRecorder] = {}
+
+    @property
+    def estimator(self) -> ProjectedFrequencyEstimator:
+        """The summary this service answers from."""
+        return self._estimator
+
+    # -- cache plumbing ----------------------------------------------------------
+
+    def _serve(self, kind: str, key: Hashable, compute: Callable[[], object]) -> object:
+        cache_key = (kind, key)
+        if self._cache_size and cache_key in self._cache:
+            self._hits += 1
+            self._cache.move_to_end(cache_key)
+            return self._cache[cache_key]
+        started = time.perf_counter()
+        value = compute()
+        elapsed = time.perf_counter() - started
+        self._misses += 1
+        self._recorders.setdefault(kind, LatencyRecorder()).record(elapsed)
+        if self._cache_size:
+            self._cache[cache_key] = value
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return value
+
+    def invalidate(self) -> None:
+        """Drop every cached result (call after merging in more data)."""
+        self._cache.clear()
+
+    def cache_info(self) -> CacheInfo:
+        """Current hit/miss accounting of the result cache."""
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            size=len(self._cache),
+            capacity=self._cache_size,
+        )
+
+    def stats(self) -> dict[str, LatencySummary]:
+        """Per-query-kind latency summaries (cache misses only)."""
+        return {kind: rec.summary() for kind, rec in self._recorders.items()}
+
+    # -- single queries ----------------------------------------------------------
+
+    def estimate_fp(self, query: ColumnQuery, p: float) -> float:
+        """Serve ``F_p(A, C)`` for one query."""
+        return self._serve(  # type: ignore[return-value]
+            "fp",
+            (query.columns, float(p)),
+            lambda: float(self._estimator.estimate_fp(query, p)),
+        )
+
+    def estimate_frequency(self, query: ColumnQuery, pattern: Word) -> float:
+        """Serve a projected point-frequency estimate for one query."""
+        return self._serve(  # type: ignore[return-value]
+            "frequency",
+            (query.columns, tuple(pattern)),
+            lambda: float(self._estimator.estimate_frequency(query, pattern)),
+        )
+
+    def heavy_hitters(
+        self, query: ColumnQuery, phi: float, p: float = 1.0
+    ) -> dict[Word, float]:
+        """Serve the ``φ``-heavy hitters of one projection."""
+        report = self._serve(
+            "heavy_hitters",
+            (query.columns, float(phi), float(p)),
+            lambda: dict(self._estimator.heavy_hitters(query, phi, p)),
+        )
+        # Hand out a copy so callers cannot mutate the cached value.
+        return dict(report)  # type: ignore[arg-type]
+
+    # -- batch queries -----------------------------------------------------------
+
+    def batch_estimate_fp(
+        self, queries: Sequence[ColumnQuery], p: float
+    ) -> list[float]:
+        """Serve ``F_p`` for a batch of queries."""
+        return [self.estimate_fp(query, p) for query in queries]
+
+    def batch_estimate_frequency(
+        self, requests: Iterable[tuple[ColumnQuery, Word]]
+    ) -> list[float]:
+        """Serve point frequencies for a batch of ``(query, pattern)`` pairs."""
+        return [self.estimate_frequency(query, pattern) for query, pattern in requests]
+
+    def batch_heavy_hitters(
+        self, queries: Sequence[ColumnQuery], phi: float, p: float = 1.0
+    ) -> list[dict[Word, float]]:
+        """Serve heavy hitters for a batch of queries."""
+        return [self.heavy_hitters(query, phi, p) for query in queries]

@@ -1,0 +1,87 @@
+"""A shard: one estimator replica bound to one substream.
+
+Shards are the unit of parallelism in the engine.  Each shard owns a fresh
+estimator, ingests only the rows its partition policy assigned to it, and
+exposes a :meth:`snapshot` of its summary for merging.  Shards are plain
+pickle-able objects so the coordinator can ship them to worker processes and
+get the updated summaries back.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+from ..coding.words import Word
+from ..core.estimator import ProjectedFrequencyEstimator
+from ..errors import InvalidParameterError
+
+__all__ = ["Shard"]
+
+
+class Shard:
+    """One estimator replica plus ingest bookkeeping.
+
+    Parameters
+    ----------
+    shard_id:
+        Position of this shard in the coordinator's shard list.
+    estimator:
+        The fresh estimator replica this shard feeds.  It must be mergeable
+        (``estimator.is_mergeable``) for the coordinator to combine shard
+        summaries later.
+    """
+
+    def __init__(self, shard_id: int, estimator: ProjectedFrequencyEstimator) -> None:
+        if shard_id < 0:
+            raise InvalidParameterError(f"shard_id must be >= 0, got {shard_id}")
+        self._shard_id = int(shard_id)
+        self._estimator = estimator
+        self._rows_ingested = 0
+        self._ingest_seconds = 0.0
+
+    @property
+    def shard_id(self) -> int:
+        """Position of this shard in the coordinator's shard list."""
+        return self._shard_id
+
+    @property
+    def estimator(self) -> ProjectedFrequencyEstimator:
+        """The estimator replica this shard maintains."""
+        return self._estimator
+
+    @property
+    def rows_ingested(self) -> int:
+        """Rows absorbed by this shard so far."""
+        return self._rows_ingested
+
+    @property
+    def ingest_seconds(self) -> float:
+        """Cumulative wall-clock time spent inside :meth:`ingest`."""
+        return self._ingest_seconds
+
+    def ingest(self, rows: Iterable[Word]) -> "Shard":
+        """Feed ``rows`` to this shard's estimator replica."""
+        started = time.perf_counter()
+        for row in rows:
+            self._estimator.observe_row(row)
+            self._rows_ingested += 1
+        self._ingest_seconds += time.perf_counter() - started
+        return self
+
+    def ingest_row(self, row: Word) -> None:
+        """Feed a single row (the coordinator's streaming dispatch path)."""
+        started = time.perf_counter()
+        self._estimator.observe_row(row)
+        self._rows_ingested += 1
+        self._ingest_seconds += time.perf_counter() - started
+
+    def snapshot(self) -> ProjectedFrequencyEstimator:
+        """An independent copy of the shard's summary, safe to merge/ship."""
+        return self._estimator.snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Shard(id={self._shard_id}, rows={self._rows_ingested}, "
+            f"estimator={type(self._estimator).__name__})"
+        )

@@ -1,0 +1,71 @@
+"""Latency accounting for the query-serving layer.
+
+A tiny, dependency-free recorder: the query service feeds it one duration
+per query and reads back count / mean / max / percentiles.  Kept separate
+from the service so ingest benchmarks can reuse it for per-shard timings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import InvalidParameterError
+
+__all__ = ["LatencyRecorder", "LatencySummary"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Immutable snapshot of a :class:`LatencyRecorder`."""
+
+    count: int
+    total_seconds: float
+    mean_seconds: float
+    min_seconds: float
+    max_seconds: float
+    p50_seconds: float
+    p95_seconds: float
+
+
+class LatencyRecorder:
+    """Accumulate per-query durations and summarise them."""
+
+    def __init__(self) -> None:
+        self._durations: list[float] = []
+
+    def record(self, seconds: float) -> None:
+        """Record one query duration."""
+        if seconds < 0:
+            raise InvalidParameterError(f"seconds must be >= 0, got {seconds}")
+        self._durations.append(float(seconds))
+
+    @property
+    def count(self) -> int:
+        """Number of recorded durations."""
+        return len(self._durations)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (nearest-rank) of the recorded durations."""
+        if not 0 <= q <= 100:
+            raise InvalidParameterError(f"q must be in [0, 100], got {q}")
+        if not self._durations:
+            raise InvalidParameterError("no durations recorded")
+        ordered = sorted(self._durations)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def summary(self) -> LatencySummary:
+        """Snapshot the recorder into a :class:`LatencySummary`."""
+        if not self._durations:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        total = sum(self._durations)
+        return LatencySummary(
+            count=len(self._durations),
+            total_seconds=total,
+            mean_seconds=total / len(self._durations),
+            min_seconds=min(self._durations),
+            max_seconds=max(self._durations),
+            p50_seconds=self.percentile(50),
+            p95_seconds=self.percentile(95),
+        )

@@ -69,6 +69,50 @@ class ReservoirSampler(Sketch[RowT], Generic[RowT]):
             if position < self._capacity:
                 self._reservoir[position] = item
 
+    def merge(self, other: "ReservoirSampler[RowT]") -> None:
+        """Fold ``other`` into ``self`` so the reservoir samples both streams.
+
+        The classical mergeable-summaries subsampling step: while slots
+        remain, draw from either reservoir with probability proportional to
+        the length of the stream it represents, without replacement.  Each
+        element of the union stream keeps inclusion probability
+        ``t / (n_1 + n_2)`` in expectation.
+        """
+        if not isinstance(other, ReservoirSampler):
+            raise InvalidParameterError(
+                "can only merge with another ReservoirSampler"
+            )
+        if other._capacity != self._capacity:
+            raise InvalidParameterError(
+                "reservoir samplers must share capacity to be merged"
+            )
+        ours, theirs = list(self._reservoir), list(other._reservoir)
+        weight_ours = float(self._items_processed)
+        weight_theirs = float(other._items_processed)
+        self._items_processed += other._items_processed
+        if len(ours) + len(theirs) <= self._capacity:
+            self._reservoir = ours + theirs
+            return
+        merged: list[RowT] = []
+        while len(merged) < self._capacity and (ours or theirs):
+            take_ours = bool(ours) and (
+                not theirs
+                or self._rng.random() < weight_ours / (weight_ours + weight_theirs)
+            )
+            source = ours if take_ours else theirs
+            position = int(self._rng.integers(0, len(source)))
+            item = source.pop(position)
+            # The drawn item stops representing its stream: scale the
+            # stream's weight by the surviving fraction of its reservoir, so
+            # a short stream that exhausts early does not get starved of the
+            # remaining draws.
+            if take_ours:
+                weight_ours *= len(source) / (len(source) + 1)
+            else:
+                weight_theirs *= len(source) / (len(source) + 1)
+            merged.append(item)
+        self._reservoir = merged
+
     def sample(self) -> list[RowT]:
         """Return a copy of the current sample."""
         return list(self._reservoir)
@@ -128,6 +172,34 @@ class WithReplacementSampler(Sketch[RowT], Generic[RowT]):
             for slot_index in np.nonzero(accept)[0]:
                 self._slots[int(slot_index)] = item
 
+    def merge(self, other: "WithReplacementSampler[RowT]") -> None:
+        """Fold ``other`` into ``self``, slot by slot.
+
+        Each slot independently keeps its own draw with probability
+        ``n_1 / (n_1 + n_2)`` and adopts ``other``'s draw otherwise, which is
+        exactly the distribution of one uniform draw from the concatenated
+        stream (slots are independent single-slot reservoirs).
+        """
+        if not isinstance(other, WithReplacementSampler):
+            raise InvalidParameterError(
+                "can only merge with another WithReplacementSampler"
+            )
+        if other._draws != self._draws:
+            raise InvalidParameterError(
+                "with-replacement samplers must share the draw count to be merged"
+            )
+        total = self._items_processed + other._items_processed
+        if other._items_processed == 0:
+            return
+        if self._items_processed == 0:
+            self._slots = list(other._slots)
+            self._items_processed = total
+            return
+        adopt = self._rng.random(self._draws) < (other._items_processed / total)
+        for slot_index in np.nonzero(adopt)[0]:
+            self._slots[int(slot_index)] = other._slots[int(slot_index)]
+        self._items_processed = total
+
     def sample(self) -> list[RowT]:
         """Return the ``t`` draws (empty list if no data has been observed)."""
         if self._items_processed == 0:
@@ -176,6 +248,24 @@ class BernoulliSampler(Sketch[RowT], Generic[RowT]):
             self._items_processed += 1
             if self._rng.random() < self._rate:
                 self._sample.append(item)
+
+    def merge(self, other: "BernoulliSampler[RowT]") -> None:
+        """Fold ``other`` into ``self`` by concatenating the retained rows.
+
+        Exact: Bernoulli retention decisions are independent per row, so the
+        union of two samples at the same rate is distributed identically to
+        sampling the concatenated stream.
+        """
+        if not isinstance(other, BernoulliSampler):
+            raise InvalidParameterError(
+                "can only merge with another BernoulliSampler"
+            )
+        if other._rate != self._rate:
+            raise InvalidParameterError(
+                "Bernoulli samplers must share the rate to be merged"
+            )
+        self._items_processed += other._items_processed
+        self._sample.extend(other._sample)
 
     def sample(self) -> list[RowT]:
         """Return a copy of the retained rows."""

@@ -36,11 +36,42 @@ class QueryMeasurement:
     query_seconds: float
 
     @property
+    def signs_agree(self) -> bool:
+        """Whether estimate and exact value fall on the same side of zero.
+
+        Distinguishes a genuine sign disagreement (one value negative) from
+        the benign boundary case where the exact value is ``0`` and the
+        estimate merely overshoots it (or vice versa), which
+        :attr:`multiplicative_error` previously conflated into ``inf``.
+        """
+        if self.exact == 0.0 or self.estimate == 0.0:
+            return self.exact == self.estimate
+        return (self.exact > 0) == (self.estimate > 0)
+
+    @property
     def multiplicative_error(self) -> float:
-        """``max(estimate/exact, exact/estimate)`` (``inf`` on sign disagreement)."""
+        """``max(estimate/exact, exact/estimate)``, finite when ``exact == 0``.
+
+        * both values zero → ``1.0`` (a perfect answer);
+        * ``exact == 0`` with a positive estimate → the finite penalty
+          ``1 + estimate``, i.e. the ratio after shifting both values up by
+          one unit of frequency: over-reporting a little mass on an empty
+          projection is ordinary additive sketch noise, not an unbounded
+          failure, so it stays comparable with regular ratios;
+        * a zero estimate of positive mass → ``inf`` (the estimator missed
+          everything, a genuinely unbounded multiplicative miss);
+        * any negative value → ``inf`` (sign disagreement).
+
+        :attr:`signs_agree` tells the benign empty-projection boundary apart
+        from the infinite cases.
+        """
         if self.exact == 0 and self.estimate == 0:
             return 1.0
-        if self.exact <= 0 or self.estimate <= 0:
+        if self.exact < 0 or self.estimate < 0:
+            return float("inf")
+        if self.exact == 0:
+            return 1.0 + self.estimate
+        if self.estimate == 0:
             return float("inf")
         return max(self.estimate / self.exact, self.exact / self.estimate)
 

@@ -17,8 +17,30 @@ import numpy as np
 from ..coding.words import Word
 from ..core.dataset import Dataset
 from ..errors import DimensionError, InvalidParameterError
+from ..sketches.hashing import stable_hash64
 
-__all__ = ["RowStream"]
+__all__ = ["RowStream", "SHARD_POLICIES", "shard_assignment"]
+
+#: Shard-assignment policies understood by :meth:`RowStream.shard` and the
+#: engine's :class:`~repro.engine.partition.StreamPartitioner`.
+SHARD_POLICIES = ("round_robin", "hash")
+
+
+def shard_assignment(
+    index: int, row: Word, n_shards: int, policy: str, hash_seed: int = 0
+) -> int:
+    """Shard id for the row at stream position ``index`` under ``policy``.
+
+    The single definition both the lazy substreams and the engine's
+    partitioner route through, so the two can never disagree on placement.
+    """
+    if policy == "round_robin":
+        return index % n_shards
+    if policy == "hash":
+        return stable_hash64(row, hash_seed) % n_shards
+    raise InvalidParameterError(
+        f"unknown shard policy {policy!r}; expected one of {SHARD_POLICIES}"
+    )
 
 
 class RowStream:
@@ -127,6 +149,40 @@ class RowStream:
         order = rng.permutation(len(rows))
         shuffled_rows = [rows[int(index)] for index in order]
         return RowStream.from_rows(shuffled_rows, self._n_columns, self._alphabet_size)
+
+    def shard(
+        self,
+        shard_index: int,
+        n_shards: int,
+        policy: str = "round_robin",
+        hash_seed: int = 0,
+    ) -> "RowStream":
+        """The substream of rows assigned to one of ``n_shards`` shards.
+
+        Two assignment policies are supported: ``"round_robin"`` assigns row
+        ``i`` to shard ``i mod n_shards`` (perfectly balanced, order
+        dependent) and ``"hash"`` assigns each row by a stable hash of its
+        content (order independent, so replicated ingest pipelines agree on
+        placement).  The ``n_shards`` substreams partition this stream: every
+        row appears in exactly one of them.
+        """
+        if n_shards < 1:
+            raise InvalidParameterError(f"n_shards must be >= 1, got {n_shards}")
+        if not 0 <= shard_index < n_shards:
+            raise InvalidParameterError(
+                f"shard_index must be in [0, {n_shards}), got {shard_index}"
+            )
+        if policy not in SHARD_POLICIES:
+            raise InvalidParameterError(
+                f"unknown shard policy {policy!r}; expected one of {SHARD_POLICIES}"
+            )
+        factory = lambda: (  # noqa: E731
+            row
+            for index, row in enumerate(self)
+            if shard_assignment(index, row, n_shards, policy, hash_seed)
+            == shard_index
+        )
+        return RowStream(factory, self._n_columns, self._alphabet_size)
 
     def map_rows(self, transform: Callable[[Word], Word], n_columns: int | None = None,
                  alphabet_size: int | None = None) -> "RowStream":

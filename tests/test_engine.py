@@ -1,0 +1,313 @@
+"""Tests for the sharded engine: partitioning, coordination, serving.
+
+The load-bearing property is acceptance-criterion #3 of the engine design:
+a :class:`~repro.engine.coordinator.Coordinator` with ``N >= 2`` shards must
+produce estimates equal (deterministic summaries) or statistically
+equivalent (randomized summaries with shared seeds) to single-shard
+ingestion of the same stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AlphaNetEstimator,
+    ColumnQuery,
+    Coordinator,
+    Dataset,
+    EstimationError,
+    ExactBaseline,
+    InvalidParameterError,
+    QueryService,
+    RowStream,
+    Shard,
+    SketchPlan,
+    StreamPartitioner,
+    UniformSampleEstimator,
+)
+from repro.engine import LatencyRecorder
+
+D = 8
+DATA = Dataset.random(n_rows=600, n_columns=D, seed=4)
+STREAM = RowStream(DATA)
+QUERY = ColumnQuery.of([0, 3, 6], D)
+
+
+def _alpha_net_factory() -> AlphaNetEstimator:
+    return AlphaNetEstimator(
+        n_columns=D, alpha=0.3, plan=SketchPlan.default_f0(epsilon=0.3, seed=9)
+    )
+
+
+# -- partitioning ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy", ["round_robin", "hash"])
+def test_partition_is_exact_cover(policy: str) -> None:
+    partitioner = StreamPartitioner(n_shards=4, policy=policy)
+    buckets = partitioner.split(STREAM)
+    assert len(buckets) == 4
+    merged = [row for bucket in buckets for row in bucket]
+    assert sorted(merged) == sorted(STREAM)
+
+
+def test_round_robin_balances_exactly() -> None:
+    buckets = StreamPartitioner(n_shards=4, policy="round_robin").split(STREAM)
+    assert [len(bucket) for bucket in buckets] == [150, 150, 150, 150]
+
+
+def test_hash_policy_is_content_addressed() -> None:
+    """Hash placement ignores arrival order: a shuffled replay lands rows
+    on exactly the same shards."""
+    partitioner = StreamPartitioner(n_shards=4, policy="hash", hash_seed=2)
+    original = partitioner.split(STREAM)
+    shuffled = partitioner.split(STREAM.shuffled(seed=13))
+    assert [sorted(bucket) for bucket in original] == [
+        sorted(bucket) for bucket in shuffled
+    ]
+
+
+def test_lazy_substreams_match_materialised_split() -> None:
+    partitioner = StreamPartitioner(n_shards=3, policy="hash", hash_seed=5)
+    assert [list(sub) for sub in partitioner.substreams(STREAM)] == partitioner.split(
+        STREAM
+    )
+
+
+def test_partitioner_validation() -> None:
+    with pytest.raises(InvalidParameterError):
+        StreamPartitioner(n_shards=0)
+    with pytest.raises(InvalidParameterError):
+        StreamPartitioner(n_shards=2, policy="range")
+    with pytest.raises(InvalidParameterError):
+        STREAM.shard(3, 3)
+    with pytest.raises(InvalidParameterError):
+        STREAM.shard(0, 2, policy="range")
+
+
+# -- shards ---------------------------------------------------------------------
+
+
+def test_shard_ingest_and_snapshot() -> None:
+    shard = Shard(0, ExactBaseline(n_columns=D))
+    shard.ingest(STREAM.take(100))
+    assert shard.rows_ingested == 100
+    assert shard.estimator.rows_observed == 100
+    frozen = shard.snapshot()
+    shard.ingest(STREAM.take(50))
+    assert frozen.rows_observed == 100
+    with pytest.raises(InvalidParameterError):
+        Shard(-1, ExactBaseline(n_columns=D))
+
+
+# -- coordinator equivalence ----------------------------------------------------
+
+
+@pytest.mark.parametrize("policy", ["round_robin", "hash"])
+@pytest.mark.parametrize("n_shards", [2, 4])
+def test_sharded_exact_baseline_equals_single_node(policy: str, n_shards: int) -> None:
+    coordinator = Coordinator(
+        lambda: ExactBaseline(n_columns=D),
+        n_shards=n_shards,
+        policy=policy,
+        backend="serial",
+    )
+    report = coordinator.ingest(STREAM)
+    single = ExactBaseline(n_columns=D).observe(STREAM)
+    assert report.rows_total == 600
+    assert sum(report.rows_per_shard) == 600
+    merged = coordinator.merged_estimator
+    assert merged.rows_observed == single.rows_observed
+    for p in (0, 1, 2):
+        assert merged.estimate_fp(QUERY, p) == single.estimate_fp(QUERY, p)
+    assert merged.heavy_hitters(QUERY, phi=0.05) == single.heavy_hitters(
+        QUERY, phi=0.05
+    )
+
+
+def test_sharded_alpha_net_equals_single_node() -> None:
+    """Lossless sketch merges make sharded == single-node, bit for bit."""
+    coordinator = Coordinator(
+        _alpha_net_factory, n_shards=4, policy="round_robin", backend="serial"
+    )
+    coordinator.ingest(STREAM)
+    single = _alpha_net_factory().observe(STREAM)
+    for columns in ([0, 3, 6], [1, 2], [0, 1, 2, 3, 4]):
+        query = ColumnQuery.of(columns, D)
+        assert coordinator.merged_estimator.estimate_fp(
+            query, 0
+        ) == single.estimate_fp(query, 0)
+
+
+def test_process_backend_matches_serial_backend() -> None:
+    parallel = Coordinator(_alpha_net_factory, n_shards=2, backend="processes")
+    serial = Coordinator(_alpha_net_factory, n_shards=2, backend="serial")
+    report = parallel.ingest(STREAM)
+    serial.ingest(STREAM)
+    assert report.backend == "processes"
+    assert parallel.merged_estimator.estimate_fp(QUERY, 0) == (
+        serial.merged_estimator.estimate_fp(QUERY, 0)
+    )
+
+
+def test_sharded_uniform_sample_is_statistically_equivalent() -> None:
+    """Randomized summary: the sharded estimate obeys the single-node
+    accuracy guarantee against the exact answer."""
+    coordinator = Coordinator(
+        lambda: UniformSampleEstimator(n_columns=D, sample_size=150, seed=6),
+        n_shards=4,
+        backend="serial",
+    )
+    coordinator.ingest(STREAM)
+    merged = coordinator.merged_estimator
+    assert merged.rows_observed == 600
+    exact = ExactBaseline(n_columns=D).observe(STREAM)
+    pattern = (0, 1, 1)
+    assert abs(
+        merged.estimate_frequency(QUERY, pattern)
+        - exact.estimate_frequency(QUERY, pattern)
+    ) <= 3 * merged.additive_error_bound()
+
+
+def test_incremental_ingest_accumulates() -> None:
+    coordinator = Coordinator(
+        lambda: ExactBaseline(n_columns=D), n_shards=2, backend="serial"
+    )
+    half = 300
+    rows = list(STREAM)
+    coordinator.ingest(RowStream.from_rows(rows[:half], D))
+    coordinator.ingest(RowStream.from_rows(rows[half:], D))
+    single = ExactBaseline(n_columns=D).observe(STREAM)
+    assert coordinator.merged_estimator.rows_observed == 600
+    assert coordinator.merged_estimator.estimate_fp(QUERY, 2) == single.estimate_fp(
+        QUERY, 2
+    )
+
+
+def test_coordinator_guards() -> None:
+    with pytest.raises(InvalidParameterError):
+        Coordinator(lambda: ExactBaseline(n_columns=D), backend="threads")
+    with pytest.raises(InvalidParameterError):
+        Coordinator(lambda: ExactBaseline(n_columns=D), max_workers=0)
+    coordinator = Coordinator(lambda: ExactBaseline(n_columns=D), n_shards=2)
+    with pytest.raises(EstimationError):
+        coordinator.merged_estimator
+
+
+def test_unmergeable_estimator_cannot_be_sharded() -> None:
+    from repro.core.estimator import ProjectedFrequencyEstimator
+
+    class Opaque(ProjectedFrequencyEstimator):
+        def _observe(self, row) -> None:
+            pass
+
+        def size_in_bits(self) -> int:
+            return 0
+
+    coordinator = Coordinator(
+        lambda: Opaque(n_columns=D), n_shards=2, backend="serial"
+    )
+    with pytest.raises(EstimationError):
+        coordinator.ingest(STREAM)
+
+    # One shard needs no merge for a single batch, but a second batch would
+    # have to merge into the first — refused up front, before any ingestion.
+    single = Coordinator(lambda: Opaque(n_columns=D), n_shards=1, backend="serial")
+    single.ingest(STREAM)
+    with pytest.raises(EstimationError):
+        single.ingest(STREAM)
+
+
+# -- query service --------------------------------------------------------------
+
+
+def _service(cache_size: int = 64) -> QueryService:
+    coordinator = Coordinator(
+        lambda: ExactBaseline(n_columns=D), n_shards=2, backend="serial"
+    )
+    coordinator.ingest(STREAM)
+    return coordinator.query_service(cache_size=cache_size)
+
+
+def test_service_answers_match_estimator() -> None:
+    service = _service()
+    direct = ExactBaseline(n_columns=D).observe(STREAM)
+    assert service.estimate_fp(QUERY, 0) == direct.estimate_fp(QUERY, 0)
+    pattern = (1, 1, 0)
+    assert service.estimate_frequency(QUERY, pattern) == direct.estimate_frequency(
+        QUERY, pattern
+    )
+    assert service.heavy_hitters(QUERY, phi=0.05) == direct.heavy_hitters(
+        QUERY, phi=0.05
+    )
+
+
+def test_service_caches_repeat_queries() -> None:
+    service = _service()
+    first = service.estimate_fp(QUERY, 2)
+    second = service.estimate_fp(QUERY, 2)
+    assert first == second
+    info = service.cache_info()
+    assert (info.hits, info.misses) == (1, 1)
+    assert info.hit_rate == 0.5
+    # Latency is recorded for the miss only.
+    assert service.stats()["fp"].count == 1
+
+
+def test_service_batch_queries_and_stats() -> None:
+    service = _service()
+    queries = [ColumnQuery.of(cols, D) for cols in ([0], [1, 2], [3, 4, 5])]
+    answers = service.batch_estimate_fp(queries, p=0)
+    assert len(answers) == 3
+    assert service.stats()["fp"].count == 3
+    repeats = service.batch_estimate_fp(queries, p=0)
+    assert repeats == answers
+    assert service.cache_info().hits == 3
+
+
+def test_service_cache_eviction_and_disable() -> None:
+    service = _service(cache_size=2)
+    queries = [ColumnQuery.of([c], D) for c in range(4)]
+    for query in queries:
+        service.estimate_fp(query, 0)
+    assert service.cache_info().size == 2
+    uncached = _service(cache_size=0)
+    uncached.estimate_fp(QUERY, 0)
+    uncached.estimate_fp(QUERY, 0)
+    assert uncached.cache_info().hits == 0
+    with pytest.raises(InvalidParameterError):
+        QueryService(ExactBaseline(n_columns=D), cache_size=-1)
+
+
+def test_service_heavy_hitter_cache_returns_copies() -> None:
+    service = _service()
+    report = service.heavy_hitters(QUERY, phi=0.05)
+    report.clear()
+    assert service.heavy_hitters(QUERY, phi=0.05) != {}
+
+
+def test_service_invalidate_clears_cache() -> None:
+    service = _service()
+    service.estimate_fp(QUERY, 0)
+    service.invalidate()
+    assert service.cache_info().size == 0
+    service.estimate_fp(QUERY, 0)
+    assert service.cache_info().misses == 2
+
+
+def test_latency_recorder_percentiles() -> None:
+    recorder = LatencyRecorder()
+    for value in (0.01, 0.02, 0.03, 0.04, 0.10):
+        recorder.record(value)
+    summary = recorder.summary()
+    assert summary.count == 5
+    assert summary.p50_seconds == pytest.approx(0.03)
+    assert summary.p95_seconds == pytest.approx(0.10)
+    assert summary.mean_seconds == pytest.approx(0.04)
+    with pytest.raises(InvalidParameterError):
+        recorder.record(-1.0)
+    empty = LatencyRecorder()
+    assert empty.summary().count == 0
+    with pytest.raises(InvalidParameterError):
+        empty.percentile(50)

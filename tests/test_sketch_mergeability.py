@@ -1,0 +1,314 @@
+"""Property tests for sketch mergeability.
+
+For every mergeable sketch in :mod:`repro.sketches` these tests pin down the
+contract the sharded engine relies on: merging summaries of two streams must
+behave like summarising the concatenated stream — bit-for-bit for sketches
+whose merge is lossless (linear sketches, hash-state unions), and within the
+documented error guarantee for the counter-based summaries whose merge is
+lossy (Misra-Gries, SpaceSaving).  Merging structurally incompatible
+configurations must raise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.sketches.ams import AMSSketch
+from repro.sketches.base import MergeableSketch
+from repro.sketches.bjkst import BJKSTSketch
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.countsketch import CountSketch
+from repro.sketches.hyperloglog import HyperLogLog
+from repro.sketches.kmv import KMVSketch
+from repro.sketches.linear_counting import LinearCounting
+from repro.sketches.misra_gries import MisraGries
+from repro.sketches.reservoir import (
+    BernoulliSampler,
+    ReservoirSampler,
+    WithReplacementSampler,
+)
+from repro.sketches.space_saving import SpaceSaving
+from repro.sketches.stable_lp import StableLpSketch
+
+# Two overlapping multisets with skew, so merges see shared and disjoint items.
+STREAM_ONE = [f"item-{i % 23}" for i in range(180)] + ["hot"] * 40
+STREAM_TWO = [f"item-{i % 31}" for i in range(160)] + ["hot"] * 25
+UNION = STREAM_ONE + STREAM_TWO
+EXACT_COUNTS: dict[str, int] = {}
+for _item in UNION:
+    EXACT_COUNTS[_item] = EXACT_COUNTS.get(_item, 0) + 1
+
+
+@dataclass(frozen=True)
+class MergeCase:
+    """One sketch family's merge contract."""
+
+    name: str
+    make: Callable[[], MergeableSketch]
+    #: Lossless merge: merged state answers exactly like the union-fed sketch.
+    exact: bool
+    #: Factories whose products must refuse to merge with ``make()``'s.
+    incompatible: tuple[Callable[[], MergeableSketch], ...] = field(default=())
+
+
+CASES = [
+    MergeCase(
+        "kmv",
+        lambda: KMVSketch(k=48, seed=1),
+        exact=True,
+        incompatible=(lambda: KMVSketch(k=24, seed=1), lambda: KMVSketch(k=48, seed=2)),
+    ),
+    MergeCase(
+        "bjkst",
+        lambda: BJKSTSketch(capacity=64, seed=1),
+        exact=True,
+        incompatible=(
+            lambda: BJKSTSketch(capacity=32, seed=1),
+            lambda: BJKSTSketch(capacity=64, seed=2),
+        ),
+    ),
+    MergeCase(
+        "hyperloglog",
+        lambda: HyperLogLog(precision=10, seed=1),
+        exact=True,
+        incompatible=(
+            lambda: HyperLogLog(precision=8, seed=1),
+            lambda: HyperLogLog(precision=10, seed=2),
+        ),
+    ),
+    MergeCase(
+        "linear-counting",
+        lambda: LinearCounting(bitmap_bits=2048, seed=1),
+        exact=True,
+        incompatible=(
+            lambda: LinearCounting(bitmap_bits=1024, seed=1),
+            lambda: LinearCounting(bitmap_bits=2048, seed=2),
+        ),
+    ),
+    MergeCase(
+        "count-min",
+        lambda: CountMinSketch(width=128, depth=4, seed=1),
+        exact=True,
+        incompatible=(
+            lambda: CountMinSketch(width=64, depth=4, seed=1),
+            lambda: CountMinSketch(width=128, depth=4, seed=2),
+        ),
+    ),
+    MergeCase(
+        "count-sketch",
+        lambda: CountSketch(width=128, depth=5, seed=1),
+        exact=True,
+        incompatible=(
+            lambda: CountSketch(width=64, depth=5, seed=1),
+            lambda: CountSketch(width=128, depth=3, seed=1),
+        ),
+    ),
+    MergeCase(
+        "ams",
+        lambda: AMSSketch(width=32, depth=5, seed=1),
+        exact=True,
+        incompatible=(
+            lambda: AMSSketch(width=16, depth=5, seed=1),
+            lambda: AMSSketch(width=32, depth=5, seed=2),
+        ),
+    ),
+    MergeCase(
+        "stable-lp",
+        lambda: StableLpSketch(p=1.5, width=24, depth=3, seed=1),
+        exact=True,
+        incompatible=(
+            lambda: StableLpSketch(p=1.0, width=24, depth=3, seed=1),
+            lambda: StableLpSketch(p=1.5, width=24, depth=3, seed=2),
+        ),
+    ),
+    MergeCase(
+        "misra-gries",
+        lambda: MisraGries(k=16),
+        exact=False,
+        incompatible=(lambda: MisraGries(k=8),),
+    ),
+    MergeCase(
+        "space-saving",
+        lambda: SpaceSaving(k=16),
+        exact=False,
+        incompatible=(lambda: SpaceSaving(k=8),),
+    ),
+]
+
+
+def _answers(sketch: MergeableSketch) -> list[float]:
+    """The sketch's estimates, in a form comparable across instances."""
+    if isinstance(sketch, (CountMinSketch, CountSketch, MisraGries, SpaceSaving)):
+        return [float(sketch.estimate(item)) for item in sorted(EXACT_COUNTS)]
+    return [float(sketch.estimate())]
+
+
+@pytest.mark.parametrize("case", CASES, ids=[case.name for case in CASES])
+def test_merge_matches_union_stream(case: MergeCase) -> None:
+    first, second, union = case.make(), case.make(), case.make()
+    first.update_many(STREAM_ONE)
+    second.update_many(STREAM_TWO)
+    union.update_many(UNION)
+
+    first.merge(second)
+    assert first.items_processed == union.items_processed == len(UNION)
+
+    if case.exact:
+        # Equal up to float summation order (counter merges add in a
+        # different order than streaming the union).
+        assert _answers(first) == pytest.approx(_answers(union), rel=1e-9, abs=1e-9)
+    else:
+        # Counter-based summaries: the merge is lossy but both the merged
+        # and the union-fed summary must stay within the documented
+        # per-item error bound relative to the exact counts.
+        assert isinstance(first, (MisraGries, SpaceSaving))
+        bound = first.error_bound()
+        for item, exact_count in EXACT_COUNTS.items():
+            assert abs(first.estimate(item) - exact_count) <= bound
+            assert abs(union.estimate(item) - exact_count) <= bound
+
+
+@pytest.mark.parametrize("case", CASES, ids=[case.name for case in CASES])
+def test_merge_incompatible_configs_raise(case: MergeCase) -> None:
+    for make_other in case.incompatible:
+        sketch, other = case.make(), make_other()
+        sketch.update_many(STREAM_ONE)
+        other.update_many(STREAM_TWO)
+        with pytest.raises(InvalidParameterError):
+            sketch.merge(other)
+
+
+@pytest.mark.parametrize("case", CASES, ids=[case.name for case in CASES])
+def test_merge_rejects_foreign_sketch_type(case: MergeCase) -> None:
+    sketch = case.make()
+    foreign: MergeableSketch = (
+        KMVSketch(k=8, seed=0) if not isinstance(sketch, KMVSketch) else MisraGries(k=8)
+    )
+    with pytest.raises(InvalidParameterError):
+        sketch.merge(foreign)  # type: ignore[arg-type]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    items=st.lists(st.integers(min_value=0, max_value=40), max_size=120),
+    split=st.integers(min_value=0, max_value=120),
+)
+def test_linear_sketch_merge_is_split_invariant(items: list[int], split: int) -> None:
+    """Splitting a stream anywhere and merging gives the very same Count-Min."""
+    split = min(split, len(items))
+    left, right = CountMinSketch(width=32, depth=3, seed=9), CountMinSketch(
+        width=32, depth=3, seed=9
+    )
+    whole = CountMinSketch(width=32, depth=3, seed=9)
+    left.update_many(items[:split])
+    right.update_many(items[split:])
+    whole.update_many(items)
+    left.merge(right)
+    assert left.items_processed == whole.items_processed
+    assert all(left.estimate(item) == whole.estimate(item) for item in set(items))
+
+
+# -- sampler merges (the substrate of the uniform-sample estimator) -------------
+
+
+def test_reservoir_merge_respects_capacity_and_membership() -> None:
+    first = ReservoirSampler[int](capacity=32, seed=1)
+    second = ReservoirSampler[int](capacity=32, seed=2)
+    first.update_many(range(100))
+    second.update_many(range(100, 250))
+    first.merge(second)
+    assert first.items_processed == 250
+    merged = first.sample()
+    assert len(merged) == 32
+    assert set(merged) <= set(range(250))
+
+
+def test_reservoir_merge_small_streams_concatenates() -> None:
+    first = ReservoirSampler[int](capacity=32, seed=1)
+    second = ReservoirSampler[int](capacity=32, seed=2)
+    first.update_many(range(10))
+    second.update_many(range(10, 15))
+    first.merge(second)
+    assert sorted(first.sample()) == list(range(15))
+
+
+def test_reservoir_merge_is_statistically_uniform() -> None:
+    """Inclusion frequency of each half of the union is near t/(n1+n2)."""
+    hits = 0
+    trials = 200
+    for seed in range(trials):
+        first = ReservoirSampler[int](capacity=10, seed=seed)
+        second = ReservoirSampler[int](capacity=10, seed=1000 + seed)
+        first.update_many(range(50))
+        second.update_many(range(50, 100))
+        first.merge(second)
+        hits += sum(1 for item in first.sample() if item < 50)
+    # E[hits per trial] = 5; allow a generous band around it.
+    assert 4.0 < hits / trials < 6.0
+
+
+def test_with_replacement_merge_draw_distribution() -> None:
+    first = WithReplacementSampler[int](draws=16, seed=3)
+    second = WithReplacementSampler[int](draws=16, seed=4)
+    first.update_many(range(30))
+    second.update_many(range(30, 90))
+    first.merge(second)
+    assert first.items_processed == 90
+    merged = first.sample()
+    assert len(merged) == 16
+    assert set(merged) <= set(range(90))
+
+
+def test_with_replacement_merge_with_empty_side() -> None:
+    first = WithReplacementSampler[int](draws=8, seed=3)
+    second = WithReplacementSampler[int](draws=8, seed=4)
+    second.update_many(range(20))
+    first.merge(second)
+    assert first.items_processed == 20
+    assert len(first.sample()) == 8
+
+
+def test_bernoulli_merge_concatenates_at_equal_rate() -> None:
+    first = BernoulliSampler[int](rate=0.5, seed=1)
+    second = BernoulliSampler[int](rate=0.5, seed=2)
+    first.update_many(range(40))
+    second.update_many(range(40, 80))
+    kept = len(first.sample()) + len(second.sample())
+    first.merge(second)
+    assert len(first.sample()) == kept
+    assert first.items_processed == 80
+
+
+@pytest.mark.parametrize(
+    "make_one, make_other",
+    [
+        (
+            lambda: ReservoirSampler[int](capacity=8, seed=0),
+            lambda: ReservoirSampler[int](capacity=4, seed=0),
+        ),
+        (
+            lambda: WithReplacementSampler[int](draws=8, seed=0),
+            lambda: WithReplacementSampler[int](draws=4, seed=0),
+        ),
+        (
+            lambda: BernoulliSampler[int](rate=0.5, seed=0),
+            lambda: BernoulliSampler[int](rate=0.25, seed=0),
+        ),
+        (
+            lambda: ReservoirSampler[int](capacity=8, seed=0),
+            lambda: WithReplacementSampler[int](draws=8, seed=0),
+        ),
+    ],
+)
+def test_sampler_merge_incompatibilities_raise(make_one, make_other) -> None:
+    one, other = make_one(), make_other()
+    one.update_many(range(10))
+    other.update_many(range(10))
+    with pytest.raises(InvalidParameterError):
+        one.merge(other)

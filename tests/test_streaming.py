@@ -14,7 +14,7 @@ from repro.streaming.memory import (
     naive_storage_bits,
     per_subset_summaries,
 )
-from repro.streaming.runner import StreamRunner
+from repro.streaming.runner import QueryMeasurement, StreamRunner
 from repro.streaming.stream import RowStream
 
 
@@ -63,6 +63,22 @@ class TestRowStream:
     def test_to_dataset_roundtrip(self, dataset):
         assert RowStream(dataset).to_dataset().shape == dataset.shape
 
+    @pytest.mark.parametrize("policy", ["round_robin", "hash"])
+    def test_shard_substreams_partition_the_stream(self, dataset, policy):
+        stream = RowStream(dataset)
+        shards = [stream.shard(i, 3, policy=policy) for i in range(3)]
+        scattered = [row for shard in shards for row in shard]
+        assert sorted(scattered) == sorted(stream)
+
+    def test_shard_validation(self, dataset):
+        stream = RowStream(dataset)
+        with pytest.raises(InvalidParameterError):
+            stream.shard(0, 0)
+        with pytest.raises(InvalidParameterError):
+            stream.shard(2, 2)
+        with pytest.raises(InvalidParameterError):
+            stream.shard(0, 2, policy="modulo")
+
 
 class TestStreamRunner:
     def test_exact_estimator_has_unit_error(self, dataset):
@@ -107,6 +123,55 @@ class TestStreamRunner:
         )
         with pytest.raises(InvalidParameterError):
             runner.run_fp_queries([], p=0)
+
+
+class TestQueryMeasurementErrors:
+    @staticmethod
+    def _measurement(estimate: float, exact: float) -> QueryMeasurement:
+        return QueryMeasurement(
+            estimator_name="m",
+            query=ColumnQuery.of([0], 2),
+            p=0,
+            estimate=estimate,
+            exact=exact,
+            space_bits=1,
+            observe_seconds=0.0,
+            query_seconds=0.0,
+        )
+
+    def test_both_zero_is_a_perfect_answer(self):
+        measurement = self._measurement(estimate=0.0, exact=0.0)
+        assert measurement.multiplicative_error == 1.0
+        assert measurement.signs_agree
+
+    def test_zero_exact_with_positive_estimate_is_finite(self):
+        measurement = self._measurement(estimate=4.0, exact=0.0)
+        assert measurement.multiplicative_error == pytest.approx(5.0)
+        assert not measurement.signs_agree
+
+    def test_zero_estimate_of_positive_mass_stays_infinite(self):
+        # Missing all mass is an unbounded multiplicative miss; only the
+        # signs_agree flag (not the error value) distinguishes it from a
+        # sign disagreement.
+        measurement = self._measurement(estimate=0.0, exact=9.0)
+        assert measurement.multiplicative_error == float("inf")
+        assert not measurement.signs_agree
+
+    def test_negative_estimate_is_a_sign_disagreement(self):
+        measurement = self._measurement(estimate=-3.0, exact=7.0)
+        assert measurement.multiplicative_error == float("inf")
+        assert not measurement.signs_agree
+
+    def test_zero_boundary_distinguishable_from_sign_disagreement(self):
+        at_boundary = self._measurement(estimate=4.0, exact=0.0)
+        disagreeing = self._measurement(estimate=-4.0, exact=2.0)
+        assert at_boundary.multiplicative_error < float("inf")
+        assert disagreeing.multiplicative_error == float("inf")
+
+    def test_ordinary_ratio_unchanged(self):
+        measurement = self._measurement(estimate=8.0, exact=4.0)
+        assert measurement.multiplicative_error == pytest.approx(2.0)
+        assert measurement.signs_agree
 
 
 class TestSpaceAccounting:
