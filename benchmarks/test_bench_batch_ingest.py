@@ -1,0 +1,138 @@
+"""E13 — Batch ingest: vectorized ``observe_rows`` vs per-row ``observe``.
+
+Measures the tentpole of the batch-ingest pipeline on a 100k-row synthetic
+stream: the same estimator, same seed, ingesting the same rows through
+
+* the per-row path — every row travels as a Python tuple rebuilt symbol by
+  symbol through ``observe_row``;
+* the batch path — the stream is consumed as ``(m, d)`` ndarray blocks via
+  ``RowStream.iter_batches`` and absorbed through the estimators' vectorized
+  ``observe_rows`` kernels.
+
+Because the block kernels consume the RNG exactly as the per-row path does,
+the resulting summaries are bit-identical — asserted below — which makes the
+throughput ratio a pure fast-path measurement rather than a comparison of
+two different algorithms.  The acceptance bar is a >= 5x speedup; results
+are also written to ``BENCH_batch_ingest.json`` at the repo root so the perf
+trajectory is recorded run over run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from _bench_utils import emit, render_table
+from repro import ColumnQuery, ExactBaseline, RowStream, UniformSampleEstimator
+from repro.workloads.synthetic import zipfian_rows
+
+N_ROWS, N_COLUMNS = 100_000, 12
+BATCH_SIZE = 8_192
+QUERY_COLUMNS = (0, 3, 7, 10)
+SPEEDUP_FLOOR = 5.0
+
+STREAM = RowStream(
+    zipfian_rows(
+        n_rows=N_ROWS,
+        n_columns=N_COLUMNS,
+        distinct_patterns=512,
+        exponent=1.1,
+        seed=33,
+    )
+)
+
+CONFIGS = [
+    (
+        "exact-baseline",
+        lambda: ExactBaseline(n_columns=N_COLUMNS),
+    ),
+    (
+        "usample-reservoir",
+        lambda: UniformSampleEstimator(
+            n_columns=N_COLUMNS, sample_size=256, with_replacement=False, seed=7
+        ),
+    ),
+    (
+        "usample-with-replacement",
+        lambda: UniformSampleEstimator(
+            n_columns=N_COLUMNS, sample_size=64, with_replacement=True, seed=7
+        ),
+    ),
+]
+
+
+def _equivalent(per_row, batch) -> bool:
+    """Bit-level equivalence of the two summaries (same seed, same rows)."""
+    if isinstance(per_row, UniformSampleEstimator):
+        return per_row._sampler.sample() == batch._sampler.sample()
+    query = ColumnQuery.of(QUERY_COLUMNS, N_COLUMNS)
+    return all(
+        per_row.estimate_fp(query, p) == batch.estimate_fp(query, p)
+        for p in (0, 1, 2)
+    )
+
+
+def test_batch_ingest_throughput(benchmark):
+    """Rows/sec of batch vs per-row ingest; batch must be >= 5x faster."""
+
+    def run_sweep():
+        results = []
+        for name, factory in CONFIGS:
+            per_row = factory()
+            started = time.perf_counter()
+            per_row.observe(STREAM)
+            row_seconds = time.perf_counter() - started
+
+            batch = factory()
+            started = time.perf_counter()
+            for _, block in STREAM.iter_batches(BATCH_SIZE):
+                batch.observe_rows(block)
+            batch_seconds = time.perf_counter() - started
+
+            assert per_row.rows_observed == batch.rows_observed == N_ROWS
+            assert _equivalent(per_row, batch)
+            results.append((name, row_seconds, batch_seconds))
+        return results
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [
+        (
+            name,
+            f"{N_ROWS / row_seconds:,.0f}",
+            f"{N_ROWS / batch_seconds:,.0f}",
+            f"{row_seconds / batch_seconds:.1f}x",
+        )
+        for name, row_seconds, batch_seconds in results
+    ]
+    emit(
+        f"Ingest of {N_ROWS:,} x {N_COLUMNS} rows, per-row vs batch "
+        f"(batch_size={BATCH_SIZE})",
+        render_table(
+            ["estimator", "per-row rows/sec", "batch rows/sec", "speedup"], rows
+        ),
+    )
+
+    record = {
+        "n_rows": N_ROWS,
+        "n_columns": N_COLUMNS,
+        "batch_size": BATCH_SIZE,
+        "results": [
+            {
+                "estimator": name,
+                "per_row_rows_per_sec": N_ROWS / row_seconds,
+                "batch_rows_per_sec": N_ROWS / batch_seconds,
+                "speedup": row_seconds / batch_seconds,
+            }
+            for name, row_seconds, batch_seconds in results
+        ],
+    }
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_batch_ingest.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+
+    for name, row_seconds, batch_seconds in results:
+        speedup = row_seconds / batch_seconds
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"{name}: batch ingest only {speedup:.1f}x faster than per-row "
+            f"(floor is {SPEEDUP_FLOOR}x)"
+        )

@@ -198,6 +198,32 @@ class AlphaNetEstimator(ProjectedFrequencyEstimator):
             if self._point_sketches is not None:
                 self._point_sketches[index].update(pattern)
 
+    def _observe_block(self, block) -> None:
+        """Project the whole block onto each net member with one array slice.
+
+        The per-row path re-sorts the member's columns and rebuilds the
+        pattern tuple symbol by symbol for every row; here each member's
+        projection is a single NumPy column slice and the patterns are
+        materialised in one ``tolist`` pass.  Each sketch still sees the same
+        patterns in the same stream order, so the resulting summary is
+        identical to per-row ingestion.
+        """
+        for index, member in enumerate(self._members):
+            projected = block[:, list(member.columns)]
+            patterns = [tuple(pattern) for pattern in projected.tolist()]
+            if self._distinct_sketches is not None:
+                sketch = self._distinct_sketches[index]
+                for pattern in patterns:
+                    sketch.update(pattern)
+            if self._moment_sketches is not None:
+                sketch = self._moment_sketches[index]
+                for pattern in patterns:
+                    sketch.update(pattern)
+            if self._point_sketches is not None:
+                sketch = self._point_sketches[index]
+                for pattern in patterns:
+                    sketch.update(pattern)
+
     def _merge_summaries(self, other: "ProjectedFrequencyEstimator") -> None:
         """Merge member-by-member via the sketches' own ``merge()`` methods.
 

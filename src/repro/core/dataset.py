@@ -193,6 +193,22 @@ class Dataset:
         for row in self._array:
             yield tuple(int(value) for value in row)
 
+    def iter_row_blocks(self, block_size: int) -> Iterator[np.ndarray]:
+        """Iterate over the rows as ``(m, d)`` array blocks, in stream order.
+
+        Blocks are read-only views into the dataset's storage (no per-row
+        tuple conversion), which is what makes dataset-backed batch ingest
+        free of interpreter overhead.  The final block may be shorter.
+        """
+        if block_size < 1:
+            raise InvalidParameterError(
+                f"block_size must be >= 1, got {block_size}"
+            )
+        for start in range(0, self.n_rows, block_size):
+            block = self._array[start : start + block_size]
+            block.flags.writeable = False
+            yield block
+
     def __len__(self) -> int:
         return self.n_rows
 

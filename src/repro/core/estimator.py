@@ -15,6 +15,8 @@ import abc
 import copy
 from typing import Iterable
 
+import numpy as np
+
 from ..coding.words import Word
 from ..errors import EstimationError, InvalidParameterError
 from .dataset import ColumnQuery, Dataset
@@ -35,6 +37,7 @@ class ProjectedFrequencyEstimator(abc.ABC):
         self._n_columns = int(n_columns)
         self._alphabet_size = int(alphabet_size)
         self._rows_observed = 0
+        self._version = 0
 
     @property
     def n_columns(self) -> int:
@@ -51,6 +54,18 @@ class ProjectedFrequencyEstimator(abc.ABC):
         """Number of rows absorbed during the observation phase."""
         return self._rows_observed
 
+    @property
+    def version(self) -> int:
+        """Monotonically increasing mutation counter of this summary.
+
+        Incremented by every :meth:`observe_row`, :meth:`observe_rows` and
+        :meth:`merge`.  Serving tiers (see
+        :class:`~repro.engine.service.QueryService`) compare it against the
+        version a result cache was filled at, so answers computed before a
+        later ingest can never be served as fresh.
+        """
+        return self._version
+
     # -- observation phase ----------------------------------------------------
 
     @abc.abstractmethod
@@ -65,10 +80,61 @@ class ProjectedFrequencyEstimator(abc.ABC):
                 f"{self._n_columns} columns"
             )
         self._rows_observed += 1
+        self._version += 1
         self._observe(tuple(int(symbol) for symbol in row))
 
+    def _observe_block(self, block: np.ndarray) -> None:
+        """Absorb one validated ``(m, d)`` block (hook for subclasses).
+
+        The default implementation replays the block through the per-row
+        :meth:`_observe` hook, so every estimator accepts blocks; subclasses
+        with genuinely vectorized kernels override this.
+        """
+        for row in block.tolist():
+            self._observe(tuple(row))
+
+    def observe_rows(self, rows: np.ndarray) -> "ProjectedFrequencyEstimator":
+        """Absorb a whole block of rows given as an ``(m, d)`` integer array.
+
+        The batch counterpart of :meth:`observe_row`: the block is validated
+        once (shape and dtype) instead of once per row, and estimators with a
+        vectorized :meth:`_observe_block` override skip the per-row Python
+        loop entirely.  Feeding the same rows through :meth:`observe_row` and
+        :meth:`observe_rows` produces identical summaries (including for
+        randomized summaries, given the same seed).
+        """
+        block = np.asarray(rows)
+        if block.ndim != 2:
+            raise EstimationError(
+                f"observe_rows expects a 2-D block, got {block.ndim} dimension(s)"
+            )
+        if block.shape[1] != self._n_columns:
+            raise EstimationError(
+                f"block of width {block.shape[1]} fed to an estimator expecting "
+                f"{self._n_columns} columns"
+            )
+        if not np.issubdtype(block.dtype, np.integer):
+            raise EstimationError(
+                f"observe_rows expects an integer block, got dtype {block.dtype}"
+            )
+        if block.shape[0] == 0:
+            return self
+        self._rows_observed += int(block.shape[0])
+        self._version += 1
+        self._observe_block(block.astype(np.int64, copy=False))
+        return self
+
     def observe(self, rows: Iterable[Word] | Dataset) -> "ProjectedFrequencyEstimator":
-        """Absorb every row of ``rows`` (a dataset or any iterable of words)."""
+        """Absorb every row of ``rows`` (a dataset, array, or iterable of words).
+
+        Array and dataset inputs take the :meth:`observe_rows` batch path
+        (identical summaries, vectorized kernels); other iterables stream
+        row by row.
+        """
+        if isinstance(rows, np.ndarray):
+            return self.observe_rows(rows)
+        if isinstance(rows, Dataset):
+            return self.observe_rows(rows.to_array())
         for row in rows:
             self.observe_row(row)
         return self
@@ -131,6 +197,7 @@ class ProjectedFrequencyEstimator(abc.ABC):
             )
         self._merge_summaries(other)
         self._rows_observed += other.rows_observed
+        self._version += 1
         return self
 
     def snapshot(self) -> "ProjectedFrequencyEstimator":

@@ -20,6 +20,8 @@ import math
 from itertools import combinations
 from typing import Callable, Iterable
 
+import numpy as np
+
 from ..coding.words import Word, project_word
 from ..errors import EstimationError, InvalidParameterError
 from ..sketches.base import DistinctCountSketch
@@ -40,23 +42,51 @@ class ExactBaseline(ProjectedFrequencyEstimator):
 
     def __init__(self, n_columns: int, alphabet_size: int = 2) -> None:
         super().__init__(n_columns=n_columns, alphabet_size=alphabet_size)
-        self._rows: list[Word] = []
+        # Rows are stored as a list of (m, d) int64 segments: per-row
+        # observations accumulate in a tuple buffer that is flushed into a
+        # segment on demand, while block observations append whole segments.
+        self._segments: list[np.ndarray] = []
+        self._buffer: list[Word] = []
 
     def _observe(self, row: Word) -> None:
-        self._rows.append(row)
+        self._buffer.append(row)
+
+    def _observe_block(self, block: np.ndarray) -> None:
+        self._flush_buffer()
+        self._segments.append(np.array(block, dtype=np.int64))
+
+    def _flush_buffer(self) -> None:
+        if self._buffer:
+            self._segments.append(np.array(self._buffer, dtype=np.int64))
+            self._buffer = []
+
+    def _materialise(self) -> np.ndarray:
+        """All stored rows as one (n, d) array, consolidated in stream order."""
+        self._flush_buffer()
+        if not self._segments:
+            return np.empty((0, self.n_columns), dtype=np.int64)
+        if len(self._segments) > 1:
+            self._segments = [np.vstack(self._segments)]
+        return self._segments[0]
 
     def _merge_summaries(self, other: "ProjectedFrequencyEstimator") -> None:
         """Concatenate the stored rows (trivially exact under merging)."""
         assert isinstance(other, ExactBaseline)
-        self._rows.extend(other._rows)
+        self._flush_buffer()
+        other_rows = other._materialise()
+        if other_rows.shape[0]:
+            self._segments.append(other_rows.copy())
 
     def _frequencies(self, query: ColumnQuery) -> FrequencyVector:
-        counts: dict[Word, int] = {}
-        for row in self._rows:
-            pattern = project_word(row, query.columns)
-            counts[pattern] = counts.get(pattern, 0) + 1
+        rows = self._materialise()
+        projected = rows[:, list(query.columns)]
+        patterns, counts = np.unique(projected, axis=0, return_counts=True)
+        mapping = {
+            tuple(pattern): int(count)
+            for pattern, count in zip(patterns.tolist(), counts.tolist())
+        }
         return FrequencyVector.from_counts(
-            counts, alphabet_size=self.alphabet_size, pattern_length=len(query)
+            mapping, alphabet_size=self.alphabet_size, pattern_length=len(query)
         )
 
     def frequencies(self, query: ColumnQuery) -> FrequencyVector:
@@ -79,13 +109,15 @@ class ExactBaseline(ProjectedFrequencyEstimator):
 
     def to_dataset(self) -> Dataset:
         """Materialise the stored rows as a :class:`~repro.core.dataset.Dataset`."""
-        if not self._rows:
+        rows = self._materialise()
+        if rows.shape[0] == 0:
             raise EstimationError("no rows observed")
-        return Dataset.from_words(self._rows, alphabet_size=self.alphabet_size)
+        return Dataset(rows.copy(), alphabet_size=self.alphabet_size)
 
     def size_in_bits(self) -> int:
+        stored = sum(segment.shape[0] for segment in self._segments) + len(self._buffer)
         bits_per_symbol = max(1, math.ceil(math.log2(self.alphabet_size)))
-        return len(self._rows) * self.n_columns * bits_per_symbol
+        return stored * self.n_columns * bits_per_symbol
 
 
 class AllSubsetsBaseline(ProjectedFrequencyEstimator):

@@ -111,6 +111,15 @@ class UniformSampleEstimator(ProjectedFrequencyEstimator):
     def _observe(self, row: Word) -> None:
         self._sampler.update(row)
 
+    def _observe_block(self, block) -> None:
+        """Feed a whole block through the sampler's vectorized kernel.
+
+        The kernels consume the RNG exactly as the per-row path does, so a
+        block-fed estimator holds the same sample as a row-fed one with the
+        same seed.
+        """
+        self._sampler.update_block(block)
+
     def _merge_summaries(self, other: "ProjectedFrequencyEstimator") -> None:
         """Merge by subsampling the two row samples (Theorem 5.1 is oblivious
         to *which* uniform sample is kept, so the merged summary retains the

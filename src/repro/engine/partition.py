@@ -19,9 +19,16 @@ per-shard summaries recovers the single-node summary.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..coding.words import Word
 from ..errors import InvalidParameterError
-from ..streaming.stream import SHARD_POLICIES, RowStream, shard_assignment
+from ..streaming.stream import (
+    SHARD_POLICIES,
+    RowStream,
+    shard_assignment,
+    shard_assignment_block,
+)
 
 __all__ = ["PARTITION_POLICIES", "StreamPartitioner"]
 
@@ -75,6 +82,16 @@ class StreamPartitioner:
             index, row, self._n_shards, self._policy, self._hash_seed
         )
 
+    def assign_block(self, start_index: int, block: np.ndarray) -> np.ndarray:
+        """Shard ids for a whole block starting at ``start_index`` (vectorized).
+
+        Row ``i`` of the result equals ``assign(start_index + i, block[i])``,
+        so block-wise and row-wise ingest place every row identically.
+        """
+        return shard_assignment_block(
+            start_index, block, self._n_shards, self._policy, self._hash_seed
+        )
+
     def split(self, stream: RowStream) -> list[list[Word]]:
         """Materialise the shard assignment in a single pass over ``stream``.
 
@@ -85,6 +102,30 @@ class StreamPartitioner:
         for index, row in enumerate(stream):
             buckets[self.assign(index, row)].append(row)
         return buckets
+
+    def split_blocks(self, stream: RowStream, batch_size: int) -> list[np.ndarray]:
+        """Materialise the shard assignment as one ``(m_s, d)`` array per shard.
+
+        The batch counterpart of :meth:`split`: the stream is consumed in
+        :meth:`~repro.streaming.stream.RowStream.iter_batches` blocks, each
+        block is routed with one vectorized :meth:`assign_block` call, and
+        every shard receives a single concatenated ndarray (cheap to pickle
+        to a worker process) instead of a list of tuples.  Row-for-row
+        equivalent to :meth:`split`, shard order included.
+        """
+        parts: list[list[np.ndarray]] = [[] for _ in range(self._n_shards)]
+        for start, block in stream.iter_batches(batch_size):
+            assignment = self.assign_block(start, block)
+            for shard in range(self._n_shards):
+                rows = block[assignment == shard]
+                if rows.shape[0]:
+                    parts[shard].append(rows)
+        return [
+            np.vstack(blocks)
+            if blocks
+            else np.empty((0, stream.n_columns), dtype=np.int64)
+            for blocks in parts
+        ]
 
     def substreams(self, stream: RowStream) -> list[RowStream]:
         """Lazy per-shard substreams (each replays and filters ``stream``).

@@ -4,9 +4,12 @@
 methods of the paper's model — ``F_p`` moments, point frequencies, and heavy
 hitters — and adds the serving-side machinery a query tier needs:
 
-* an LRU result cache keyed by the query content (summaries are frozen once
-  the observation phase ends, so cached answers never go stale until more
-  data is merged in — :meth:`invalidate` resets the cache for that case);
+* an LRU result cache keyed by the query content and pinned to the
+  estimator's mutation :attr:`~repro.core.estimator.ProjectedFrequencyEstimator.version`
+  (merging more data into the summary bumps the version, so a later
+  :meth:`~repro.engine.coordinator.Coordinator.ingest` automatically
+  invalidates every cached answer — :meth:`invalidate` remains as a manual
+  override);
 * per-query-kind latency recorders, fed only by cache misses so that the
   numbers reflect actual summary work;
 * batch entry points that answer many queries in one call.
@@ -45,7 +48,16 @@ class CacheInfo:
 
 
 class QueryService:
-    """Serve batch queries from a frozen summary with caching and stats.
+    """Serve batch queries from a summary with caching and stats.
+
+    Cached results carry the estimator
+    :attr:`~repro.core.estimator.ProjectedFrequencyEstimator.version` they
+    were computed at: every mutation or merge of the underlying summary (for
+    example a later :meth:`~repro.engine.coordinator.Coordinator.ingest`
+    folding a new batch into the merged estimator this service wraps) bumps
+    that version, and the next query drops the entire cache before serving.
+    A service created before more data arrived can therefore never return a
+    stale answer.
 
     Parameters
     ----------
@@ -66,6 +78,7 @@ class QueryService:
         self._estimator = estimator
         self._cache_size = int(cache_size)
         self._cache: OrderedDict[Hashable, object] = OrderedDict()
+        self._cache_version = estimator.version
         self._hits = 0
         self._misses = 0
         self._recorders: dict[str, LatencyRecorder] = {}
@@ -78,6 +91,12 @@ class QueryService:
     # -- cache plumbing ----------------------------------------------------------
 
     def _serve(self, kind: str, key: Hashable, compute: Callable[[], object]) -> object:
+        current_version = self._estimator.version
+        if current_version != self._cache_version:
+            # The summary mutated (rows observed or a batch merged in) after
+            # the cache was filled: every cached answer is stale.
+            self._cache.clear()
+            self._cache_version = current_version
         cache_key = (kind, key)
         if self._cache_size and cache_key in self._cache:
             self._hits += 1

@@ -12,6 +12,8 @@ from __future__ import annotations
 import time
 from typing import Iterable
 
+import numpy as np
+
 from ..coding.words import Word
 from ..core.estimator import ProjectedFrequencyEstimator
 from ..errors import InvalidParameterError
@@ -66,6 +68,14 @@ class Shard:
         for row in rows:
             self._estimator.observe_row(row)
             self._rows_ingested += 1
+        self._ingest_seconds += time.perf_counter() - started
+        return self
+
+    def ingest_block(self, block: np.ndarray) -> "Shard":
+        """Feed a whole ``(m, d)`` block through the estimator's batch path."""
+        started = time.perf_counter()
+        self._estimator.observe_rows(block)
+        self._rows_ingested += int(np.asarray(block).shape[0])
         self._ingest_seconds += time.perf_counter() - started
         return self
 

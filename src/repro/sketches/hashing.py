@@ -32,6 +32,7 @@ from ..errors import InvalidParameterError
 __all__ = [
     "MERSENNE_PRIME_61",
     "stable_hash64",
+    "stable_hash64_rows",
     "hash_to_unit_interval",
     "MultiplyShiftHash",
     "PolynomialHash",
@@ -85,6 +86,50 @@ def stable_hash64(item: object, seed: int = 0) -> int:
 def hash_to_unit_interval(item: object, seed: int = 0) -> float:
     """Hash ``item`` to a float uniformly distributed in ``[0, 1)``."""
     return stable_hash64(item, seed) / float(1 << 64)
+
+
+def stable_hash64_rows(block: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Row-wise :func:`stable_hash64` over an ``(m, d)`` integer block.
+
+    Returns a ``uint64`` array where entry ``i`` equals
+    ``stable_hash64(tuple(block[i]), seed)`` — the per-row serialisation is
+    built for the whole block in a few NumPy passes, leaving only the
+    (mandatory) one BLAKE2b digest per row.  Content-addressed shard routing
+    therefore places a block's rows exactly where the row-at-a-time path
+    would.
+    """
+    block = np.asarray(block)
+    if block.ndim != 2:
+        raise InvalidParameterError(
+            f"stable_hash64_rows expects a 2-D block, got {block.ndim} dimension(s)"
+        )
+    if not np.issubdtype(block.dtype, np.integer):
+        raise InvalidParameterError(
+            f"stable_hash64_rows expects an integer block, got dtype {block.dtype}"
+        )
+    n_rows, n_columns = block.shape
+    out = np.empty(n_rows, dtype=np.uint64)
+    if n_rows == 0:
+        return out
+    key = int(seed).to_bytes(8, "little", signed=False)
+    prefix = b"t" + n_columns.to_bytes(4, "little")
+    # Per element, _item_to_bytes emits a 21-byte record: the length prefix
+    # (17, little-endian, 4 bytes), the b"i" tag, and the value as a 16-byte
+    # little-endian signed integer (low 8 bytes from int64 two's complement,
+    # high 8 bytes sign-filled).
+    records = np.zeros((n_rows, n_columns, 21), dtype=np.uint8)
+    records[:, :, 0] = 17
+    records[:, :, 4] = ord("i")
+    values = np.ascontiguousarray(block, dtype="<i8")
+    records[:, :, 5:13] = values.view(np.uint8).reshape(n_rows, n_columns, 8)
+    records[:, :, 13:21] = np.where(values < 0, 0xFF, 0).astype(np.uint8)[:, :, None]
+    bodies = records.reshape(n_rows, n_columns * 21)
+    for index in range(n_rows):
+        digest = hashlib.blake2b(
+            prefix + bodies[index].tobytes(), digest_size=8, key=key
+        ).digest()
+        out[index] = struct.unpack("<Q", digest)[0]
+    return out
 
 
 @dataclass

@@ -13,11 +13,20 @@ when ``0 < p <= 1``.  Two samplers are provided:
   reservoir per slot.
 
 Both samplers are deterministic functions of their seed.
+
+Every sampler also provides an :meth:`update_block` kernel that absorbs a
+whole block of items in a handful of vectorized RNG draws.  The kernels are
+written so that, for the same seed, feeding a stream item by item through
+``update`` and block by block through ``update_block`` leaves the sampler in
+*bit-identical* state (NumPy's ``Generator`` draws array outputs from the
+same bit-stream positions as the equivalent sequence of scalar draws), which
+is what lets the engine's batch ingest path be a pure fast path rather than
+a semantically different one.
 """
 
 from __future__ import annotations
 
-from typing import Generic, Iterable, Iterator, TypeVar
+from typing import Generic, Iterable, Iterator, Sequence, TypeVar
 
 import numpy as np
 
@@ -27,6 +36,19 @@ from .base import Sketch
 __all__ = ["ReservoirSampler", "WithReplacementSampler", "BernoulliSampler"]
 
 RowT = TypeVar("RowT")
+
+
+def _materialise_item(items: "Sequence[RowT] | np.ndarray", index: int):
+    """Item at ``index``, converted to a hashable word when ``items`` is an array.
+
+    Block kernels receive either a plain sequence of items or an ``(m, d)``
+    ndarray of rows; retained ndarray rows are stored as tuples of Python
+    ints so that block-fed and row-fed samplers hold identical samples.
+    """
+    item = items[index]
+    if isinstance(item, np.ndarray):
+        return tuple(item.tolist())
+    return item
 
 
 class ReservoirSampler(Sketch[RowT], Generic[RowT]):
@@ -69,14 +91,48 @@ class ReservoirSampler(Sketch[RowT], Generic[RowT]):
             if position < self._capacity:
                 self._reservoir[position] = item
 
+    def update_block(self, items: "Sequence[RowT] | np.ndarray") -> None:
+        """Absorb a whole block of items with one vectorized position draw.
+
+        While the reservoir is filling, items are appended without consuming
+        randomness (as in :meth:`update`); for the rest of the block all the
+        replacement positions are drawn in a single ``integers`` call and
+        only the accepted items — an ``O(t log(n'/n))`` handful, the
+        Vitter-style skip set — touch Python-level state.  Bit-identical to
+        feeding the block through :meth:`update` item by item.
+        """
+        total = len(items)
+        if total == 0:
+            return
+        fill = min(max(self._capacity - len(self._reservoir), 0), total)
+        for index in range(fill):
+            self._reservoir.append(_materialise_item(items, index))
+        if fill < total:
+            # Item at local index fill + j is the (items_processed + fill +
+            # j + 1)-th stream item; update() draws integers(0, count) for it.
+            highs = np.arange(
+                self._items_processed + fill + 1,
+                self._items_processed + total + 1,
+                dtype=np.int64,
+            )
+            positions = self._rng.integers(0, highs)
+            for j in np.nonzero(positions < self._capacity)[0]:
+                self._reservoir[int(positions[j])] = _materialise_item(
+                    items, fill + int(j)
+                )
+        self._items_processed += total
+
     def merge(self, other: "ReservoirSampler[RowT]") -> None:
         """Fold ``other`` into ``self`` so the reservoir samples both streams.
 
-        The classical mergeable-summaries subsampling step: while slots
-        remain, draw from either reservoir with probability proportional to
-        the length of the stream it represents, without replacement.  Each
-        element of the union stream keeps inclusion probability
-        ``t / (n_1 + n_2)`` in expectation.
+        A uniform ``t``-subset of the union stream decomposes exactly as:
+        draw the number of survivors from the first stream as
+        ``k ~ Hypergeometric(n_1, n_2, t)``, then take ``k`` items uniformly
+        without replacement from the first reservoir and ``t - k`` from the
+        second.  Because each reservoir is itself a uniform sample of its
+        stream, the composition gives every element of the union inclusion
+        probability exactly ``t / (n_1 + n_2)`` — unlike the earlier
+        weight-rescaling loop, which over-represented the shorter stream.
         """
         if not isinstance(other, ReservoirSampler):
             raise InvalidParameterError(
@@ -87,31 +143,19 @@ class ReservoirSampler(Sketch[RowT], Generic[RowT]):
                 "reservoir samplers must share capacity to be merged"
             )
         ours, theirs = list(self._reservoir), list(other._reservoir)
-        weight_ours = float(self._items_processed)
-        weight_theirs = float(other._items_processed)
+        n_ours, n_theirs = self._items_processed, other._items_processed
         self._items_processed += other._items_processed
         if len(ours) + len(theirs) <= self._capacity:
             self._reservoir = ours + theirs
             return
-        merged: list[RowT] = []
-        while len(merged) < self._capacity and (ours or theirs):
-            take_ours = bool(ours) and (
-                not theirs
-                or self._rng.random() < weight_ours / (weight_ours + weight_theirs)
-            )
-            source = ours if take_ours else theirs
-            position = int(self._rng.integers(0, len(source)))
-            item = source.pop(position)
-            # The drawn item stops representing its stream: scale the
-            # stream's weight by the surviving fraction of its reservoir, so
-            # a short stream that exhausts early does not get starved of the
-            # remaining draws.
-            if take_ours:
-                weight_ours *= len(source) / (len(source) + 1)
-            else:
-                weight_theirs *= len(source) / (len(source) + 1)
-            merged.append(item)
-        self._reservoir = merged
+        take_ours = int(self._rng.hypergeometric(n_ours, n_theirs, self._capacity))
+        take_ours = min(take_ours, len(ours))
+        take_theirs = min(self._capacity - take_ours, len(theirs))
+        pick_ours = self._rng.choice(len(ours), size=take_ours, replace=False)
+        pick_theirs = self._rng.choice(len(theirs), size=take_theirs, replace=False)
+        self._reservoir = [ours[int(i)] for i in pick_ours] + [
+            theirs[int(j)] for j in pick_theirs
+        ]
 
     def sample(self) -> list[RowT]:
         """Return a copy of the current sample."""
@@ -171,6 +215,41 @@ class WithReplacementSampler(Sketch[RowT], Generic[RowT]):
             accept = self._rng.random(self._draws) < (1.0 / self._items_processed)
             for slot_index in np.nonzero(accept)[0]:
                 self._slots[int(slot_index)] = item
+
+    #: Cap on the acceptance-matrix size one kernel invocation materialises;
+    #: larger blocks are processed in stream-order chunks (the RNG stream is
+    #: unaffected because array draws fill sequentially).
+    _BLOCK_ELEMENT_BUDGET = 1 << 22
+
+    def update_block(self, items: "Sequence[RowT] | np.ndarray") -> None:
+        """Absorb a block via one acceptance-matrix pass per slot assignment.
+
+        Draws the same ``m × t`` uniforms :meth:`update` would, but in one
+        ``random`` call, then resolves every slot to the last item that
+        accepted it — a single reverse ``argmax`` instead of ``m`` Python
+        iterations.  Bit-identical to the per-item path for the same seed.
+        """
+        total = len(items)
+        if total == 0:
+            return
+        chunk = max(1, self._BLOCK_ELEMENT_BUDGET // self._draws)
+        offset = 0
+        while offset < total:
+            size = min(chunk, total - offset)
+            counts = np.arange(
+                self._items_processed + 1,
+                self._items_processed + size + 1,
+                dtype=np.float64,
+            )
+            accept = self._rng.random((size, self._draws)) < (1.0 / counts)[:, None]
+            hit = accept.any(axis=0)
+            last = size - 1 - np.argmax(accept[::-1, :], axis=0)
+            for slot_index in np.nonzero(hit)[0]:
+                self._slots[int(slot_index)] = _materialise_item(
+                    items, offset + int(last[slot_index])
+                )
+            self._items_processed += size
+            offset += size
 
     def merge(self, other: "WithReplacementSampler[RowT]") -> None:
         """Fold ``other`` into ``self``, slot by slot.
@@ -248,6 +327,21 @@ class BernoulliSampler(Sketch[RowT], Generic[RowT]):
             self._items_processed += 1
             if self._rng.random() < self._rate:
                 self._sample.append(item)
+
+    def update_block(self, items: "Sequence[RowT] | np.ndarray") -> None:
+        """Absorb a block with a single retention-mask draw.
+
+        One ``random(m)`` call decides every retention; only the retained
+        items are materialised.  Bit-identical to the per-item path for the
+        same seed.
+        """
+        total = len(items)
+        if total == 0:
+            return
+        mask = self._rng.random(total) < self._rate
+        for index in np.nonzero(mask)[0]:
+            self._sample.append(_materialise_item(items, int(index)))
+        self._items_processed += total
 
     def merge(self, other: "BernoulliSampler[RowT]") -> None:
         """Fold ``other`` into ``self`` by concatenating the retained rows.

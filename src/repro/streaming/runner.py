@@ -39,14 +39,16 @@ class QueryMeasurement:
     def signs_agree(self) -> bool:
         """Whether estimate and exact value fall on the same side of zero.
 
-        Distinguishes a genuine sign disagreement (one value negative) from
-        the benign boundary case where the exact value is ``0`` and the
-        estimate merely overshoots it (or vice versa), which
-        :attr:`multiplicative_error` previously conflated into ``inf``.
+        ``True`` whenever both values are non-negative or both are
+        non-positive — in particular for the benign boundary case where the
+        exact value is ``0`` and the estimate merely overshoots it (or vice
+        versa), which :attr:`multiplicative_error` scores with a finite
+        penalty.  ``False`` only for a genuine sign disagreement, one value
+        strictly negative and the other strictly positive.
         """
-        if self.exact == 0.0 or self.estimate == 0.0:
-            return self.exact == self.estimate
-        return (self.exact > 0) == (self.estimate > 0)
+        if self.exact >= 0.0 and self.estimate >= 0.0:
+            return True
+        return self.exact <= 0.0 and self.estimate <= 0.0
 
     @property
     def multiplicative_error(self) -> float:

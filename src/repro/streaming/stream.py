@@ -17,9 +17,14 @@ import numpy as np
 from ..coding.words import Word
 from ..core.dataset import Dataset
 from ..errors import DimensionError, InvalidParameterError
-from ..sketches.hashing import stable_hash64
+from ..sketches.hashing import stable_hash64, stable_hash64_rows
 
-__all__ = ["RowStream", "SHARD_POLICIES", "shard_assignment"]
+__all__ = [
+    "RowStream",
+    "SHARD_POLICIES",
+    "shard_assignment",
+    "shard_assignment_block",
+]
 
 #: Shard-assignment policies understood by :meth:`RowStream.shard` and the
 #: engine's :class:`~repro.engine.partition.StreamPartitioner`.
@@ -38,6 +43,34 @@ def shard_assignment(
         return index % n_shards
     if policy == "hash":
         return stable_hash64(row, hash_seed) % n_shards
+    raise InvalidParameterError(
+        f"unknown shard policy {policy!r}; expected one of {SHARD_POLICIES}"
+    )
+
+
+def shard_assignment_block(
+    start_index: int,
+    block: np.ndarray,
+    n_shards: int,
+    policy: str,
+    hash_seed: int = 0,
+) -> np.ndarray:
+    """Shard ids for a whole ``(m, d)`` block starting at stream position
+    ``start_index``, as an ``int64`` array.
+
+    Vectorized counterpart of :func:`shard_assignment`: entry ``i`` equals
+    ``shard_assignment(start_index + i, tuple(block[i]), ...)`` for both
+    policies, so block-wise and row-wise routing can never disagree on
+    placement.
+    """
+    block = np.asarray(block)
+    if policy == "round_robin":
+        return (
+            start_index + np.arange(block.shape[0], dtype=np.int64)
+        ) % n_shards
+    if policy == "hash":
+        hashes = stable_hash64_rows(block, hash_seed)
+        return (hashes % np.uint64(n_shards)).astype(np.int64)
     raise InvalidParameterError(
         f"unknown shard policy {policy!r}; expected one of {SHARD_POLICIES}"
     )
@@ -64,7 +97,9 @@ class RowStream:
         n_columns: int | None = None,
         alphabet_size: int | None = None,
     ) -> None:
+        self._dataset: Dataset | None = None
         if isinstance(source, Dataset):
+            self._dataset = source
             self._factory: Callable[[], Iterable[Word]] = source.iter_rows
             self._n_columns = source.n_columns
             self._alphabet_size = source.alphabet_size
@@ -138,6 +173,35 @@ class RowStream:
         if buffer:
             yield buffer
 
+    def iter_batches(self, batch_size: int) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield the stream as ``(start_index, block)`` ndarray chunks.
+
+        ``block`` is an ``(m, d)`` int64 array of at most ``batch_size`` rows
+        and ``start_index`` is the stream position of its first row (what
+        position-dependent shard policies need to route whole blocks).  For
+        dataset-backed streams the blocks are zero-copy views into the
+        dataset's storage; generator-backed streams are buffered and
+        converted one block at a time.  Concatenating the blocks reproduces
+        the stream exactly.
+        """
+        if batch_size < 1:
+            raise InvalidParameterError(f"batch_size must be >= 1, got {batch_size}")
+        start = 0
+        if self._dataset is not None:
+            for block in self._dataset.iter_row_blocks(batch_size):
+                yield start, block
+                start += int(block.shape[0])
+            return
+        buffer: list[Word] = []
+        for row in self:
+            buffer.append(row)
+            if len(buffer) == batch_size:
+                yield start, np.array(buffer, dtype=np.int64)
+                start += len(buffer)
+                buffer = []
+        if buffer:
+            yield start, np.array(buffer, dtype=np.int64)
+
     def shuffled(self, seed: int = 0) -> "RowStream":
         """A stream replaying the same rows in a deterministic shuffled order.
 
@@ -186,12 +250,32 @@ class RowStream:
 
     def map_rows(self, transform: Callable[[Word], Word], n_columns: int | None = None,
                  alphabet_size: int | None = None) -> "RowStream":
-        """A stream applying ``transform`` to every row on the fly."""
-        return RowStream(
-            lambda: (transform(row) for row in self),
-            n_columns=n_columns or self._n_columns,
-            alphabet_size=alphabet_size or self._alphabet_size,
-        )
+        """A stream applying ``transform`` to every row on the fly.
+
+        ``n_columns`` / ``alphabet_size`` declare the transformed geometry
+        when it differs from the source's; only ``None`` means "unchanged"
+        (explicit values — including invalid ones — are always honoured, and
+        validated).  The transform's output width is checked against the
+        declared width on the first row of every replay.
+        """
+        width = self._n_columns if n_columns is None else int(n_columns)
+        alphabet = self._alphabet_size if alphabet_size is None else int(alphabet_size)
+
+        def mapped() -> Iterator[Word]:
+            checked = False
+            for row in self:
+                out = transform(row)
+                if not checked:
+                    if len(out) != width:
+                        raise DimensionError(
+                            f"map_rows transform produced a row of length "
+                            f"{len(out)}, but the mapped stream declares "
+                            f"{width} columns"
+                        )
+                    checked = True
+                yield out
+
+        return RowStream(mapped, n_columns=width, alphabet_size=alphabet)
 
     def to_dataset(self) -> Dataset:
         """Materialise the stream as a :class:`~repro.core.dataset.Dataset`."""

@@ -296,6 +296,39 @@ def test_service_invalidate_clears_cache() -> None:
     assert service.cache_info().misses == 2
 
 
+def test_service_auto_invalidates_after_later_ingest() -> None:
+    """Regression: a service created before a later Coordinator.ingest used
+    to keep serving answers cached against the smaller summary, because the
+    ingest merged into the shared estimator in place without the service
+    noticing.  The estimator version check must force a recompute."""
+    coordinator = Coordinator(
+        lambda: ExactBaseline(n_columns=D), n_shards=2, backend="serial"
+    )
+    rows = list(STREAM)
+    coordinator.ingest(RowStream.from_rows(rows[:200], D))
+    service = coordinator.query_service()
+    assert service.estimate_fp(QUERY, 1) == 200.0
+    coordinator.ingest(RowStream.from_rows(rows[200:], D))
+    # Same query again: must reflect the merged data, not the cached answer.
+    assert service.estimate_fp(QUERY, 1) == 600.0
+    single = ExactBaseline(n_columns=D).observe(STREAM)
+    for p in (0, 2):
+        assert service.estimate_fp(QUERY, p) == single.estimate_fp(QUERY, p)
+    assert service.heavy_hitters(QUERY, phi=0.05) == single.heavy_hitters(
+        QUERY, phi=0.05
+    )
+
+
+def test_service_cache_still_hits_between_ingests() -> None:
+    """The version check only drops the cache when the summary actually
+    mutated; repeat queries in a quiet period still hit."""
+    service = _service()
+    service.estimate_fp(QUERY, 0)
+    service.estimate_fp(QUERY, 0)
+    info = service.cache_info()
+    assert (info.hits, info.misses) == (1, 1)
+
+
 def test_latency_recorder_percentiles() -> None:
     recorder = LatencyRecorder()
     for value in (0.01, 0.02, 0.03, 0.04, 0.10):

@@ -253,6 +253,57 @@ def test_reservoir_merge_is_statistically_uniform() -> None:
     assert 4.0 < hits / trials < 6.0
 
 
+def test_reservoir_merge_is_uniform_over_unequal_streams() -> None:
+    """Per-element inclusion probability after merging unequal-length
+    streams is ``t / (n1 + n2)``, element by element.
+
+    This is the statistical guard on the merge implementation: the earlier
+    weight-rescaling loop passed the aggregate 50/50 check above but gave
+    elements of the *shorter* stream ~18% too much inclusion mass on a
+    18/42 split.  The hypergeometric split must keep every element within
+    binomial noise of the uniform rate, and the first-stream share within
+    noise of ``n1 / (n1 + n2)``.
+    """
+    capacity, n_first, n_second = 6, 18, 42
+    total = n_first + n_second
+    trials = 3000
+    inclusion = [0] * total
+    from_first = 0
+    for trial in range(trials):
+        first = ReservoirSampler[int](capacity=capacity, seed=2 * trial + 1)
+        second = ReservoirSampler[int](capacity=capacity, seed=2 * trial + 2)
+        first.update_many(range(n_first))
+        second.update_many(range(n_first, total))
+        first.merge(second)
+        sample = first.sample()
+        assert len(sample) == capacity
+        for item in sample:
+            inclusion[item] += 1
+            if item < n_first:
+                from_first += 1
+    expected = capacity / total
+    # Per-element frequencies: each is Binomial(trials, p)/trials with
+    # sigma ~ 0.0055 here; a 5-sigma band catches the old bias (which
+    # pushed short-stream elements ~4 sigma high *systematically*) while
+    # keeping the false-alarm rate over 60 elements negligible.
+    sigma = (expected * (1 - expected) / trials) ** 0.5
+    for element, count in enumerate(inclusion):
+        frequency = count / trials
+        assert abs(frequency - expected) < 5 * sigma, (
+            f"element {element}: inclusion {frequency:.4f} vs expected "
+            f"{expected:.4f} (tolerance {5 * sigma:.4f})"
+        )
+    # The first stream's share of the merged sample: E = n1/(n1+n2), and a
+    # chi-square-style z-test on the aggregate count.
+    share = from_first / (trials * capacity)
+    share_sigma = (
+        (n_first / total) * (n_second / total) / (trials * capacity)
+    ) ** 0.5
+    assert abs(share - n_first / total) < 5 * share_sigma, (
+        f"stream-1 share {share:.4f} vs expected {n_first / total:.4f}"
+    )
+
+
 def test_with_replacement_merge_draw_distribution() -> None:
     first = WithReplacementSampler[int](draws=16, seed=3)
     second = WithReplacementSampler[int](draws=16, seed=4)

@@ -51,6 +51,57 @@ class TestRowStream:
         flipped = stream.map_rows(lambda row: tuple(1 - s for s in row))
         assert list(flipped) == [(1, 0), (0, 1)]
 
+    def test_map_rows_honours_explicit_falsy_arguments(self):
+        # An explicit (invalid) n_columns=0 must raise, not silently fall
+        # back to the source's width the way `n_columns or default` did.
+        stream = RowStream.from_rows([(0, 1), (1, 0)], n_columns=2)
+        with pytest.raises(DimensionError):
+            stream.map_rows(lambda row: row, n_columns=0)
+        with pytest.raises(InvalidParameterError):
+            stream.map_rows(lambda row: row, alphabet_size=0)
+
+    def test_map_rows_explicit_geometry_is_used(self):
+        stream = RowStream.from_rows([(0, 1), (1, 0)], n_columns=2)
+        widened = stream.map_rows(
+            lambda row: row + (2,), n_columns=3, alphabet_size=3
+        )
+        assert widened.n_columns == 3
+        assert widened.alphabet_size == 3
+        assert list(widened) == [(0, 1, 2), (1, 0, 2)]
+
+    def test_map_rows_validates_transform_width_on_first_row(self):
+        stream = RowStream.from_rows([(0, 1), (1, 0)], n_columns=2)
+        truncating = stream.map_rows(lambda row: row[:1])
+        with pytest.raises(DimensionError, match="transform"):
+            next(iter(truncating))
+
+    def test_iter_batches_covers_stream_in_order(self, dataset):
+        stream = RowStream(dataset)
+        rows = []
+        expected_start = 0
+        for start, block in stream.iter_batches(64):
+            assert start == expected_start
+            assert block.shape[1] == 6
+            assert block.shape[0] <= 64
+            rows.extend(tuple(row) for row in block.tolist())
+            expected_start += block.shape[0]
+        assert rows == list(stream)
+
+    def test_iter_batches_generator_source_matches_dataset_source(self, dataset):
+        materialised = RowStream.from_rows(list(RowStream(dataset)), n_columns=6)
+        from_dataset = [
+            (start, block.tolist())
+            for start, block in RowStream(dataset).iter_batches(50)
+        ]
+        from_generator = [
+            (start, block.tolist()) for start, block in materialised.iter_batches(50)
+        ]
+        assert from_dataset == from_generator
+
+    def test_iter_batches_validates_batch_size(self, dataset):
+        with pytest.raises(InvalidParameterError):
+            list(RowStream(dataset).iter_batches(0))
+
     def test_row_width_enforced(self):
         stream = RowStream(lambda: iter([(0, 1, 1)]), n_columns=2, alphabet_size=2)
         with pytest.raises(DimensionError):
@@ -145,28 +196,40 @@ class TestQueryMeasurementErrors:
         assert measurement.signs_agree
 
     def test_zero_exact_with_positive_estimate_is_finite(self):
+        # The benign overshoot of an empty projection: finite penalty, and
+        # no sign disagreement (both values are on the non-negative side).
         measurement = self._measurement(estimate=4.0, exact=0.0)
         assert measurement.multiplicative_error == pytest.approx(5.0)
-        assert not measurement.signs_agree
+        assert measurement.signs_agree
 
     def test_zero_estimate_of_positive_mass_stays_infinite(self):
-        # Missing all mass is an unbounded multiplicative miss; only the
-        # signs_agree flag (not the error value) distinguishes it from a
-        # sign disagreement.
+        # Missing all mass is an unbounded multiplicative miss, but not a
+        # sign disagreement: zero sits on the same side as any non-negative
+        # value.
         measurement = self._measurement(estimate=0.0, exact=9.0)
         assert measurement.multiplicative_error == float("inf")
-        assert not measurement.signs_agree
+        assert measurement.signs_agree
 
     def test_negative_estimate_is_a_sign_disagreement(self):
         measurement = self._measurement(estimate=-3.0, exact=7.0)
         assert measurement.multiplicative_error == float("inf")
         assert not measurement.signs_agree
 
+    def test_negative_pairs_agree(self):
+        # Both strictly negative (or negative paired with zero) is the same
+        # side of zero, not a disagreement.
+        assert self._measurement(estimate=-2.0, exact=-6.0).signs_agree
+        assert self._measurement(estimate=-2.0, exact=0.0).signs_agree
+        assert self._measurement(estimate=0.0, exact=-5.0).signs_agree
+        assert not self._measurement(estimate=3.0, exact=-5.0).signs_agree
+
     def test_zero_boundary_distinguishable_from_sign_disagreement(self):
         at_boundary = self._measurement(estimate=4.0, exact=0.0)
         disagreeing = self._measurement(estimate=-4.0, exact=2.0)
         assert at_boundary.multiplicative_error < float("inf")
+        assert at_boundary.signs_agree
         assert disagreeing.multiplicative_error == float("inf")
+        assert not disagreeing.signs_agree
 
     def test_ordinary_ratio_unchanged(self):
         measurement = self._measurement(estimate=8.0, exact=4.0)
