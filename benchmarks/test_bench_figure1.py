@@ -1,87 +1,59 @@
 """E2–E4 — Figure 1: the α-net space/approximation trade-off at d = 20.
 
-Regenerates the three panes of Figure 1:
-
-* left  — relative space ``2^{H(1/2-α)d} / 2^d`` versus α,
-* centre — approximation factor ``2^{αd}`` versus α,
-* right — approximation factor versus relative space,
-
-and checks the paper's reading of the plot: relative space ``2^{-2}`` buys an
-approximation on the order of tens, relative space ``2^{-8}`` keeps it on the
-order of hundreds with only ``2^{12} = 4096`` summaries instead of
-``2^{20} ≈ 10^6``.
+Thin caller of the registered ``figure1`` scenario (the single source of
+truth for this artifact — ``python -m repro run figure1`` executes the same
+spec): the scenario recomputes the three panes of Figure 1 and the paper's
+two call-outs, and this benchmark prints the recorded tables and asserts
+the paper's reading of the plot on the recorded metrics — relative space
+``2^{-2}`` buys an approximation on the order of tens, relative space
+``2^{-8}`` keeps it on the order of hundreds with only ``2^{12} = 4096``
+summaries instead of ``2^{20} ≈ 10^6``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from _bench_utils import emit, render_series, render_table
-from repro.analysis.tradeoff import figure1_curves, tradeoff_at_relative_space
+from _bench_utils import emit, render_table
+from repro.experiments import RunParams, run_experiment
 
 D = 20
-POINTS = 99
+
+
+def _run():
+    return run_experiment("figure1", RunParams(seed=0))
+
+
+def _emit_tables(result) -> None:
+    for table in result.tables:
+        emit(table.title, render_table(list(table.headers), list(table.rows)))
 
 
 def test_figure1_relative_space(benchmark):
-    """Left pane: relative space versus alpha."""
-    curve = benchmark(figure1_curves, D, POINTS)
-    emit(
-        "Figure 1 (left) — relative space vs alpha, d=20",
-        render_series("alpha", "relative space", curve.alphas(), curve.relative_space()),
-    )
-    spaces = curve.relative_space()
-    assert spaces[0] > 0.9  # alpha -> 0: the net is essentially the power set
-    assert spaces[-1] < 0.01  # alpha -> 1/2: the net all but vanishes
-    assert all(a >= b for a, b in zip(spaces, spaces[1:]))
+    """Left pane: relative space versus alpha (decreasing, 1 -> 0)."""
+    result = benchmark(_run)
+    _emit_tables(result)
+    assert result.metrics["relative_space_first"] > 0.9
+    assert result.metrics["relative_space_last"] < 0.01
+    assert result.metrics["relative_space_monotone"] == 1.0
 
 
 def test_figure1_approximation_factor(benchmark):
-    """Centre pane: approximation factor 2^{alpha d} versus alpha."""
-    curve = benchmark(figure1_curves, D, POINTS)
-    emit(
-        "Figure 1 (centre) — approximation factor vs alpha, d=20",
-        render_series(
-            "alpha", "approximation factor", curve.alphas(), curve.approximation_factors()
-        ),
-    )
-    factors = curve.approximation_factors()
-    assert factors[0] < 2.0
-    assert factors[-1] > 2 ** (0.45 * D)
-    assert all(a <= b for a, b in zip(factors, factors[1:]))
+    """Centre pane: approximation factor 2^{alpha d} versus alpha (increasing)."""
+    result = benchmark(_run)
+    assert result.metrics["approximation_first"] < 2.0
+    assert result.metrics["approximation_last"] > 2 ** (0.45 * D)
+    assert result.metrics["approximation_monotone"] == 1.0
 
 
 def test_figure1_tradeoff(benchmark):
-    """Right pane: approximation factor versus relative space + the call-outs."""
-    curve = benchmark(figure1_curves, D, 400)
-    pairs = curve.pairs()
-    emit(
-        "Figure 1 (right) — approximation factor vs relative space, d=20",
-        render_series(
-            "relative space",
-            "approximation factor",
-            [space for space, _ in pairs],
-            [factor for _, factor in pairs],
-        ),
-    )
-
-    at_quarter = tradeoff_at_relative_space(curve, 2.0**-2)
-    at_eighth_power = tradeoff_at_relative_space(curve, 2.0**-8)
-    emit(
-        "Figure 1 call-outs (paper's reading of the right pane)",
-        render_table(
-            ["relative space", "approximation factor", "summaries kept"],
-            [
-                (2.0**-2, at_quarter.approximation_factor, at_quarter.sketch_count),
-                (2.0**-8, at_eighth_power.approximation_factor, at_eighth_power.sketch_count),
-            ],
-        ),
-    )
+    """Right pane call-outs: the paper's reading of the trade-off."""
+    result = benchmark(_run)
     # "if we reduce the space by a factor of 4 then the approximation factor
     # is on the order of 10s" ...
-    assert 10 <= at_quarter.approximation_factor < 100
+    assert 10 <= result.metrics["approximation_at_quarter_space"] < 100
     # ... "if we use relative space 2^-8, the approximation remains on the
     # order of hundreds", with 2^12 = 4096 << 2^20 summaries.
-    assert 100 <= at_eighth_power.approximation_factor < 1000
-    assert at_eighth_power.sketch_count == pytest.approx(4096, rel=0.25)
-    assert at_eighth_power.sketch_count < 2**D
+    assert 100 <= result.metrics["approximation_at_eighth_space"] < 1000
+    assert result.metrics["sketches_at_eighth_space"] == pytest.approx(4096, rel=0.25)
+    assert result.metrics["sketches_at_eighth_space"] < 2**D

@@ -1,104 +1,34 @@
 #!/usr/bin/env python3
-"""Why the problem is hard: running the Theorem 4.1 reduction by hand.
+"""Why the problem is hard: the paper's lower bounds as runnable scenarios.
 
-This example walks through the paper's central lower-bound argument as an
-executable protocol:
+Runs the two registered lower-bound scenarios and prints their reports:
 
-1. pick the constant-weight code ``B(d, k)`` and the star operator;
-2. let Alice encode a subset ``T`` of codewords as rows (``star_Q(T)``);
-3. let Bob query the projected F0 on ``supp(y)`` for his test word ``y``;
-4. watch the distinct-pattern count separate the two worlds ``y ∈ T`` and
-   ``y ∉ T`` by the factor ``Q/k`` — which is what forces any accurate
-   summary to spend ``2^{Ω(d)}`` bits.
+* ``table1`` — the four F0 lower-bound constructions (Theorem 4.1,
+  Corollaries 4.2–4.4) evaluated symbolically, plus a constructed
+  Theorem 4.1 instance confirming the stated shape and gap;
+* ``lb-f0`` — the Theorem 4.1 reduction executed over a (d, k, Q) sweep,
+  measuring the realised projected-F0 separation that forces any accurate
+  summary to spend ``2^{Ω(d)}`` bits.
 
-It then shows the counterpart upper bound: the α-net summary's size and its
-guaranteed factor for the same dimensions (Theorem 6.5), i.e. both sides of
-the paper's space/approximation trade-off.
+The same specs power ``python -m repro run table1`` / ``run lb-f0``.
 
 Run with:  python examples/lower_bound_demo.py
 """
 
 from __future__ import annotations
 
-from repro.analysis.bounds import theorem_6_5_approximation, theorem_6_5_space
-from repro.analysis.reporting import render_table
-from repro.lowerbounds.f0_instance import build_f0_instance
-from repro.lowerbounds.index_problem import index_lower_bound_bits
-from repro.lowerbounds.table1 import format_table1, table1_rows
-
-D, K, Q = 12, 3, 6
+from repro.experiments import RunParams, render_markdown, run_experiment
 
 
 def main() -> None:
-    print(f"Theorem 4.1 reduction with d={D}, k={K}, Q={Q}\n")
-
-    rows = []
-    for membership in (True, False):
-        for seed in range(3):
-            instance = build_f0_instance(
-                d=D, k=K, alphabet_size=Q, membership=membership, code_size=48, seed=seed
-            )
-            rows.append(
-                (
-                    "y in T" if membership else "y not in T",
-                    seed,
-                    instance.dataset.n_rows,
-                    instance.exact_f0(),
-                    instance.parameters.patterns_if_member
-                    if membership
-                    else instance.parameters.patterns_if_not_member,
-                    instance.decide_from_estimate(instance.exact_f0()) is membership,
-                )
-            )
+    for scenario in ("table1", "lb-f0"):
+        result = run_experiment(scenario, RunParams(seed=0))
+        print(render_markdown(result.to_dict()))
     print(
-        render_table(
-            [
-                "branch",
-                "seed",
-                "instance rows",
-                "exact F0 on supp(y)",
-                "paper bound",
-                "Bob decides correctly",
-            ],
-            rows,
-            title="Alice's encoding vs Bob's projected-F0 query",
-        )
-    )
-
-    parameters = build_f0_instance(
-        d=D, k=K, alphabet_size=Q, membership=True, code_size=48, seed=0
-    ).parameters
-    print(
-        f"\nSeparation factor Q/k = {parameters.approximation_factor:.1f}; any summary "
-        f"beating it solves Index over {parameters.code_size} codewords and must hold "
-        f"~{index_lower_bound_bits(parameters.code_size):.0f} bits (and the code grows "
-        f"as 2^Omega(d))."
-    )
-
-    print("\nTable 1 for these conventions (evaluated at d=20, k=4, Q=20, q=2):\n")
-    print(format_table1(table1_rows(20, 4, 20, 2)))
-
-    print("\nThe matching upper bound (Section 6) at d=20:")
-    upper_rows = []
-    for alpha in (0.1, 0.2, 0.3, 0.4):
-        upper_rows.append(
-            (
-                alpha,
-                f"{theorem_6_5_space(20, alpha):.3g} sketches",
-                f"{theorem_6_5_approximation(20, alpha, p=0):.3g}x",
-            )
-        )
-    print(
-        render_table(
-            ["alpha", "space (Theorem 6.5)", "F0 approximation factor"],
-            upper_rows,
-            title="alpha-net trade-off: coarser answers for sub-2^d space",
-        )
-    )
-    print(
-        "\nTogether: constant-factor answers need exponential space (lower bound), "
-        "but N^alpha-factor answers fit in N^{H(1/2-alpha)} space with N = 2^d "
-        "(upper bound) — the trade-off Figure 1 plots."
+        "Together with the alpha-net upper bound (run `python -m repro run "
+        "figure1`): constant-factor answers need exponential space, but "
+        "N^alpha-factor answers fit in N^{H(1/2-alpha)} space with N = 2^d "
+        "— the trade-off Figure 1 plots."
     )
 
 

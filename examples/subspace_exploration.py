@@ -2,114 +2,31 @@
 """Subspace exploration: hunting for clustered column subsets after the fact.
 
 The paper's third motivating scenario (Section 1): data that looks
-unstructured in the full space may be tightly clustered in a small subspace.
-Exploring subspaces means issuing *many overlapping* projection queries —
-exactly the regime where per-query streaming algorithms don't apply because
-the queries arrive after the data.
+unstructured in the full space may be tightly clustered in a small
+subspace.  This example runs the registered ``subspace-exploration``
+scenario — plant two clustered subspaces, keep one uniform row sample
+through the engine, and score every candidate subspace from the summary
+alone, answering ~1000 projection queries from a single pass.
 
-This example plants two clustered subspaces in a 14-column binary table,
-keeps a single uniform row sample (the Theorem 5.1 summary — its size is
-independent of the number of rows), and then runs an exploration loop that
-scores every candidate subspace by a concentration statistic computed from
-the sample's projected frequency vector.  The loop recovers the planted
-subspaces without ever re-reading the data, answering a thousand projection
-queries from one pass.
+The same spec powers ``python -m repro run subspace-exploration``.
 
 Run with:  python examples/subspace_exploration.py
 """
 
 from __future__ import annotations
 
-from itertools import combinations
-
-from repro import ColumnQuery, UniformSampleEstimator
-from repro.analysis.reporting import render_table
-from repro.core.frequency import FrequencyVector
-from repro.workloads.subspace_cluster import (
-    hidden_subspace_dataset,
-    subspace_concentration,
-)
-
-D = 14
-SUBSPACE_SIZE = 4
-
-
-def sample_concentration(frequencies: FrequencyVector) -> float:
-    """Concentration score of a (sampled) projection.
-
-    Ratio between the projection's actual F2 and the F2 of a perfectly flat
-    frequency vector with the same F0 and F1: 1.0 for unstructured
-    projections, larger when a few patterns dominate.
-    """
-    distinct = frequencies.distinct_patterns()
-    total = frequencies.total_rows()
-    if distinct == 0 or total == 0:
-        return 0.0
-    actual_f2 = frequencies.frequency_moment(2.0)
-    flat_f2 = distinct * (total / distinct) ** 2
-    return actual_f2 / flat_f2
+from repro.experiments import RunParams, render_markdown, run_experiment
 
 
 def main() -> None:
-    data, planted = hidden_subspace_dataset(
-        n_rows=6000,
-        n_columns=D,
-        subspace_size=SUBSPACE_SIZE,
-        n_subspaces=2,
-        centroids_per_subspace=2,
-        noise=0.02,
-        seed=11,
-    )
-    print(f"Planted subspaces: {[p.columns for p in planted]}\n")
-
-    # One pass to build the summary: a uniform sample of 2000 complete rows.
-    explorer = UniformSampleEstimator(n_columns=D, sample_size=2000, seed=5)
-    explorer.observe(data)
-
-    # Exploration: score every 4-column subspace using only the summary.
-    scored = []
-    for columns in combinations(range(D), SUBSPACE_SIZE):
-        query = ColumnQuery.of(columns, D)
-        scored.append((columns, sample_concentration(explorer.sample_frequencies(query))))
-    scored.sort(key=lambda pair: pair[1], reverse=True)
-
-    rows = []
-    planted_column_sets = [set(p.columns) for p in planted]
-    for columns, score in scored[:8]:
-        exact_score = subspace_concentration(data, ColumnQuery.of(columns, D))
-        overlaps = max(
-            len(set(columns) & planted_set) for planted_set in planted_column_sets
-        )
-        rows.append(
-            (
-                str(columns),
-                round(score, 2),
-                round(exact_score, 2),
-                f"{overlaps}/{SUBSPACE_SIZE}",
-            )
-        )
+    result = run_experiment("subspace-exploration", RunParams(seed=0))
+    print(render_markdown(result.to_dict()))
+    recovered = int(result.metrics["planted_recovered_in_top2"])
     print(
-        render_table(
-            [
-                "candidate subspace",
-                "sample concentration",
-                "exact concentration",
-                "overlap with a planted subspace",
-            ],
-            rows,
-            title="Top-8 subspaces by sampled concentration (one pass, 2000-row sample)",
-        )
-    )
-
-    top_hits = sum(
-        1
-        for columns, _ in scored[:2]
-        if set(columns) in planted_column_sets
-    )
-    print(
-        f"\n{top_hits} of the 2 planted subspaces are the top-2 ranked candidates; "
+        f"{recovered} of the 2 planted subspaces are the top-2 ranked candidates; "
         f"the exploration loop touched the data exactly once and answered "
-        f"{len(scored)} projection queries from the summary."
+        f"{int(result.metrics['queries_scored'])} projection queries from a "
+        f"{int(result.metrics['summary_bits'])}-bit summary."
     )
 
 

@@ -18,6 +18,9 @@ constructions and experimental harness of Cormode, Dickens and Woodruff
   calculators behind Figure 1.
 * :mod:`repro.engine` — the sharded serving layer: stream partitioning,
   parallel shard ingest, summary merging, and a cached batch-query service.
+* :mod:`repro.experiments` — the config-driven experiment runner behind
+  ``python -m repro``: declarative scenario specs, a named registry, and
+  JSON + Markdown result reports (see ``docs/experiments.md``).
 
 Quickstart::
 
@@ -56,6 +59,14 @@ from .engine import (
     Shard,
     StreamPartitioner,
 )
+from .experiments import (
+    ExperimentResult,
+    ExperimentSpec,
+    RunParams,
+    get_scenario,
+    run_experiment,
+    scenario_names,
+)
 from .errors import (
     AlphabetError,
     CodeConstructionError,
@@ -82,6 +93,8 @@ __all__ = [
     "DimensionError",
     "EstimationError",
     "ExactBaseline",
+    "ExperimentResult",
+    "ExperimentSpec",
     "IngestReport",
     "FpEstimation",
     "FrequencyEstimation",
@@ -95,11 +108,15 @@ __all__ = [
     "QueryService",
     "ReproError",
     "RowStream",
+    "RunParams",
     "Shard",
     "SketchPlan",
     "StreamPartitioner",
     "UniformSampleEstimator",
     "__version__",
+    "get_scenario",
     "rounding_distortion",
+    "run_experiment",
     "sample_size_for",
+    "scenario_names",
 ]

@@ -4,7 +4,7 @@ The benchmark harness regenerates every table and figure of the paper as
 plain text: ASCII tables for tabular results and simple textual series (plus
 an optional unicode sparkline) for the Figure 1 curves.  Keeping the
 formatting here means every benchmark prints in a consistent, diffable
-layout that EXPERIMENTS.md can quote directly.
+layout that ``docs/experiments.md`` can quote directly.
 """
 
 from __future__ import annotations

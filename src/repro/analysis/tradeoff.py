@@ -8,10 +8,10 @@ Figure 1 of the paper illustrates, for ``d = 20`` and ``α`` swept over
 * right pane — approximation factor versus relative space (the trade-off).
 
 :func:`figure1_curves` computes all three series for any ``d`` so the
-benchmark can print them (and EXPERIMENTS.md can quote the paper's reading of
-the plot: relative space ``2^{-2}`` buys an approximation "on the order of
-10s"; ``2^{-8}`` keeps it "on the order of hundreds" with only
-``2^{12} = 4096`` summaries instead of ``2^{20} ≈ 10^6``).
+``figure1`` scenario and benchmark can print them (and ``docs/experiments.md``
+can quote the paper's reading of the plot: relative space ``2^{-2}`` buys an
+approximation "on the order of 10s"; ``2^{-8}`` keeps it "on the order of
+hundreds" with only ``2^{12} = 4096`` summaries instead of ``2^{20} ≈ 10^6``).
 """
 
 from __future__ import annotations

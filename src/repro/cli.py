@@ -1,0 +1,160 @@
+"""The ``python -m repro`` command line: list, run and report experiments.
+
+Three subcommands over the scenario registry of
+:mod:`repro.experiments`:
+
+* ``python -m repro list`` — name, paper reference and title of every
+  registered scenario;
+* ``python -m repro run <scenario>`` — execute one scenario through the
+  engine and write ``<out>/<scenario>.json`` (machine-readable) plus
+  ``<out>/<scenario>.md`` (rendered report), honouring ``--seed``,
+  ``--shards``, ``--batch-size`` and ``--quick``;
+* ``python -m repro report`` — regenerate every Markdown report from the
+  JSON payloads in the output directory and write a ``REPORT.md`` index.
+
+Example::
+
+    $ PYTHONPATH=src python -m repro run figure1 --quick
+    $ PYTHONPATH=src python -m repro report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis.reporting import render_table
+from .errors import ReproError
+from .experiments import (
+    RunParams,
+    all_scenarios,
+    get_scenario,
+    load_result,
+    render_index,
+    render_markdown,
+    run_experiment,
+    scenario_names,
+    write_result,
+)
+
+__all__ = ["build_parser", "main"]
+
+DEFAULT_OUT_DIR = "results"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree of ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduce the paper's experiments: list the registered "
+            "scenarios, run one through the sharded engine, and render "
+            "Markdown reports from recorded JSON results."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="show every registered scenario")
+
+    run = commands.add_parser("run", help="run one scenario and record results")
+    run.add_argument("scenario", help=f"one of: {', '.join(scenario_names())}")
+    run.add_argument("--seed", type=int, default=0, help="base random seed")
+    run.add_argument(
+        "--shards", type=int, default=None, help="override the engine shard count"
+    )
+    run.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="override the engine ingest block size (0 forces the per-row path)",
+    )
+    run.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-smoke scale: smaller datasets and sweep grids, same metrics",
+    )
+    run.add_argument(
+        "--out",
+        default=DEFAULT_OUT_DIR,
+        help=f"output directory for JSON + Markdown (default: {DEFAULT_OUT_DIR}/)",
+    )
+
+    report = commands.add_parser(
+        "report", help="re-render Markdown reports from recorded JSON results"
+    )
+    report.add_argument(
+        "--out",
+        default=DEFAULT_OUT_DIR,
+        help=f"directory holding <scenario>.json files (default: {DEFAULT_OUT_DIR}/)",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    rows = [
+        (spec.name, spec.paper_ref, "engine" if spec.is_engine_scenario else "analytic", spec.title)
+        for spec in all_scenarios()
+    ]
+    print(
+        render_table(
+            ["scenario", "reproduces", "kind", "title"],
+            rows,
+            title=f"{len(rows)} registered scenarios (python -m repro run <scenario>)",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = get_scenario(args.scenario)
+    params = RunParams(
+        seed=args.seed,
+        quick=args.quick,
+        n_shards=args.shards,
+        batch_size=args.batch_size,
+    )
+    result = run_experiment(spec, params)
+    json_path, md_path = write_result(result, args.out)
+    print(render_markdown(result.to_dict()))
+    print(f"wrote {json_path}")
+    print(f"wrote {md_path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    out_dir = Path(args.out)
+    json_paths = sorted(out_dir.glob("*.json"))
+    if not json_paths:
+        print(
+            f"no results under {out_dir}/ — run a scenario first, e.g. "
+            "python -m repro run figure1",
+            file=sys.stderr,
+        )
+        return 1
+    payloads = []
+    for json_path in json_paths:
+        payload = load_result(json_path)
+        payloads.append(payload)
+        md_path = out_dir / f"{payload['scenario']}.md"
+        md_path.write_text(render_markdown(payload))
+        print(f"wrote {md_path}")
+    index_path = out_dir / "REPORT.md"
+    index_path.write_text(render_index(payloads))
+    print(f"wrote {index_path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        return _cmd_report(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

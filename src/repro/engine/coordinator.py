@@ -53,7 +53,18 @@ def _ingest_shard_block(shard: Shard, block) -> Shard:
 
 @dataclass(frozen=True)
 class IngestReport:
-    """Timings and row accounting for one :meth:`Coordinator.ingest` call."""
+    """Timings and row accounting for one :meth:`Coordinator.ingest` call.
+
+    Example::
+
+        >>> report = IngestReport(
+        ...     n_shards=2, backend="serial", policy="round_robin",
+        ...     rows_total=100, rows_per_shard=(50, 50), wall_seconds=0.5,
+        ...     shard_seconds=(0.2, 0.2), merge_seconds=0.01,
+        ... )
+        >>> report.rows_per_second
+        200.0
+    """
 
     n_shards: int
     backend: str
@@ -104,6 +115,19 @@ class Coordinator:
         one ndarray each instead of a pickled list of tuples).  ``None``
         keeps the row-at-a-time path.  Both paths produce identical
         summaries for identical seeds.
+
+    Example::
+
+        >>> from repro import Coordinator, Dataset, ExactBaseline, RowStream
+        >>> data = Dataset.random(n_rows=100, n_columns=6, seed=1)
+        >>> engine = Coordinator(
+        ...     lambda: ExactBaseline(n_columns=6), n_shards=2, backend="serial"
+        ... )
+        >>> report = engine.ingest(RowStream(data))
+        >>> report.rows_total
+        100
+        >>> engine.merged_estimator.rows_observed
+        100
     """
 
     def __init__(

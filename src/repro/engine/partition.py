@@ -50,6 +50,13 @@ class StreamPartitioner:
         Seed of the content hash used by the ``"hash"`` policy, so distinct
         partitioners (for example for re-sharding experiments) can be made
         independent.
+
+    Example::
+
+        >>> from repro import StreamPartitioner
+        >>> partitioner = StreamPartitioner(n_shards=3, policy="round_robin")
+        >>> [partitioner.assign(i, (0, 1)) for i in range(5)]
+        [0, 1, 2, 0, 1]
     """
 
     def __init__(

@@ -42,7 +42,13 @@ class CacheInfo:
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of queries answered from the cache."""
+        """Fraction of queries answered from the cache.
+
+        Example::
+
+            >>> CacheInfo(hits=3, misses=1, size=4, capacity=16).hit_rate
+            0.75
+        """
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
@@ -66,6 +72,17 @@ class QueryService:
         :attr:`~repro.engine.coordinator.Coordinator.merged_estimator`).
     cache_size:
         Capacity of the LRU result cache; ``0`` disables caching.
+
+    Example::
+
+        >>> from repro import ColumnQuery, Dataset, ExactBaseline, QueryService
+        >>> data = Dataset.random(n_rows=200, n_columns=6, seed=2)
+        >>> service = QueryService(ExactBaseline(n_columns=6).observe(data))
+        >>> query = ColumnQuery.of([0, 3], 6)
+        >>> service.estimate_fp(query, 0) == service.estimate_fp(query, 0)
+        True
+        >>> service.cache_info().hits
+        1
     """
 
     def __init__(

@@ -32,6 +32,13 @@ class Shard:
         The fresh estimator replica this shard feeds.  It must be mergeable
         (``estimator.is_mergeable``) for the coordinator to combine shard
         summaries later.
+
+    Example::
+
+        >>> from repro import ExactBaseline, Shard
+        >>> shard = Shard(0, ExactBaseline(n_columns=3))
+        >>> shard.ingest([(0, 1, 0), (1, 1, 1)]).rows_ingested
+        2
     """
 
     def __init__(self, shard_id: int, estimator: ProjectedFrequencyEstimator) -> None:

@@ -17,7 +17,13 @@ __all__ = ["LatencyRecorder", "LatencySummary"]
 
 @dataclass(frozen=True)
 class LatencySummary:
-    """Immutable snapshot of a :class:`LatencyRecorder`."""
+    """Immutable snapshot of a :class:`LatencyRecorder`.
+
+    Example::
+
+        >>> LatencyRecorder().summary().count
+        0
+    """
 
     count: int
     total_seconds: float
@@ -29,7 +35,18 @@ class LatencySummary:
 
 
 class LatencyRecorder:
-    """Accumulate per-query durations and summarise them."""
+    """Accumulate per-query durations and summarise them.
+
+    Example::
+
+        >>> recorder = LatencyRecorder()
+        >>> for seconds in (0.01, 0.02, 0.03):
+        ...     recorder.record(seconds)
+        >>> recorder.summary().count
+        3
+        >>> recorder.percentile(50)
+        0.02
+    """
 
     def __init__(self) -> None:
         self._durations: list[float] = []

@@ -1,0 +1,67 @@
+"""repro.experiments — config-driven experiment runner behind ``python -m repro``.
+
+One declarative front door for every paper artifact: scenarios are
+:class:`~repro.experiments.specs.ExperimentSpec` values (dataset/workload
+generator, estimator factory grid, query workload, engine config, metrics
+to record) registered by name, executed through the sharded engine by
+:func:`~repro.experiments.runner.run_experiment`, and serialised as JSON +
+Markdown by :mod:`repro.experiments.report`.
+
+Example::
+
+    >>> from repro.experiments import RunParams, run_experiment, scenario_names
+    >>> len(scenario_names()) >= 6
+    True
+    >>> result = run_experiment("figure1", RunParams(quick=True))
+    >>> result.metrics["sketches_at_eighth_space"] < 2 ** 20
+    True
+"""
+
+from .registry import all_scenarios, get_scenario, register_scenario, scenario_names
+from .report import (
+    load_result,
+    render_index,
+    render_markdown,
+    result_paths,
+    validate_result_payload,
+    write_result,
+)
+from .runner import EngineSession, ExperimentResult, RunContext, run_experiment
+from .specs import (
+    EngineConfig,
+    EstimatorSpec,
+    ExperimentSpec,
+    QuerySpec,
+    ResultTable,
+    RunParams,
+    ScenarioOutput,
+    WorkloadSpec,
+)
+
+# Importing the module registers every built-in scenario.
+from . import scenarios  # noqa: E402,F401  (import for its side effect)
+
+__all__ = [
+    "EngineConfig",
+    "EngineSession",
+    "EstimatorSpec",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "QuerySpec",
+    "ResultTable",
+    "RunContext",
+    "RunParams",
+    "ScenarioOutput",
+    "WorkloadSpec",
+    "all_scenarios",
+    "get_scenario",
+    "load_result",
+    "register_scenario",
+    "render_index",
+    "render_markdown",
+    "result_paths",
+    "run_experiment",
+    "scenario_names",
+    "validate_result_payload",
+    "write_result",
+]

@@ -1,0 +1,59 @@
+"""The named-scenario registry behind ``python -m repro``.
+
+Scenarios register themselves at import time (see
+:mod:`repro.experiments.scenarios`); the CLI, the benchmarks and the
+examples all look them up here by name, so "the Figure 1 experiment" means
+exactly one spec everywhere.
+
+Example::
+
+    >>> from repro.experiments import scenario_names, get_scenario
+    >>> "figure1" in scenario_names()
+    True
+    >>> get_scenario("figure1").paper_ref
+    'Figure 1 / Theorem 6.5'
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidParameterError
+from .specs import ExperimentSpec
+
+__all__ = ["register_scenario", "get_scenario", "scenario_names", "all_scenarios"]
+
+_SCENARIOS: dict[str, ExperimentSpec] = {}
+
+
+def register_scenario(spec: ExperimentSpec) -> ExperimentSpec:
+    """Validate ``spec`` and add it to the registry (returns the spec).
+
+    Raises :class:`~repro.errors.InvalidParameterError` if the name is
+    already taken — duplicate registrations are always a programming error.
+    """
+    spec.validate()
+    if spec.name in _SCENARIOS:
+        raise InvalidParameterError(
+            f"scenario {spec.name!r} is already registered"
+        )
+    _SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ExperimentSpec:
+    """Look up a registered scenario by its CLI name."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown scenario {name!r}; known scenarios: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names, sorted (what ``python -m repro list`` shows)."""
+    return sorted(_SCENARIOS)
+
+
+def all_scenarios() -> list[ExperimentSpec]:
+    """Every registered spec, in name order."""
+    return [_SCENARIOS[name] for name in scenario_names()]

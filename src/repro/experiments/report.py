@@ -1,0 +1,241 @@
+"""Result serialisation: JSON payloads and rendered Markdown reports.
+
+``python -m repro run`` writes two artifacts per scenario into the output
+directory: ``<scenario>.json`` (machine-readable, schema-checked) and
+``<scenario>.md`` (a Markdown report rendered *from the JSON payload*, so
+``python -m repro report`` can regenerate every report from the JSON alone
+and the two subcommands always agree byte for byte).
+
+Example::
+
+    >>> from repro.experiments import RunParams, run_experiment
+    >>> from repro.experiments.report import render_markdown
+    >>> result = run_experiment("figure1", RunParams(quick=True))
+    >>> render_markdown(result.to_dict()).splitlines()[0]
+    '# `figure1` — The Figure 1 space/approximation trade-off'
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..analysis.reporting import format_quantity
+from ..errors import InvalidParameterError
+from .runner import RESULT_SCHEMA, ExperimentResult
+
+__all__ = [
+    "load_result",
+    "render_index",
+    "render_markdown",
+    "result_paths",
+    "validate_result_payload",
+    "write_result",
+]
+
+
+def validate_result_payload(payload: object) -> list[str]:
+    """Check a decoded JSON payload against the result schema.
+
+    Returns a list of human-readable problems; an empty list means the
+    payload is schema-valid.  Used by the test suite and by
+    ``python -m repro report`` before re-rendering.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be an object, got {type(payload).__name__}"]
+    if payload.get("schema") != RESULT_SCHEMA:
+        problems.append(
+            f"schema must be {RESULT_SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    for key in ("scenario", "title", "paper_ref", "description"):
+        if not isinstance(payload.get(key), str) or not payload.get(key):
+            problems.append(f"{key!r} must be a non-empty string")
+    params = payload.get("params")
+    if not isinstance(params, dict):
+        problems.append("'params' must be an object")
+    else:
+        if not isinstance(params.get("seed"), int):
+            problems.append("'params.seed' must be an integer")
+        if not isinstance(params.get("quick"), bool):
+            problems.append("'params.quick' must be a boolean")
+    engine = payload.get("engine")
+    if engine is not None:
+        if not isinstance(engine, dict):
+            problems.append("'engine' must be an object or null")
+        else:
+            for key in ("n_shards", "cache_size"):
+                if not isinstance(engine.get(key), int):
+                    problems.append(f"'engine.{key}' must be an integer")
+            for key in ("policy", "backend"):
+                if not isinstance(engine.get(key), str):
+                    problems.append(f"'engine.{key}' must be a string")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        problems.append("'metrics' must be a non-empty object")
+    else:
+        for name, value in metrics.items():
+            if not isinstance(name, str):
+                problems.append(f"metric name {name!r} must be a string")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"metric {name!r} must be a number, got {value!r}")
+    tables = payload.get("tables")
+    if not isinstance(tables, list):
+        problems.append("'tables' must be a list")
+    else:
+        for position, table in enumerate(tables):
+            if not isinstance(table, dict):
+                problems.append(f"table #{position} must be an object")
+                continue
+            headers = table.get("headers")
+            rows = table.get("rows")
+            if not isinstance(table.get("title"), str):
+                problems.append(f"table #{position} needs a string title")
+            if not isinstance(headers, list) or not headers:
+                problems.append(f"table #{position} needs non-empty headers")
+                continue
+            if not isinstance(rows, list):
+                problems.append(f"table #{position} needs a row list")
+                continue
+            for row in rows:
+                if not isinstance(row, list) or len(row) != len(headers):
+                    problems.append(
+                        f"table #{position}: every row must have "
+                        f"{len(headers)} cells"
+                    )
+                    break
+    if not isinstance(payload.get("wall_seconds"), (int, float)):
+        problems.append("'wall_seconds' must be a number")
+    return problems
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, (int, float)):
+        return format_quantity(value)
+    return str(value).replace("|", "\\|")
+
+
+def _markdown_table(headers: list[str], rows: list[list[object]]) -> list[str]:
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("| " + " | ".join("---" for _ in headers) + " |")
+    for row in rows:
+        lines.append("| " + " | ".join(_cell(cell) for cell in row) + " |")
+    return lines
+
+
+def render_markdown(payload: dict) -> str:
+    """Render one result payload as a Markdown report.
+
+    Deterministic in the payload: ``run`` and ``report`` both call this on
+    the JSON dict, which is what makes the round trip exact.
+    """
+    problems = validate_result_payload(payload)
+    if problems:
+        raise InvalidParameterError(
+            "cannot render an invalid result payload: " + "; ".join(problems)
+        )
+    params = payload["params"]
+    lines = [
+        f"# `{payload['scenario']}` — {payload['title']}",
+        "",
+        f"Reproduces: **{payload['paper_ref']}**",
+        "",
+        payload["description"].strip(),
+        "",
+        "## Run parameters",
+        "",
+    ]
+    param_rows: list[list[object]] = [
+        ["seed", params["seed"]],
+        ["quick", bool(params["quick"])],
+    ]
+    engine = payload["engine"]
+    if engine is None:
+        param_rows.append(["engine", "analytic (no engine)"])
+    else:
+        param_rows.extend(
+            [
+                ["engine shards", engine["n_shards"]],
+                ["engine backend", engine["backend"]],
+                ["engine policy", engine["policy"]],
+                [
+                    "engine batch size",
+                    "per-row" if engine["batch_size"] is None else engine["batch_size"],
+                ],
+                ["service cache size", engine["cache_size"]],
+            ]
+        )
+    lines.extend(_markdown_table(["parameter", "value"], param_rows))
+    lines.extend(["", "## Metrics", ""])
+    # Sorted so run-time rendering and report-time re-rendering (from the
+    # sort_keys=True JSON) agree byte for byte.
+    metric_rows = [[name, value] for name, value in sorted(payload["metrics"].items())]
+    lines.extend(_markdown_table(["metric", "value"], metric_rows))
+    for table in payload["tables"]:
+        lines.extend(["", f"## {table['title']}", ""])
+        lines.extend(_markdown_table(table["headers"], table["rows"]))
+    lines.extend(
+        [
+            "",
+            f"_Recorded by `python -m repro run {payload['scenario']}` in "
+            f"{payload['wall_seconds']:.2f}s._",
+            "",
+        ]
+    )
+    return "\n".join(lines)
+
+
+def result_paths(out_dir: str | Path, scenario: str) -> tuple[Path, Path]:
+    """The ``(json, markdown)`` file pair for ``scenario`` under ``out_dir``."""
+    base = Path(out_dir)
+    return base / f"{scenario}.json", base / f"{scenario}.md"
+
+
+def write_result(result: ExperimentResult, out_dir: str | Path) -> tuple[Path, Path]:
+    """Write the JSON payload and its Markdown rendering; returns both paths."""
+    json_path, md_path = result_paths(out_dir, result.scenario)
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    payload = result.to_dict()
+    json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    md_path.write_text(render_markdown(payload))
+    return json_path, md_path
+
+
+def load_result(json_path: str | Path) -> dict:
+    """Load and schema-check one result payload from disk."""
+    payload = json.loads(Path(json_path).read_text())
+    problems = validate_result_payload(payload)
+    if problems:
+        raise InvalidParameterError(
+            f"{json_path}: invalid result payload: " + "; ".join(problems)
+        )
+    return payload
+
+
+def render_index(payloads: list[dict]) -> str:
+    """Render the ``REPORT.md`` index over every result in a directory."""
+    lines = [
+        "# Experiment report index",
+        "",
+        "One row per recorded scenario run; each links to the full report.",
+        "",
+    ]
+    rows: list[list[object]] = []
+    for payload in sorted(payloads, key=lambda item: item["scenario"]):
+        name = payload["scenario"]
+        rows.append(
+            [
+                f"[`{name}`]({name}.md)",
+                payload["paper_ref"],
+                len(payload["metrics"]),
+                "quick" if payload["params"]["quick"] else "full",
+                payload["params"]["seed"],
+            ]
+        )
+    lines.extend(
+        _markdown_table(["scenario", "reproduces", "metrics", "scale", "seed"], rows)
+    )
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,217 @@
+"""Execute an :class:`~repro.experiments.specs.ExperimentSpec`.
+
+:func:`run_experiment` is the single execution path behind the CLI, the
+benchmarks and the examples: resolve the spec, apply the CLI overrides to
+its engine config, hand the scenario body a :class:`RunContext`, and check
+the recorded metrics against the spec's declared metric set before packing
+everything into an :class:`ExperimentResult`.
+
+Engine scenarios ingest through the sharded engine —
+:meth:`RunContext.ingest` builds a
+:class:`~repro.engine.coordinator.Coordinator` from the (overridden)
+:class:`~repro.experiments.specs.EngineConfig`, and
+:meth:`RunContext.service` serves the scenario's queries from the merged
+summary through a :class:`~repro.engine.service.QueryService`.
+
+Example::
+
+    >>> from repro.experiments import RunParams, run_experiment
+    >>> result = run_experiment("figure1", RunParams(quick=True))
+    >>> 10 <= result.metrics["approximation_at_quarter_space"] < 100
+    True
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.dataset import Dataset
+from ..engine.coordinator import Coordinator, IngestReport
+from ..engine.service import QueryService
+from ..errors import EstimationError, InvalidParameterError
+from ..streaming.stream import RowStream
+from .registry import get_scenario
+from .specs import (
+    EngineConfig,
+    EstimatorSpec,
+    ExperimentSpec,
+    ResultTable,
+    RunParams,
+    ScenarioOutput,
+)
+
+__all__ = ["EngineSession", "ExperimentResult", "RunContext", "run_experiment"]
+
+#: Version tag stamped into every JSON result payload.
+RESULT_SCHEMA = "repro/experiment-result@1"
+
+#: Sentinel distinguishing "no override" from an explicit ``batch_size=None``.
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class EngineSession:
+    """One estimator's trip through the engine: coordinator, service, report."""
+
+    estimator_name: str
+    coordinator: Coordinator
+    service: QueryService
+    ingest_report: IngestReport
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Everything a scenario body may draw on while running.
+
+    The context carries the resolved spec, the run parameters and the
+    override-applied engine config, and provides the helpers that route all
+    data movement through the engine (Coordinator + QueryService) so every
+    scenario exercises the same ingest/serve path the production layer uses.
+    """
+
+    spec: ExperimentSpec
+    params: RunParams
+    engine: EngineConfig | None
+
+    def dataset(self) -> Dataset:
+        """Generate the scenario's dataset from its workload spec."""
+        if self.spec.workload is None:
+            raise EstimationError(
+                f"scenario {self.spec.name!r} declares no workload"
+            )
+        return self.spec.workload.build(self.params)
+
+    def queries(self, dataset: Dataset):
+        """Generate the scenario's query workload for ``dataset``."""
+        if self.spec.queries is None:
+            raise EstimationError(
+                f"scenario {self.spec.name!r} declares no query workload"
+            )
+        return list(self.spec.queries.build(dataset, self.params))
+
+    def estimator_grid(self) -> tuple[EstimatorSpec, ...]:
+        """The estimator factory grid declared by the spec."""
+        return self.spec.estimators
+
+    def ingest(
+        self,
+        estimator: EstimatorSpec,
+        dataset: Dataset,
+        n_shards: int | None = None,
+        batch_size: object = _UNSET,
+    ) -> EngineSession:
+        """Run ``dataset`` through the engine into ``estimator``'s summary.
+
+        Builds a :class:`~repro.engine.coordinator.Coordinator` from the
+        scenario's engine config (with any ``--shards`` / ``--batch-size``
+        overrides already applied), ingests the stream, and returns the
+        coordinator together with a cache-backed
+        :class:`~repro.engine.service.QueryService` over the merged summary.
+        Sweep scenarios may override ``n_shards`` / ``batch_size`` per call
+        (``batch_size=None`` explicitly forces the per-row path).
+        """
+        if self.engine is None:
+            raise EstimationError(
+                f"scenario {self.spec.name!r} is analytic; it has no engine"
+            )
+        coordinator = Coordinator(
+            lambda: estimator.build(self.params),
+            n_shards=self.engine.n_shards if n_shards is None else n_shards,
+            policy=self.engine.policy,
+            backend=self.engine.backend,
+            batch_size=self.engine.batch_size
+            if batch_size is _UNSET
+            else batch_size,  # type: ignore[arg-type]
+        )
+        report = coordinator.ingest(RowStream(dataset))
+        service = coordinator.query_service(cache_size=self.engine.cache_size)
+        return EngineSession(
+            estimator_name=estimator.name,
+            coordinator=coordinator,
+            service=service,
+            ingest_report=report,
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The complete, serialisable outcome of one experiment run."""
+
+    scenario: str
+    title: str
+    paper_ref: str
+    description: str
+    params: RunParams
+    engine: EngineConfig | None
+    metrics: dict[str, float]
+    tables: tuple[ResultTable, ...]
+    wall_seconds: float
+
+    def to_dict(self) -> dict:
+        """The JSON payload ``python -m repro run`` writes to disk."""
+        return {
+            "schema": RESULT_SCHEMA,
+            "scenario": self.scenario,
+            "title": self.title,
+            "paper_ref": self.paper_ref,
+            "description": self.description,
+            "params": self.params.to_dict(),
+            "engine": self.engine.to_dict() if self.engine else None,
+            "metrics": dict(self.metrics),
+            "tables": [table.to_dict() for table in self.tables],
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+def run_experiment(
+    scenario: str | ExperimentSpec, params: RunParams | None = None
+) -> ExperimentResult:
+    """Run one scenario and return its result.
+
+    Parameters
+    ----------
+    scenario:
+        A registered scenario name (``"figure1"``) or an
+        :class:`~repro.experiments.specs.ExperimentSpec` value.
+    params:
+        Seed/quick/engine overrides; defaults to ``RunParams()``.
+
+    The recorded metric keys are checked against ``spec.metrics`` exactly —
+    a scenario that records more, fewer or renamed metrics fails loudly
+    instead of silently drifting away from its declaration.
+    """
+    spec = scenario if isinstance(scenario, ExperimentSpec) else get_scenario(scenario)
+    spec.validate()
+    params = (params or RunParams()).validate()
+    engine = spec.engine.with_overrides(params) if spec.engine is not None else None
+    context = RunContext(spec=spec, params=params, engine=engine)
+    started = time.perf_counter()
+    output = spec.run(context)
+    wall_seconds = time.perf_counter() - started
+    if not isinstance(output, ScenarioOutput):
+        raise InvalidParameterError(
+            f"scenario {spec.name!r} returned {type(output).__name__}, "
+            "expected ScenarioOutput"
+        )
+    recorded = set(output.metrics)
+    declared = set(spec.metrics)
+    if recorded != declared:
+        missing = sorted(declared - recorded)
+        extra = sorted(recorded - declared)
+        raise InvalidParameterError(
+            f"scenario {spec.name!r} metrics drifted from the declaration: "
+            f"missing {missing}, undeclared {extra}"
+        )
+    tables = tuple(table.validate() for table in output.tables)
+    return ExperimentResult(
+        scenario=spec.name,
+        title=spec.title,
+        paper_ref=spec.paper_ref,
+        description=spec.description,
+        params=params,
+        engine=engine,
+        metrics={name: float(output.metrics[name]) for name in spec.metrics},
+        tables=tables,
+        wall_seconds=wall_seconds,
+    )

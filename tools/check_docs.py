@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Docs gate: intra-repo Markdown link check + public docstring audit.
+
+Run from the repository root (CI runs it as ``python tools/check_docs.py``):
+
+1. **Link check** — every relative Markdown link in ``README.md``,
+   ``docs/*.md`` and ``CHANGES.md`` must resolve to an existing file
+   (fragments are stripped; ``http(s)://`` and ``mailto:`` links are
+   skipped).
+2. **Docstring audit** — every public module / class / function / method
+   in ``src/repro/engine/``, ``src/repro/experiments/`` and
+   ``src/repro/cli.py`` must carry a docstring (simple AST check; names
+   starting with ``_`` are exempt).
+
+Exit code 0 when clean, 1 with a problem listing otherwise.  The test
+suite runs the same checks via ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Markdown files whose relative links must resolve.
+MARKDOWN_FILES = ("README.md", "CHANGES.md", "ROADMAP.md")
+MARKDOWN_GLOBS = ("docs/*.md",)
+
+#: Python trees whose public symbols must all carry docstrings.
+DOCSTRING_TREES = ("src/repro/engine", "src/repro/experiments")
+DOCSTRING_FILES = ("src/repro/cli.py", "src/repro/__main__.py")
+
+_LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def iter_markdown_files(root: Path = REPO_ROOT) -> list[Path]:
+    """The Markdown files the link check covers (existing ones only)."""
+    paths = [root / name for name in MARKDOWN_FILES if (root / name).exists()]
+    for pattern in MARKDOWN_GLOBS:
+        paths.extend(sorted(root.glob(pattern)))
+    return paths
+
+
+def check_markdown_links(root: Path = REPO_ROOT) -> list[str]:
+    """Return one problem string per broken relative link."""
+    problems = []
+    for md_path in iter_markdown_files(root):
+        for line_number, line in enumerate(
+            md_path.read_text().splitlines(), start=1
+        ):
+            for target in _LINK_PATTERN.findall(line):
+                if target.startswith(_EXTERNAL_PREFIXES):
+                    continue
+                path_part = target.split("#", 1)[0]
+                if not path_part:  # pure fragment link within the same file
+                    continue
+                resolved = (md_path.parent / path_part).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{md_path.relative_to(root)}:{line_number}: broken "
+                        f"link -> {target}"
+                    )
+    return problems
+
+
+def _missing_docstrings_in_file(py_path: Path, root: Path) -> list[str]:
+    tree = ast.parse(py_path.read_text(), filename=str(py_path))
+    rel = py_path.relative_to(root)
+    problems = []
+    if ast.get_docstring(tree) is None:
+        problems.append(f"{rel}:1: module has no docstring")
+
+    def walk(node: ast.AST, owner: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                if child.name.startswith("_"):
+                    continue
+                qualified = f"{owner}{child.name}"
+                if ast.get_docstring(child) is None:
+                    kind = "class" if isinstance(child, ast.ClassDef) else "function"
+                    problems.append(
+                        f"{rel}:{child.lineno}: public {kind} "
+                        f"{qualified!r} has no docstring"
+                    )
+                if isinstance(child, ast.ClassDef):
+                    walk(child, f"{qualified}.")
+
+    walk(tree, "")
+    return problems
+
+
+def check_docstrings(root: Path = REPO_ROOT) -> list[str]:
+    """Return one problem string per public symbol without a docstring."""
+    py_paths = []
+    for tree in DOCSTRING_TREES:
+        py_paths.extend(sorted((root / tree).glob("*.py")))
+    py_paths.extend(root / name for name in DOCSTRING_FILES)
+    problems = []
+    for py_path in py_paths:
+        if py_path.exists():
+            problems.extend(_missing_docstrings_in_file(py_path, root))
+    return problems
+
+
+def main() -> int:
+    """Run both checks; print problems; return the exit code."""
+    problems = check_markdown_links() + check_docstrings()
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"\n{len(problems)} documentation problem(s) found")
+        return 1
+    print("docs check OK: markdown links resolve, public symbols documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
