@@ -17,7 +17,11 @@ constructions and experimental harness of Cormode, Dickens and Woodruff
   stream plumbing, synthetic workloads, and the analytical bound/trade-off
   calculators behind Figure 1.
 * :mod:`repro.engine` — the sharded serving layer: stream partitioning,
-  parallel shard ingest, summary merging, and a cached batch-query service.
+  parallel shard ingest, summary merging, a cached batch-query service,
+  and checkpoint files that let the query phase run in a later process.
+* :mod:`repro.persistence` — the versioned snapshot wire format
+  (:data:`SNAPSHOT_FORMAT` / :data:`CHECKPOINT_FORMAT`) every estimator
+  and sketch speaks through ``state_dict()`` / ``to_bytes()``.
 * :mod:`repro.experiments` — the config-driven experiment runner behind
   ``python -m repro``: declarative scenario specs, a named registry, and
   JSON + Markdown result reports (see ``docs/experiments.md``).
@@ -58,7 +62,11 @@ from .engine import (
     QueryService,
     Shard,
     StreamPartitioner,
+    load_checkpoint,
+    load_merged_estimator,
+    save_checkpoint,
 )
+from .persistence import CHECKPOINT_FORMAT, SNAPSHOT_FORMAT
 from .experiments import (
     ExperimentResult,
     ExperimentSpec,
@@ -76,6 +84,7 @@ from .errors import (
     ProtocolError,
     QueryError,
     ReproError,
+    SnapshotError,
 )
 from .streaming import RowStream
 
@@ -86,6 +95,7 @@ __all__ = [
     "AlphaNet",
     "AlphaNetEstimator",
     "AlphabetError",
+    "CHECKPOINT_FORMAT",
     "CodeConstructionError",
     "ColumnQuery",
     "Coordinator",
@@ -109,14 +119,19 @@ __all__ = [
     "ReproError",
     "RowStream",
     "RunParams",
+    "SNAPSHOT_FORMAT",
     "Shard",
     "SketchPlan",
+    "SnapshotError",
     "StreamPartitioner",
     "UniformSampleEstimator",
     "__version__",
     "get_scenario",
+    "load_checkpoint",
+    "load_merged_estimator",
     "rounding_distortion",
     "run_experiment",
     "sample_size_for",
+    "save_checkpoint",
     "scenario_names",
 ]

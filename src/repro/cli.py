@@ -1,6 +1,6 @@
-"""The ``python -m repro`` command line: list, run and report experiments.
+"""The ``python -m repro`` command line: list, run, checkpoint, report.
 
-Three subcommands over the scenario registry of
+Four subcommands over the scenario registry of
 :mod:`repro.experiments`:
 
 * ``python -m repro list`` — name, paper reference and title of every
@@ -8,13 +8,22 @@ Three subcommands over the scenario registry of
 * ``python -m repro run <scenario>`` — execute one scenario through the
   engine and write ``<out>/<scenario>.json`` (machine-readable) plus
   ``<out>/<scenario>.md`` (rendered report), honouring ``--seed``,
-  ``--shards``, ``--batch-size`` and ``--quick``;
+  ``--shards``, ``--batch-size`` and ``--quick``; with
+  ``--from-checkpoint <bundle>`` the ingest phase is skipped and every
+  engine session is restored from the bundle instead — the paper's
+  "query arbitrarily later" phase, standalone;
+* ``python -m repro checkpoint <scenario>`` — the matching build phase:
+  run the scenario once, saving every engine session into
+  ``<out>/<scenario>.ckpt/`` and recording bytes-on-disk next to the
+  structural space accounting in the result JSON;
 * ``python -m repro report`` — regenerate every Markdown report from the
   JSON payloads in the output directory and write a ``REPORT.md`` index.
 
 Example::
 
-    $ PYTHONPATH=src python -m repro run figure1 --quick
+    $ PYTHONPATH=src python -m repro checkpoint figure1 --quick
+    $ PYTHONPATH=src python -m repro run figure1 --quick \\
+          --from-checkpoint results/figure1.ckpt
     $ PYTHONPATH=src python -m repro report
 """
 
@@ -57,28 +66,54 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("list", help="show every registered scenario")
 
+    def add_run_options(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "scenario", help=f"one of: {', '.join(scenario_names())}"
+        )
+        subparser.add_argument(
+            "--seed", type=int, default=0, help="base random seed"
+        )
+        subparser.add_argument(
+            "--shards", type=int, default=None,
+            help="override the engine shard count",
+        )
+        subparser.add_argument(
+            "--batch-size",
+            type=int,
+            default=None,
+            help="override the engine ingest block size (0 forces the per-row path)",
+        )
+        subparser.add_argument(
+            "--quick",
+            action="store_true",
+            help="CI-smoke scale: smaller datasets and sweep grids, same metrics",
+        )
+        subparser.add_argument(
+            "--out",
+            default=DEFAULT_OUT_DIR,
+            help=f"output directory for JSON + Markdown (default: {DEFAULT_OUT_DIR}/)",
+        )
+
     run = commands.add_parser("run", help="run one scenario and record results")
-    run.add_argument("scenario", help=f"one of: {', '.join(scenario_names())}")
-    run.add_argument("--seed", type=int, default=0, help="base random seed")
+    add_run_options(run)
     run.add_argument(
-        "--shards", type=int, default=None, help="override the engine shard count"
-    )
-    run.add_argument(
-        "--batch-size",
-        type=int,
+        "--from-checkpoint",
         default=None,
-        help="override the engine ingest block size (0 forces the per-row path)",
+        metavar="BUNDLE",
+        help=(
+            "restore every engine session from this checkpoint bundle "
+            "(written by the checkpoint subcommand) instead of ingesting"
+        ),
     )
-    run.add_argument(
-        "--quick",
-        action="store_true",
-        help="CI-smoke scale: smaller datasets and sweep grids, same metrics",
+
+    checkpoint = commands.add_parser(
+        "checkpoint",
+        help=(
+            "run one scenario's build phase, saving every engine session "
+            "into <out>/<scenario>.ckpt/ for later --from-checkpoint runs"
+        ),
     )
-    run.add_argument(
-        "--out",
-        default=DEFAULT_OUT_DIR,
-        help=f"output directory for JSON + Markdown (default: {DEFAULT_OUT_DIR}/)",
-    )
+    add_run_options(checkpoint)
 
     report = commands.add_parser(
         "report", help="re-render Markdown reports from recorded JSON results"
@@ -113,12 +148,57 @@ def _cmd_run(args: argparse.Namespace) -> int:
         quick=args.quick,
         n_shards=args.shards,
         batch_size=args.batch_size,
+        from_checkpoint=getattr(args, "from_checkpoint", None),
     )
     result = run_experiment(spec, params)
     json_path, md_path = write_result(result, args.out)
     print(render_markdown(result.to_dict()))
     print(f"wrote {json_path}")
     print(f"wrote {md_path}")
+    return 0
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    spec = get_scenario(args.scenario)
+    bundle_dir = Path(args.out) / f"{args.scenario}.ckpt"
+    params = RunParams(
+        seed=args.seed,
+        quick=args.quick,
+        n_shards=args.shards,
+        batch_size=args.batch_size,
+        checkpoint_to=str(bundle_dir),
+    )
+    result = run_experiment(spec, params)
+    json_path, md_path = write_result(result, args.out)
+    sessions = result.checkpoints
+    total_bytes = sum(entry["bytes_on_disk"] for entry in sessions)
+    print(
+        f"checkpointed {len(sessions)} engine session(s) "
+        f"({total_bytes:,} bytes on disk) into {bundle_dir}/"
+    )
+    for entry in sessions:
+        print(
+            f"  {entry['file']}: {entry['bytes_on_disk']:,} bytes on disk, "
+            f"{entry['summary_bits']:,} structural bits, "
+            f"{entry['rows_total']:,} rows"
+        )
+    print(f"wrote {json_path}")
+    print(f"wrote {md_path}")
+    # The replay line must carry every parameter the bundle was built
+    # under — the reader refuses mismatched seed/quick/shards/batch-size.
+    replay = ["python -m repro run", args.scenario]
+    if args.seed:
+        replay.append(f"--seed {args.seed}")
+    if args.quick:
+        replay.append("--quick")
+    if args.shards is not None:
+        replay.append(f"--shards {args.shards}")
+    if args.batch_size is not None:
+        replay.append(f"--batch-size {args.batch_size}")
+    if args.out != DEFAULT_OUT_DIR:
+        replay.append(f"--out {args.out}")
+    replay.append(f"--from-checkpoint {bundle_dir}")
+    print("replay with: " + " ".join(replay))
     return 0
 
 
@@ -154,6 +234,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_list()
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "checkpoint":
+            return _cmd_checkpoint(args)
         return _cmd_report(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..coding.words import Word, project_word
-from ..errors import EstimationError, InvalidParameterError
+from ..errors import EstimationError, InvalidParameterError, SnapshotError
+from ..persistence import require_keys, snapshottable
 from ..sketches.base import DistinctCountSketch, FrequencyMomentSketch, PointQuerySketch
 from ..sketches.countmin import CountMinSketch
 from ..sketches.kmv import KMVSketch
@@ -107,6 +108,7 @@ class TheoremSixFiveGuarantee:
     beta: float
 
 
+@snapshottable("estimator.alpha_net")
 class AlphaNetEstimator(ProjectedFrequencyEstimator):
     """Keep a sketch per α-net member; answer queries on a rounded neighbour.
 
@@ -264,6 +266,80 @@ class AlphaNetEstimator(ProjectedFrequencyEstimator):
         self._distinct_sketches, self._moment_sketches, self._point_sketches = (
             merged_families
         )
+
+    # -- persistence ------------------------------------------------------------
+
+    def _summary_state(self) -> dict:
+        """Net configuration plus every per-member sketch as nested snapshots.
+
+        The net members themselves are *not* shipped: they are a
+        deterministic function of ``(d, alpha)``, so the loader re-enumerates
+        them and only cross-checks the count.
+        """
+        return {
+            "alpha": self._net.alpha,
+            "neighbour_rule": str(self._neighbour_rule),
+            "member_count": len(self._members),
+            "distinct": (
+                None if self._distinct_sketches is None else list(self._distinct_sketches)
+            ),
+            "moment": (
+                None if self._moment_sketches is None else list(self._moment_sketches)
+            ),
+            "point": (
+                None if self._point_sketches is None else list(self._point_sketches)
+            ),
+        }
+
+    def _load_summary_state(self, summary: dict) -> None:
+        """Rebuild the net from ``(d, alpha)`` and adopt the restored sketches."""
+        require_keys(
+            summary,
+            ("alpha", "neighbour_rule", "member_count", "distinct", "moment", "point"),
+            "AlphaNetEstimator",
+        )
+        rule = summary["neighbour_rule"]
+        if rule not in ("nearest", "shrink", "grow"):
+            raise SnapshotError(f"unknown neighbour rule {rule!r} in state")
+        member_count = int(summary["member_count"])
+        self._net = AlphaNet(d=self._n_columns, alpha=float(summary["alpha"]))
+        self._neighbour_rule = rule
+        if self._net.size() != member_count:
+            raise SnapshotError(
+                f"alpha-net state declares {member_count} members but the "
+                f"net over d={self._n_columns}, alpha={self._net.alpha} has "
+                f"{self._net.size()}"
+            )
+        members = list(self._net.members(max_members=member_count))
+        if len(members) != member_count:
+            raise SnapshotError(
+                f"alpha-net state declares {member_count} members but the "
+                f"net enumerates {len(members)}"
+            )
+        self._members = members
+        self._member_index = {
+            member.columns: index for index, member in enumerate(members)
+        }
+        families = []
+        for name, sketches in (
+            ("distinct", summary["distinct"]),
+            ("moment", summary["moment"]),
+            ("point", summary["point"]),
+        ):
+            if sketches is None:
+                families.append(None)
+                continue
+            if len(sketches) != member_count:
+                raise SnapshotError(
+                    f"alpha-net state holds {len(sketches)} {name} sketches "
+                    f"for {member_count} net members"
+                )
+            families.append(list(sketches))
+        self._distinct_sketches, self._moment_sketches, self._point_sketches = families
+        if all(family is None for family in families):
+            raise SnapshotError(
+                "alpha-net state holds no sketch family at all"
+            )
 
     # -- query helpers ---------------------------------------------------------------
 

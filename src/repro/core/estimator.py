@@ -17,8 +17,9 @@ from typing import Iterable
 
 import numpy as np
 
+from .. import persistence
 from ..coding.words import Word
-from ..errors import EstimationError, InvalidParameterError
+from ..errors import EstimationError, InvalidParameterError, SnapshotError
 from .dataset import ColumnQuery, Dataset
 
 __all__ = ["ProjectedFrequencyEstimator", "EstimatorRegistry"]
@@ -209,6 +210,102 @@ class ProjectedFrequencyEstimator(abc.ABC):
         original never mutates a snapshot.
         """
         return copy.deepcopy(self)
+
+    # -- persistence ------------------------------------------------------------
+
+    def _summary_state(self) -> dict:
+        """Subclass hook: the estimator-specific half of :meth:`state_dict`."""
+        raise SnapshotError(
+            f"{type(self).__name__} does not support snapshot serialization"
+        )
+
+    def _load_summary_state(self, summary: dict) -> None:
+        """Subclass hook: restore the estimator-specific state.
+
+        Called by :meth:`load_state_dict` after the base fields (including
+        ``n_columns`` and ``alphabet_size``, which rebuilt structures may
+        depend on) are in place.  Implementations must assign their fields
+        directly — never route through ``__init__``, which would clobber the
+        base accounting.
+        """
+        raise SnapshotError(
+            f"{type(self).__name__} does not support snapshot serialization"
+        )
+
+    @property
+    def is_snapshottable(self) -> bool:
+        """Whether this estimator implements the ``state_dict`` contract.
+
+        ``True`` iff the subclass overrides :meth:`_summary_state` — the
+        capability flag the engine checks before shipping compact state to
+        worker processes or writing checkpoints.
+        """
+        return (
+            type(self)._summary_state
+            is not ProjectedFrequencyEstimator._summary_state
+        )
+
+    def state_dict(self) -> dict:
+        """The complete persistent state of this summary as plain containers.
+
+        Includes the stream accounting (``rows_observed``, ``version``) and,
+        via :meth:`_summary_state`, every sampler/sketch underneath — RNG
+        state included, so a restored estimator continues ingesting
+        *bit-identically* to the original under the same input.
+        """
+        return {
+            "n_columns": self._n_columns,
+            "alphabet_size": self._alphabet_size,
+            "rows_observed": self._rows_observed,
+            "version": self._version,
+            "summary": self._summary_state(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore this estimator in place from a :meth:`state_dict` value."""
+        persistence.require_keys(
+            state,
+            ("n_columns", "alphabet_size", "rows_observed", "version", "summary"),
+            type(self).__name__,
+        )
+        self._n_columns = int(state["n_columns"])
+        self._alphabet_size = int(state["alphabet_size"])
+        self._load_summary_state(state["summary"])
+        self._rows_observed = int(state["rows_observed"])
+        self._version = int(state["version"])
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "ProjectedFrequencyEstimator":
+        """Construct a fresh estimator directly from a :meth:`state_dict` value."""
+        estimator = cls.__new__(cls)
+        estimator.load_state_dict(state)
+        return estimator
+
+    def to_bytes(self) -> bytes:
+        """Frame this summary as a ``repro/estimator-snapshot@1`` byte payload.
+
+        The wire format of the persistence layer (see
+        :mod:`repro.persistence`): self-describing, schema-checked, and
+        readable back through the generic :meth:`from_bytes` without knowing
+        the concrete estimator type.
+        """
+        return persistence.to_bytes(self)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ProjectedFrequencyEstimator":
+        """Restore an estimator from :meth:`to_bytes` output.
+
+        Generic over the snapshot type registry: calling it on the base
+        class accepts any registered estimator; calling it on a subclass
+        additionally type-checks the result.
+        """
+        estimator = persistence.from_bytes(data)
+        if not isinstance(estimator, cls):
+            raise SnapshotError(
+                f"payload holds a {type(estimator).__name__}, not a "
+                f"{cls.__name__}"
+            )
+        return estimator
 
     # -- query phase -----------------------------------------------------------
 

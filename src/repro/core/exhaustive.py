@@ -23,7 +23,8 @@ from typing import Callable, Iterable
 import numpy as np
 
 from ..coding.words import Word, project_word
-from ..errors import EstimationError, InvalidParameterError
+from ..errors import EstimationError, InvalidParameterError, SnapshotError
+from ..persistence import require_keys, snapshottable
 from ..sketches.base import DistinctCountSketch
 from ..sketches.kmv import KMVSketch
 from .dataset import ColumnQuery, Dataset
@@ -33,6 +34,7 @@ from .frequency import FrequencyVector
 __all__ = ["ExactBaseline", "AllSubsetsBaseline"]
 
 
+@snapshottable("estimator.exact")
 class ExactBaseline(ProjectedFrequencyEstimator):
     """Store every row; answer any projected query exactly.
 
@@ -77,6 +79,22 @@ class ExactBaseline(ProjectedFrequencyEstimator):
         if other_rows.shape[0]:
             self._segments.append(other_rows.copy())
 
+    def _summary_state(self) -> dict:
+        """The stored rows, consolidated into one ``(n, d)`` array."""
+        return {"rows": self._materialise().copy()}
+
+    def _load_summary_state(self, summary: dict) -> None:
+        """Adopt the stored rows as a single consolidated segment."""
+        require_keys(summary, ("rows",), "ExactBaseline")
+        rows = np.asarray(summary["rows"], dtype=np.int64)
+        if rows.ndim != 2 or rows.shape[1] != self._n_columns:
+            raise SnapshotError(
+                f"ExactBaseline state rows have shape {rows.shape}, expected "
+                f"(n, {self._n_columns})"
+            )
+        self._segments = [rows.copy()] if rows.shape[0] else []
+        self._buffer = []
+
     def _frequencies(self, query: ColumnQuery) -> FrequencyVector:
         rows = self._materialise()
         projected = rows[:, list(query.columns)]
@@ -120,6 +138,7 @@ class ExactBaseline(ProjectedFrequencyEstimator):
         return stored * self.n_columns * bits_per_symbol
 
 
+@snapshottable("estimator.all_subsets")
 class AllSubsetsBaseline(ProjectedFrequencyEstimator):
     """Keep one distinct-count sketch per column subset of the allowed sizes.
 
@@ -166,6 +185,7 @@ class AllSubsetsBaseline(ProjectedFrequencyEstimator):
             )
         if sketch_factory is None:
             sketch_factory = lambda index: KMVSketch(k=64, seed=index)  # noqa: E731
+        self._sizes: tuple[int, ...] = tuple(sizes)
         self._subsets: list[ColumnQuery] = []
         for size in sizes:
             for columns in combinations(range(n_columns), size):
@@ -196,6 +216,43 @@ class AllSubsetsBaseline(ProjectedFrequencyEstimator):
             )
         for mine, its in zip(self._sketches, other._sketches):
             mine.merge(its)
+
+    def _summary_state(self) -> dict:
+        """Materialised subset sizes plus every per-subset sketch.
+
+        The subsets themselves re-enumerate deterministically from the
+        sizes, so only the sizes and the sketches travel.
+        """
+        return {
+            "sizes": list(self._sizes),
+            "sketches": list(self._sketches),
+        }
+
+    def _load_summary_state(self, summary: dict) -> None:
+        """Re-enumerate the subsets from the sizes and adopt the sketches."""
+        require_keys(summary, ("sizes", "sketches"), "AllSubsetsBaseline")
+        sizes = [int(size) for size in summary["sizes"]]
+        for size in sizes:
+            if not 1 <= size <= self._n_columns:
+                raise SnapshotError(
+                    f"AllSubsetsBaseline state holds subset size {size} "
+                    f"outside [1, {self._n_columns}]"
+                )
+        self._sizes = tuple(sizes)
+        self._subsets = []
+        for size in sizes:
+            for columns in combinations(range(self._n_columns), size):
+                self._subsets.append(ColumnQuery.of(columns, self._n_columns))
+        sketches = list(summary["sketches"])
+        if len(sketches) != len(self._subsets):
+            raise SnapshotError(
+                f"AllSubsetsBaseline state holds {len(sketches)} sketches "
+                f"for {len(self._subsets)} subsets"
+            )
+        self._sketches = sketches
+        self._subset_index = {
+            subset.columns: index for index, subset in enumerate(self._subsets)
+        }
 
     def estimate_fp(self, query: ColumnQuery, p: float) -> float:
         if p == 1:

@@ -19,7 +19,8 @@ from __future__ import annotations
 import math
 
 from ..coding.words import Word, project_word
-from ..errors import EstimationError, InvalidParameterError
+from ..errors import EstimationError, InvalidParameterError, SnapshotError
+from ..persistence import require_keys, snapshottable
 from ..sketches.reservoir import ReservoirSampler, WithReplacementSampler
 from .dataset import ColumnQuery
 from .estimator import ProjectedFrequencyEstimator
@@ -37,6 +38,7 @@ def sample_size_for(epsilon: float, delta: float = 0.05) -> int:
     return max(8, math.ceil(math.log(2.0 / delta) / (epsilon * epsilon)))
 
 
+@snapshottable("estimator.uniform_sample")
 class UniformSampleEstimator(ProjectedFrequencyEstimator):
     """Row-sampling summary answering projected point queries and heavy hitters.
 
@@ -134,6 +136,36 @@ class UniformSampleEstimator(ProjectedFrequencyEstimator):
                 "cannot merge with- and without-replacement sample summaries"
             )
         self._sampler.merge(other._sampler)  # type: ignore[arg-type]
+
+    # -- persistence ------------------------------------------------------------
+
+    def _summary_state(self) -> dict:
+        """Sample-size configuration plus the sampler (a nested snapshot)."""
+        return {
+            "sample_size": self._sample_size,
+            "with_replacement": self._with_replacement,
+            "sampler": self._sampler,
+        }
+
+    def _load_summary_state(self, summary: dict) -> None:
+        """Adopt the restored sampler (RNG state and retained rows included)."""
+        require_keys(
+            summary,
+            ("sample_size", "with_replacement", "sampler"),
+            "UniformSampleEstimator",
+        )
+        self._sample_size = int(summary["sample_size"])
+        self._with_replacement = bool(summary["with_replacement"])
+        sampler = summary["sampler"]
+        expected = (
+            WithReplacementSampler if self._with_replacement else ReservoirSampler
+        )
+        if not isinstance(sampler, expected):
+            raise SnapshotError(
+                f"UniformSampleEstimator state holds a "
+                f"{type(sampler).__name__}, expected {expected.__name__}"
+            )
+        self._sampler = sampler
 
     # -- queries -----------------------------------------------------------------
 

@@ -3,11 +3,19 @@
 The scaling layer on top of the reproduction: partition a row stream across
 shards (:mod:`~repro.engine.partition`), ingest the shards in parallel into
 mergeable estimator replicas (:mod:`~repro.engine.shard`,
-:mod:`~repro.engine.coordinator`), and serve batch queries from the merged
+:mod:`~repro.engine.coordinator`), serve batch queries from the merged
 summary with caching and latency accounting (:mod:`~repro.engine.service`,
-:mod:`~repro.engine.stats`).
+:mod:`~repro.engine.stats`), and persist/restore whole engine states as
+versioned checkpoint files (:mod:`~repro.engine.checkpoint`) so the build
+and query phases can live in different processes.
 """
 
+from .checkpoint import (
+    CheckpointInfo,
+    load_checkpoint,
+    load_merged_estimator,
+    save_checkpoint,
+)
 from .coordinator import INGEST_BACKENDS, Coordinator, IngestReport
 from .partition import PARTITION_POLICIES, StreamPartitioner
 from .service import CacheInfo, QueryService
@@ -16,6 +24,7 @@ from .stats import LatencyRecorder, LatencySummary
 
 __all__ = [
     "CacheInfo",
+    "CheckpointInfo",
     "Coordinator",
     "INGEST_BACKENDS",
     "IngestReport",
@@ -25,4 +34,7 @@ __all__ = [
     "QueryService",
     "Shard",
     "StreamPartitioner",
+    "load_checkpoint",
+    "load_merged_estimator",
+    "save_checkpoint",
 ]

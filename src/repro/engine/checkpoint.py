@@ -1,0 +1,202 @@
+"""Engine checkpoints: persist a coordinator's summaries, restore them later.
+
+The paper's two-phase model says a summary, once built, should answer
+queries *arbitrarily later* — including from a different process than the
+one that observed the stream.  A checkpoint makes that literal: one file
+(format tag ``repro/engine-checkpoint@1``, built on the
+:mod:`repro.persistence` envelope) holding the coordinator's configuration
+manifest, the merged summary and every per-shard summary, each serialized
+through the estimators' ``state_dict`` contract.
+
+Build once, fan out many: a query tier restores the merged summary with
+:func:`load_merged_estimator` (or
+:meth:`repro.engine.service.QueryService.from_checkpoint`) without ever
+touching the raw stream, while :func:`load_checkpoint` rebuilds a full
+:class:`~repro.engine.coordinator.Coordinator` — shards included — that can
+keep ingesting exactly where the saved one stopped (bit-identically, since
+RNG state travels with the summaries).
+
+Example::
+
+    >>> import tempfile, os
+    >>> from repro import Coordinator, Dataset, ExactBaseline, RowStream
+    >>> from repro.engine.checkpoint import load_merged_estimator
+    >>> data = Dataset.random(n_rows=60, n_columns=5, seed=4)
+    >>> engine = Coordinator(
+    ...     lambda: ExactBaseline(n_columns=5), n_shards=2, backend="serial"
+    ... )
+    >>> _ = engine.ingest(RowStream(data))
+    >>> path = os.path.join(tempfile.mkdtemp(), "engine.ckpt")
+    >>> info = engine.save_checkpoint(path)
+    >>> load_merged_estimator(path).rows_observed
+    60
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from .. import persistence
+from ..core.estimator import ProjectedFrequencyEstimator
+from ..errors import SnapshotError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .coordinator import Coordinator
+
+__all__ = [
+    "CheckpointInfo",
+    "save_checkpoint",
+    "load_checkpoint",
+    "load_merged_estimator",
+    "read_checkpoint_envelope",
+]
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """What one :func:`save_checkpoint` call wrote.
+
+    ``n_bytes`` is the size of the file on disk — the number experiment
+    results record next to the structural ``size_in_bits()`` accounting, so
+    the wire cost and the paper's space accounting can be compared directly.
+    """
+
+    path: str
+    n_bytes: int
+    n_shards: int
+    rows_total: int
+    summary_bits: int
+
+
+def save_checkpoint(coordinator: "Coordinator", path: str | Path) -> CheckpointInfo:
+    """Persist ``coordinator``'s shards, merged summary and config to ``path``."""
+    merged = coordinator._merged  # noqa: SLF001 - same-package accessor
+    shards = coordinator._shards  # noqa: SLF001
+    envelope = {
+        "format": persistence.CHECKPOINT_FORMAT,
+        "config": {
+            "n_shards": coordinator.n_shards,
+            "policy": coordinator._partitioner.policy,  # noqa: SLF001
+            "backend": coordinator.backend,
+            "hash_seed": coordinator._partitioner.hash_seed,  # noqa: SLF001
+            "batch_size": coordinator.batch_size,
+        },
+        "merged": None if merged is None else persistence.encode_state(merged),
+        "shards": [
+            {
+                "shard_id": shard.shard_id,
+                "rows_ingested": shard.rows_ingested,
+                "estimator": persistence.encode_state(shard.estimator),
+            }
+            for shard in shards
+        ],
+    }
+    data = persistence.dump_envelope(envelope)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_bytes(data)
+    return CheckpointInfo(
+        path=str(target),
+        n_bytes=len(data),
+        n_shards=coordinator.n_shards,
+        # The merged summary accumulates across repeated ingest() calls
+        # while the shard list only reflects the latest one, so it is the
+        # authoritative row count for what the checkpoint holds.
+        rows_total=(
+            merged.rows_observed
+            if merged is not None
+            else sum(shard.rows_ingested for shard in shards)
+        ),
+        summary_bits=0 if merged is None else merged.size_in_bits(),
+    )
+
+
+def read_checkpoint_envelope(path: str | Path) -> dict:
+    """Load and schema-check a checkpoint file's envelope (no object decoding).
+
+    The cheap inspection entry point used by ``tools/check_snapshot_schema.py``
+    and anyone who wants the config manifest without paying for summary
+    reconstruction.
+    """
+    envelope = persistence.load_envelope(Path(path).read_bytes())
+    if envelope["format"] != persistence.CHECKPOINT_FORMAT:
+        raise SnapshotError(
+            f"{path}: expected a {persistence.CHECKPOINT_FORMAT!r} payload, "
+            f"got {envelope['format']!r}"
+        )
+    return envelope
+
+
+def load_checkpoint(
+    path: str | Path, estimator_factory=None
+) -> "Coordinator":
+    """Rebuild a :class:`~repro.engine.coordinator.Coordinator` from a checkpoint.
+
+    The restored coordinator serves queries immediately
+    (``merged_estimator`` / ``query_service()``) and — because every summary
+    carries its RNG state — continues ingesting bit-identically to the
+    coordinator that was saved.  ``estimator_factory`` is only needed for
+    that continued ingestion (checkpoints cannot serialize factories);
+    without one, calling :meth:`~repro.engine.coordinator.Coordinator.ingest`
+    raises.
+    """
+    from .coordinator import Coordinator  # deferred: avoid import cycle
+    from .shard import Shard
+
+    envelope = read_checkpoint_envelope(path)
+    config = envelope["config"]
+    coordinator = Coordinator(
+        estimator_factory
+        if estimator_factory is not None
+        else _missing_factory,
+        n_shards=int(config["n_shards"]),
+        policy=str(config["policy"]),
+        backend=str(config["backend"]),
+        hash_seed=int(config["hash_seed"]),
+        batch_size=config["batch_size"],
+    )
+    shards = []
+    for entry in envelope["shards"]:
+        estimator = persistence.decode_state(entry["estimator"])
+        if not isinstance(estimator, ProjectedFrequencyEstimator):
+            raise SnapshotError(
+                f"{path}: shard {entry['shard_id']} does not hold an estimator"
+            )
+        shard = Shard(int(entry["shard_id"]), estimator)
+        shard._rows_ingested = int(entry["rows_ingested"])  # noqa: SLF001
+        shards.append(shard)
+    coordinator._shards = shards  # noqa: SLF001
+    merged = envelope["merged"]
+    if merged is not None:
+        estimator = persistence.decode_state(merged)
+        if not isinstance(estimator, ProjectedFrequencyEstimator):
+            raise SnapshotError(f"{path}: merged summary is not an estimator")
+        coordinator._merged = estimator  # noqa: SLF001
+    return coordinator
+
+
+def load_merged_estimator(path: str | Path) -> ProjectedFrequencyEstimator:
+    """Restore only the merged summary — all a query-serving tier needs."""
+    envelope = read_checkpoint_envelope(path)
+    merged = envelope["merged"]
+    if merged is None:
+        raise SnapshotError(
+            f"{path}: checkpoint holds no merged summary (nothing was "
+            "ingested before saving)"
+        )
+    estimator = persistence.decode_state(merged)
+    if not isinstance(estimator, ProjectedFrequencyEstimator):
+        raise SnapshotError(f"{path}: merged summary is not an estimator")
+    return estimator
+
+
+def _missing_factory() -> ProjectedFrequencyEstimator:
+    """Placeholder factory installed by :func:`load_checkpoint` without one."""
+    from ..errors import EstimationError
+
+    raise EstimationError(
+        "this coordinator was restored from a checkpoint without an "
+        "estimator_factory; pass one to load_checkpoint() to ingest more data"
+    )

@@ -7,8 +7,9 @@ a sharded one:
    the input stream to one of ``n_shards`` shards;
 2. each :class:`~repro.engine.shard.Shard` feeds its rows to a fresh
    estimator replica — serially, or in parallel worker processes (each
-   shard's estimator is pickled out, updated in the worker, and pickled
-   back);
+   shard ships only its estimator's *compact snapshot state* — the
+   :mod:`repro.persistence` wire format, no shard bookkeeping, no timing
+   fields — which the worker restores, updates, and ships back);
 3. the per-shard summaries are folded together through the estimator-level
    ``merge()`` protocol, yielding one summary of the whole stream.
 
@@ -25,12 +26,17 @@ import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable
 
+import numpy as np
+
+from .. import persistence
 from ..coding.words import Word
 from ..core.estimator import ProjectedFrequencyEstimator
-from ..errors import EstimationError, InvalidParameterError
+from ..errors import EstimationError, InvalidParameterError, SnapshotError
 from ..streaming.stream import RowStream
+from . import checkpoint as checkpoint_io
 from .partition import StreamPartitioner
 from .service import QueryService
 from .shard import Shard
@@ -41,14 +47,31 @@ __all__ = ["Coordinator", "IngestReport", "INGEST_BACKENDS"]
 INGEST_BACKENDS = ("serial", "processes")
 
 
-def _ingest_shard(shard: Shard, rows: list[Word]) -> Shard:
-    """Worker entry point: feed one shard and hand it back (pickled)."""
-    return shard.ingest(rows)
+def _ingest_estimator_state(
+    payload: bytes | ProjectedFrequencyEstimator, rows
+) -> tuple[int, float, bytes | ProjectedFrequencyEstimator]:
+    """Worker entry point: restore compact estimator state, ingest, ship back.
 
-
-def _ingest_shard_block(shard: Shard, block) -> Shard:
-    """Worker entry point for the batch path: one ndarray block per shard."""
-    return shard.ingest_block(block)
+    ``payload`` is the estimator's snapshot byte payload (the normal case);
+    estimators that predate the ``state_dict`` contract arrive as plain
+    pickled estimator objects instead.  Either way no :class:`Shard` — with
+    its timing fields and serving bookkeeping — ever crosses the process
+    boundary.  Returns ``(rows_ingested, ingest_seconds, updated_payload)``.
+    """
+    compact = isinstance(payload, (bytes, bytearray))
+    estimator = (
+        persistence.from_bytes(bytes(payload)) if compact else payload
+    )
+    started = time.perf_counter()
+    if isinstance(rows, np.ndarray):
+        estimator.observe_rows(rows)
+        ingested = int(rows.shape[0])
+    else:
+        for row in rows:
+            estimator.observe_row(row)
+        ingested = len(rows)
+    elapsed = time.perf_counter() - started
+    return ingested, elapsed, (estimator.to_bytes() if compact else estimator)
 
 
 @dataclass(frozen=True)
@@ -229,7 +252,7 @@ class Coordinator:
                     shards[self._partitioner.assign(index, row)].ingest_row(row)
         elif self._batch_size is not None:
             buckets = self._partitioner.split_blocks(stream, self._batch_size)
-            shards = self._ingest_in_processes(shards, buckets, _ingest_shard_block)
+            shards = self._ingest_in_processes(shards, buckets)
         else:
             buckets = self._partitioner.split(stream)
             shards = self._ingest_in_processes(shards, buckets)
@@ -256,22 +279,88 @@ class Coordinator:
         )
 
     def _ingest_in_processes(
-        self,
-        shards: list[Shard],
-        buckets: list,
-        worker: Callable[[Shard, object], Shard] = _ingest_shard,
+        self, shards: list[Shard], buckets: list
     ) -> list[Shard]:
-        """Run ``worker`` for every (shard, bucket) pair in a process pool."""
+        """Feed every (shard, bucket) pair to a worker-process pool.
+
+        Workers receive only each shard's compact estimator state (the
+        :mod:`repro.persistence` snapshot bytes — never a pickled
+        :class:`Shard` with its timing fields) plus the rows, and hand the
+        updated state back; the shards adopt the results in the parent.
+        Estimators without the ``state_dict`` contract fall back to
+        travelling as plain pickled estimator objects.
+        """
         # Fork (where available) shares the parent's loaded modules and is
-        # dramatically cheaper to start than spawn; estimators travel by
-        # pickle in both directions either way.
+        # dramatically cheaper to start than spawn.
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context(
             "fork" if "fork" in methods else methods[0]
         )
         workers = min(self._max_workers or self.n_shards, self.n_shards)
+        payloads: list[bytes | ProjectedFrequencyEstimator] = [
+            self._shippable_state(shard.estimator) for shard in shards
+        ]
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            return list(pool.map(worker, shards, buckets))
+            results = list(pool.map(_ingest_estimator_state, payloads, buckets))
+        for shard, (ingested, elapsed, payload) in zip(shards, results):
+            estimator = (
+                persistence.from_bytes(bytes(payload))
+                if isinstance(payload, (bytes, bytearray))
+                else payload
+            )
+            if not isinstance(estimator, ProjectedFrequencyEstimator):
+                raise EstimationError(
+                    "worker returned a non-estimator payload of type "
+                    f"{type(estimator).__name__}"
+                )
+            shard.adopt(estimator, ingested, elapsed)
+        return shards
+
+    @staticmethod
+    def _shippable_state(
+        estimator: ProjectedFrequencyEstimator,
+    ) -> bytes | ProjectedFrequencyEstimator:
+        """Compact snapshot bytes when the estimator can produce them.
+
+        ``is_snapshottable`` only says the estimator implements the hooks;
+        a nested component (say a custom, unregistered sketch inside an
+        alpha-net plan) can still refuse to encode, in which case the
+        estimator travels as a plain pickled object — the documented
+        fallback, and still never a whole :class:`Shard`.
+        """
+        if not estimator.is_snapshottable:
+            return estimator
+        try:
+            return estimator.to_bytes()
+        except SnapshotError:
+            return estimator
+
+    # -- persistence -------------------------------------------------------------
+
+    def save_checkpoint(self, path: str | Path) -> "checkpoint_io.CheckpointInfo":
+        """Persist shards + merged summary + config manifest to ``path``.
+
+        The file is a ``repro/engine-checkpoint@1`` payload (see
+        :mod:`repro.engine.checkpoint`); a query tier restores it with
+        :meth:`load_checkpoint` or
+        :meth:`~repro.engine.service.QueryService.from_checkpoint` in any
+        later process without re-ingesting the stream.
+        """
+        return checkpoint_io.save_checkpoint(self, path)
+
+    @classmethod
+    def load_checkpoint(
+        cls, path: str | Path, estimator_factory: Callable[
+            [], ProjectedFrequencyEstimator
+        ] | None = None,
+    ) -> "Coordinator":
+        """Rebuild a coordinator (shards, merged summary, config) from ``path``.
+
+        ``estimator_factory`` is only required to ingest *more* data after
+        restoring — serving queries from the restored merged summary needs
+        nothing beyond the file.
+        """
+        return checkpoint_io.load_checkpoint(path, estimator_factory)
 
     # -- serving -----------------------------------------------------------------
 

@@ -83,6 +83,11 @@ class StreamPartitioner:
         """The configured assignment policy."""
         return self._policy
 
+    @property
+    def hash_seed(self) -> int:
+        """Seed of the content hash behind the ``"hash"`` policy."""
+        return self._hash_seed
+
     def assign(self, index: int, row: Word) -> int:
         """Shard id for the row at stream position ``index``."""
         return shard_assignment(

@@ -105,6 +105,50 @@ class QueryService:
         """The summary this service answers from."""
         return self._estimator
 
+    @classmethod
+    def from_checkpoint(
+        cls, path: str, cache_size: int = 1024
+    ) -> "QueryService":
+        """Build a service directly from an engine checkpoint file.
+
+        The warm-start path for a serving tier: restore the merged summary
+        written by :meth:`~repro.engine.coordinator.Coordinator.save_checkpoint`
+        and serve queries from it — no coordinator, no re-ingest, no access
+        to the original stream.
+
+        Example::
+
+            >>> import tempfile, os
+            >>> from repro import Coordinator, Dataset, ExactBaseline, RowStream
+            >>> from repro.engine.service import QueryService
+            >>> engine = Coordinator(
+            ...     lambda: ExactBaseline(n_columns=4), n_shards=1, backend="serial"
+            ... )
+            >>> _ = engine.ingest(RowStream(Dataset.random(50, 4, seed=8)))
+            >>> path = os.path.join(tempfile.mkdtemp(), "warm.ckpt")
+            >>> _ = engine.save_checkpoint(path)
+            >>> QueryService.from_checkpoint(path).estimator.rows_observed
+            50
+        """
+        from .checkpoint import load_merged_estimator  # deferred: import cycle
+
+        return cls(load_merged_estimator(path), cache_size=cache_size)
+
+    def __getstate__(self) -> dict:
+        """Pickle support that never serializes transient serving state.
+
+        The LRU result cache, the latency recorders and the hit/miss
+        counters are per-process serving artefacts, not summary state; a
+        service that crosses a process boundary arrives cold (regression-
+        tested in ``tests/test_persistence.py``).
+        """
+        state = self.__dict__.copy()
+        state["_cache"] = OrderedDict()
+        state["_recorders"] = {}
+        state["_hits"] = 0
+        state["_misses"] = 0
+        return state
+
     # -- cache plumbing ----------------------------------------------------------
 
     def _serve(self, kind: str, key: Hashable, compute: Callable[[], object]) -> object:

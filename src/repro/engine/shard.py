@@ -97,6 +97,36 @@ class Shard:
         """An independent copy of the shard's summary, safe to merge/ship."""
         return self._estimator.snapshot()
 
+    def adopt(
+        self,
+        estimator: ProjectedFrequencyEstimator,
+        rows_ingested: int,
+        ingest_seconds: float,
+    ) -> "Shard":
+        """Install the updated summary a worker process handed back.
+
+        The coordinator's process backend ships only compact estimator
+        state to workers (never whole shards); this is the merge-back half
+        of that protocol, folding the worker's row count and wall-clock into
+        this shard's accounting.
+        """
+        self._estimator = estimator
+        self._rows_ingested += int(rows_ingested)
+        self._ingest_seconds += float(ingest_seconds)
+        return self
+
+    def __getstate__(self) -> dict:
+        """Pickle support that never serializes transient serving state.
+
+        Wall-clock timings are a property of the process that measured
+        them, not of the summary; a shard that crosses a process boundary
+        arrives with its timer zeroed (regression-tested in
+        ``tests/test_persistence.py``).
+        """
+        state = self.__dict__.copy()
+        state["_ingest_seconds"] = 0.0
+        return state
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"Shard(id={self._shard_id}, rows={self._rows_ingested}, "

@@ -55,3 +55,12 @@ class CodeConstructionError(ReproError, RuntimeError):
 
 class ProtocolError(ReproError, RuntimeError):
     """A communication-game simulation was driven in an invalid order."""
+
+
+class SnapshotError(ReproError, RuntimeError):
+    """A serialized summary could not be written or restored.
+
+    Raised by the persistence layer (:mod:`repro.persistence`) when a byte
+    payload is not a recognised snapshot (bad magic, wrong format tag,
+    unregistered type) or when a state dict fails its schema check.
+    """

@@ -17,6 +17,7 @@ Example::
     True
 """
 
+from .checkpointing import BUNDLE_FORMAT, CheckpointReader, CheckpointWriter
 from .registry import all_scenarios, get_scenario, register_scenario, scenario_names
 from .report import (
     load_result,
@@ -42,6 +43,9 @@ from .specs import (
 from . import scenarios  # noqa: E402,F401  (import for its side effect)
 
 __all__ = [
+    "BUNDLE_FORMAT",
+    "CheckpointReader",
+    "CheckpointWriter",
     "EngineConfig",
     "EngineSession",
     "EstimatorSpec",

@@ -1,0 +1,184 @@
+"""Scenario checkpoint bundles: split any experiment into build + query phases.
+
+``python -m repro checkpoint <scenario>`` runs a scenario once and captures
+every trip its body makes through the engine as a
+:class:`~repro.engine.coordinator.Coordinator` checkpoint file; ``python -m
+repro run <scenario> --from-checkpoint <bundle>`` replays the same scenario
+with the ingest phase *skipped entirely* — each
+:meth:`~repro.experiments.runner.RunContext.ingest` call restores the
+corresponding saved engine state (and its recorded
+:class:`~repro.engine.coordinator.IngestReport`) instead of touching the
+stream, so the query phase runs standalone and must produce byte-identical
+metrics and tables.
+
+A bundle is a directory::
+
+    <scenario>.ckpt/
+        manifest.json           # format, scenario, params, session index
+        000-<estimator>.ckpt    # one engine checkpoint per ctx.ingest() call
+        001-<estimator>.ckpt
+        ...
+
+Sessions are keyed by call order plus the estimator spec name, so scenario
+bodies that sweep a grid (or re-ingest the same estimator under different
+engine settings) restore deterministically.  The manifest records the
+:class:`~repro.experiments.specs.RunParams` the bundle was built under, and
+the reader refuses to replay under different ones — a checkpoint of the
+``--quick`` build phase cannot silently masquerade as a full run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from ..engine.checkpoint import load_checkpoint
+from ..engine.coordinator import Coordinator, IngestReport
+from ..errors import SnapshotError
+from .specs import RunParams
+
+__all__ = ["BUNDLE_FORMAT", "MANIFEST_NAME", "CheckpointWriter", "CheckpointReader"]
+
+#: Format tag of a scenario checkpoint bundle's manifest.
+BUNDLE_FORMAT = "repro/checkpoint-bundle@1"
+
+#: File name of the bundle manifest inside the bundle directory.
+MANIFEST_NAME = "manifest.json"
+
+#: RunParams fields that must match between build and replay.
+_PARAM_KEYS = ("seed", "quick", "n_shards", "batch_size")
+
+
+def _report_to_dict(report: IngestReport) -> dict:
+    """JSON-able view of an :class:`~repro.engine.coordinator.IngestReport`."""
+    payload = asdict(report)
+    payload["rows_per_shard"] = list(report.rows_per_shard)
+    payload["shard_seconds"] = list(report.shard_seconds)
+    return payload
+
+
+def _report_from_dict(payload: dict) -> IngestReport:
+    """Rebuild the frozen report recorded at build time (replayed verbatim)."""
+    return IngestReport(
+        n_shards=int(payload["n_shards"]),
+        backend=str(payload["backend"]),
+        policy=str(payload["policy"]),
+        rows_total=int(payload["rows_total"]),
+        rows_per_shard=tuple(int(v) for v in payload["rows_per_shard"]),
+        wall_seconds=float(payload["wall_seconds"]),
+        shard_seconds=tuple(float(v) for v in payload["shard_seconds"]),
+        merge_seconds=float(payload["merge_seconds"]),
+    )
+
+
+class CheckpointWriter:
+    """Capture every engine session of one scenario run into a bundle."""
+
+    def __init__(self, directory: str | Path, scenario: str, params: RunParams) -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._scenario = scenario
+        self._params = params
+        self._sessions: list[dict] = []
+
+    @property
+    def directory(self) -> Path:
+        """The bundle directory being written."""
+        return self._directory
+
+    @property
+    def sessions(self) -> list[dict]:
+        """One manifest entry per recorded session (insertion order)."""
+        return list(self._sessions)
+
+    def record(
+        self, key: str, estimator_name: str, coordinator: Coordinator,
+        report: IngestReport,
+    ) -> dict:
+        """Checkpoint one ingested coordinator; returns its manifest entry.
+
+        The entry pairs the wire cost (``bytes_on_disk``) with the
+        structural space accounting (``summary_bits`` from
+        ``size_in_bits()``), which the runner surfaces in the result JSON.
+        """
+        info = coordinator.save_checkpoint(self._directory / f"{key}.ckpt")
+        entry = {
+            "key": key,
+            "estimator": estimator_name,
+            "file": f"{key}.ckpt",
+            "bytes_on_disk": info.n_bytes,
+            "summary_bits": info.summary_bits,
+            "rows_total": info.rows_total,
+            "ingest_report": _report_to_dict(report),
+        }
+        self._sessions.append(entry)
+        return entry
+
+    def finalise(self) -> Path:
+        """Write the bundle manifest; returns its path."""
+        manifest = {
+            "format": BUNDLE_FORMAT,
+            "scenario": self._scenario,
+            "params": {key: getattr(self._params, key) for key in _PARAM_KEYS},
+            "sessions": self._sessions,
+        }
+        path = self._directory / MANIFEST_NAME
+        path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        return path
+
+
+class CheckpointReader:
+    """Replay a bundle's engine sessions in the order they were recorded."""
+
+    def __init__(self, directory: str | Path, scenario: str, params: RunParams) -> None:
+        self._directory = Path(directory)
+        manifest_path = self._directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise SnapshotError(
+                f"{self._directory} is not a checkpoint bundle (no "
+                f"{MANIFEST_NAME})"
+            )
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("format") != BUNDLE_FORMAT:
+            raise SnapshotError(
+                f"{manifest_path}: expected format {BUNDLE_FORMAT!r}, got "
+                f"{manifest.get('format')!r}"
+            )
+        if manifest.get("scenario") != scenario:
+            raise SnapshotError(
+                f"{manifest_path}: bundle was built for scenario "
+                f"{manifest.get('scenario')!r}, not {scenario!r}"
+            )
+        recorded = manifest.get("params", {})
+        for key in _PARAM_KEYS:
+            if recorded.get(key) != getattr(params, key):
+                raise SnapshotError(
+                    f"{manifest_path}: bundle was built with {key}="
+                    f"{recorded.get(key)!r} but this run uses "
+                    f"{getattr(params, key)!r}; re-checkpoint or match the "
+                    "parameters"
+                )
+        self._sessions = list(manifest.get("sessions", []))
+        self._cursor = 0
+
+    def next_session(self, key: str) -> tuple[Coordinator, IngestReport]:
+        """Restore the next recorded session, which must match ``key``."""
+        if self._cursor >= len(self._sessions):
+            raise SnapshotError(
+                f"scenario asked for engine session {key!r} but the bundle "
+                f"recorded only {len(self._sessions)} session(s)"
+            )
+        entry = self._sessions[self._cursor]
+        self._cursor += 1
+        if entry["key"] != key:
+            raise SnapshotError(
+                f"scenario asked for engine session {key!r} but the bundle "
+                f"recorded {entry['key']!r} at this position"
+            )
+        coordinator = load_checkpoint(self._directory / entry["file"])
+        return coordinator, _report_from_dict(entry["ingest_report"])
+
+    def remaining(self) -> int:
+        """Sessions recorded but not yet replayed."""
+        return len(self._sessions) - self._cursor

@@ -106,6 +106,25 @@ def validate_result_payload(payload: object) -> list[str]:
                     break
     if not isinstance(payload.get("wall_seconds"), (int, float)):
         problems.append("'wall_seconds' must be a number")
+    checkpoints = payload.get("checkpoints")
+    if checkpoints is not None:
+        if not isinstance(checkpoints, list):
+            problems.append("'checkpoints' must be a list when present")
+        else:
+            for position, entry in enumerate(checkpoints):
+                if not isinstance(entry, dict):
+                    problems.append(f"checkpoint #{position} must be an object")
+                    continue
+                for key in ("bytes_on_disk", "summary_bits"):
+                    if not isinstance(entry.get(key), int):
+                        problems.append(
+                            f"checkpoint #{position}: '{key}' must be an integer"
+                        )
+                for key in ("key", "estimator", "file"):
+                    if not isinstance(entry.get(key), str):
+                        problems.append(
+                            f"checkpoint #{position}: '{key}' must be a string"
+                        )
     return problems
 
 
@@ -176,6 +195,23 @@ def render_markdown(payload: dict) -> str:
     for table in payload["tables"]:
         lines.extend(["", f"## {table['title']}", ""])
         lines.extend(_markdown_table(table["headers"], table["rows"]))
+    if payload.get("checkpoints"):
+        lines.extend(["", "## Saved checkpoints (wire bytes vs structural bits)", ""])
+        lines.extend(
+            _markdown_table(
+                ["session", "estimator", "bytes on disk", "summary bits", "rows"],
+                [
+                    [
+                        entry["key"],
+                        entry["estimator"],
+                        entry["bytes_on_disk"],
+                        entry["summary_bits"],
+                        entry.get("rows_total", 0),
+                    ]
+                    for entry in payload["checkpoints"]
+                ],
+            )
+        )
     lines.extend(
         [
             "",

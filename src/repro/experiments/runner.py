@@ -24,13 +24,16 @@ Example::
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Iterator
 
 from ..core.dataset import Dataset
 from ..engine.coordinator import Coordinator, IngestReport
 from ..engine.service import QueryService
-from ..errors import EstimationError, InvalidParameterError
+from ..errors import EstimationError, InvalidParameterError, SnapshotError
 from ..streaming.stream import RowStream
+from .checkpointing import CheckpointReader, CheckpointWriter
 from .registry import get_scenario
 from .specs import (
     EngineConfig,
@@ -68,11 +71,19 @@ class RunContext:
     override-applied engine config, and provides the helpers that route all
     data movement through the engine (Coordinator + QueryService) so every
     scenario exercises the same ingest/serve path the production layer uses.
+
+    When the run is a checkpointing build phase (``checkpoints`` set), every
+    engine session is additionally saved into the bundle; when it is a
+    restored query phase (``restore`` set), :meth:`ingest` skips the stream
+    entirely and replays the saved engine states and ingest reports.
     """
 
     spec: ExperimentSpec
     params: RunParams
     engine: EngineConfig | None
+    checkpoints: CheckpointWriter | None = None
+    restore: CheckpointReader | None = None
+    _session_ids: Iterator[int] = field(default_factory=count, repr=False)
 
     def dataset(self) -> Dataset:
         """Generate the scenario's dataset from its workload spec."""
@@ -110,10 +121,24 @@ class RunContext:
         :class:`~repro.engine.service.QueryService` over the merged summary.
         Sweep scenarios may override ``n_shards`` / ``batch_size`` per call
         (``batch_size=None`` explicitly forces the per-row path).
+
+        In a restored run (``--from-checkpoint``) the stream is never
+        touched: the saved engine state and its recorded ingest report are
+        replayed, so query results must match the build phase exactly.
         """
         if self.engine is None:
             raise EstimationError(
                 f"scenario {self.spec.name!r} is analytic; it has no engine"
+            )
+        key = f"{next(self._session_ids):03d}-{estimator.name}"
+        if self.restore is not None:
+            coordinator, report = self.restore.next_session(key)
+            service = coordinator.query_service(cache_size=self.engine.cache_size)
+            return EngineSession(
+                estimator_name=estimator.name,
+                coordinator=coordinator,
+                service=service,
+                ingest_report=report,
             )
         coordinator = Coordinator(
             lambda: estimator.build(self.params),
@@ -126,6 +151,8 @@ class RunContext:
         )
         report = coordinator.ingest(RowStream(dataset))
         service = coordinator.query_service(cache_size=self.engine.cache_size)
+        if self.checkpoints is not None:
+            self.checkpoints.record(key, estimator.name, coordinator, report)
         return EngineSession(
             estimator_name=estimator.name,
             coordinator=coordinator,
@@ -147,10 +174,14 @@ class ExperimentResult:
     metrics: dict[str, float]
     tables: tuple[ResultTable, ...]
     wall_seconds: float
+    #: One entry per saved engine session when the run checkpointed: pairs
+    #: the checkpoint's bytes on disk with the summary's structural
+    #: ``size_in_bits()`` accounting.  Empty for ordinary runs.
+    checkpoints: tuple[dict, ...] = ()
 
     def to_dict(self) -> dict:
         """The JSON payload ``python -m repro run`` writes to disk."""
-        return {
+        payload = {
             "schema": RESULT_SCHEMA,
             "scenario": self.scenario,
             "title": self.title,
@@ -162,6 +193,9 @@ class ExperimentResult:
             "tables": [table.to_dict() for table in self.tables],
             "wall_seconds": self.wall_seconds,
         }
+        if self.checkpoints:
+            payload["checkpoints"] = [dict(entry) for entry in self.checkpoints]
+        return payload
 
 
 def run_experiment(
@@ -185,10 +219,33 @@ def run_experiment(
     spec.validate()
     params = (params or RunParams()).validate()
     engine = spec.engine.with_overrides(params) if spec.engine is not None else None
-    context = RunContext(spec=spec, params=params, engine=engine)
+    writer = (
+        CheckpointWriter(params.checkpoint_to, spec.name, params)
+        if params.checkpoint_to is not None
+        else None
+    )
+    reader = (
+        CheckpointReader(params.from_checkpoint, spec.name, params)
+        if params.from_checkpoint is not None
+        else None
+    )
+    context = RunContext(
+        spec=spec, params=params, engine=engine, checkpoints=writer, restore=reader
+    )
     started = time.perf_counter()
     output = spec.run(context)
     wall_seconds = time.perf_counter() - started
+    if writer is not None:
+        writer.finalise()
+    if reader is not None and reader.remaining():
+        # A replay that consumed only a prefix of the recorded sessions is
+        # not the run the bundle captured — fail instead of silently
+        # reporting results that skipped recorded engine state.
+        raise SnapshotError(
+            f"restored run of {spec.name!r} left {reader.remaining()} "
+            "recorded engine session(s) unconsumed; the bundle does not "
+            "match this scenario version"
+        )
     if not isinstance(output, ScenarioOutput):
         raise InvalidParameterError(
             f"scenario {spec.name!r} returned {type(output).__name__}, "
@@ -214,4 +271,5 @@ def run_experiment(
         metrics={name: float(output.metrics[name]) for name in spec.metrics},
         tables=tables,
         wall_seconds=wall_seconds,
+        checkpoints=tuple(writer.sessions) if writer is not None else (),
     )

@@ -66,6 +66,15 @@ class RunParams:
     batch_size:
         When set, overrides the scenario's engine ingest block size
         (``0`` means "force the per-row path", i.e. ``batch_size=None``).
+    checkpoint_to:
+        When set, every engine session the scenario runs is saved into a
+        checkpoint bundle at this directory (the build phase of
+        ``python -m repro checkpoint``).
+    from_checkpoint:
+        When set, engine sessions are restored from the bundle at this
+        directory instead of ingesting — the standalone query phase
+        (``python -m repro run --from-checkpoint``).  Mutually exclusive
+        with ``checkpoint_to``.
 
     Example::
 
@@ -77,6 +86,8 @@ class RunParams:
     quick: bool = False
     n_shards: int | None = None
     batch_size: int | None = None
+    checkpoint_to: str | None = None
+    from_checkpoint: str | None = None
 
     def validate(self) -> "RunParams":
         """Check the overrides; returns ``self`` so calls chain."""
@@ -90,6 +101,11 @@ class RunParams:
             raise InvalidParameterError(
                 f"batch_size must be >= 0, got {self.batch_size}"
             )
+        if self.checkpoint_to is not None and self.from_checkpoint is not None:
+            raise InvalidParameterError(
+                "checkpoint_to and from_checkpoint are mutually exclusive; "
+                "build a bundle first, then replay from it"
+            )
         return self
 
     def to_dict(self) -> dict:
@@ -99,6 +115,8 @@ class RunParams:
             "quick": self.quick,
             "n_shards": self.n_shards,
             "batch_size": self.batch_size,
+            "checkpoint_to": self.checkpoint_to,
+            "from_checkpoint": self.from_checkpoint,
         }
 
 

@@ -21,12 +21,14 @@ from typing import Hashable
 import numpy as np
 
 from ..errors import InvalidParameterError
+from ..persistence import require_keys, snapshottable
 from .base import FrequencyMomentSketch
 from .hashing import HashFamily
 
 __all__ = ["AMSSketch"]
 
 
+@snapshottable("sketch.ams")
 class AMSSketch(FrequencyMomentSketch[Hashable]):
     """Tug-of-war ``F_2`` estimator.
 
@@ -113,6 +115,31 @@ class AMSSketch(FrequencyMomentSketch[Hashable]):
             )
         self._items_processed += other._items_processed
         self._counters += other._counters
+
+    def state_dict(self) -> dict:
+        """Configuration plus the sign counters (hashes re-derive from seed)."""
+        return {
+            "width": self._width,
+            "depth": self._depth,
+            "seed": self._seed,
+            "counters": self._counters.copy(),
+            "items_processed": self._items_processed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Rebuild the sign hashes from the seed and restore the counters."""
+        require_keys(
+            state,
+            ("width", "depth", "seed", "counters", "items_processed"),
+            "AMSSketch",
+        )
+        self.__init__(  # type: ignore[misc]
+            width=int(state["width"]),
+            depth=int(state["depth"]),
+            seed=int(state["seed"]),
+        )
+        self._counters = np.asarray(state["counters"], dtype=np.int64).copy()
+        self._items_processed = int(state["items_processed"])
 
     def estimate(self) -> float:
         """Return the estimated ``F_2`` of the observed stream."""

@@ -24,6 +24,9 @@ from __future__ import annotations
 import abc
 from typing import Generic, Hashable, Iterable, TypeVar
 
+from .. import persistence
+from ..errors import SnapshotError
+
 __all__ = [
     "Sketch",
     "MergeableSketch",
@@ -51,6 +54,54 @@ class Sketch(abc.ABC, Generic[ItemT]):
         """Record one occurrence of every item in ``items``."""
         for item in items:
             self.update(item)
+
+    # -- persistence ------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The complete persistent state of this sketch as plain containers.
+
+        The contract behind :mod:`repro.persistence`: configuration,
+        counters, retained items *and RNG state* — everything needed for a
+        restored sketch to answer every query identically and to continue
+        absorbing the stream bit-identically to the original.  Transient
+        serving state (caches, timings) is never part of it.
+        """
+        raise SnapshotError(
+            f"{type(self).__name__} does not implement state_dict()"
+        )
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore this sketch in place from a :meth:`state_dict` value.
+
+        Implementations schema-check ``state`` (via
+        :func:`repro.persistence.require_keys`) and rebuild any derived
+        structures (hash functions, heaps) deterministically from the
+        stored configuration.
+        """
+        raise SnapshotError(
+            f"{type(self).__name__} does not implement load_state_dict()"
+        )
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "Sketch[ItemT]":
+        """Construct a fresh instance directly from a :meth:`state_dict` value."""
+        sketch = cls.__new__(cls)
+        sketch.load_state_dict(state)
+        return sketch
+
+    def to_bytes(self) -> bytes:
+        """Frame this sketch as a ``repro/estimator-snapshot@1`` byte payload."""
+        return persistence.to_bytes(self)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Sketch[ItemT]":
+        """Restore a sketch from :meth:`to_bytes` output (type-checked)."""
+        sketch = persistence.from_bytes(data)
+        if not isinstance(sketch, cls):
+            raise SnapshotError(
+                f"payload holds a {type(sketch).__name__}, not a {cls.__name__}"
+            )
+        return sketch
 
     @abc.abstractmethod
     def size_in_bits(self) -> int:

@@ -17,6 +17,7 @@ import math
 from typing import Hashable
 
 from ..errors import InvalidParameterError
+from ..persistence import require_keys, snapshottable
 from .base import DistinctCountSketch
 from .hashing import stable_hash64
 
@@ -32,6 +33,7 @@ def _trailing_zeros(value: int) -> int:
     return (value & -value).bit_length() - 1
 
 
+@snapshottable("sketch.bjkst")
 class BJKSTSketch(DistinctCountSketch[Hashable]):
     """Distinct-count estimator based on adaptive subsampling of hash values.
 
@@ -116,6 +118,30 @@ class BJKSTSketch(DistinctCountSketch[Hashable]):
         }
         self._buffer = merged
         self._shrink()
+
+    def state_dict(self) -> dict:
+        """Configuration, sampling level and the retained hash values."""
+        return {
+            "capacity": self._capacity,
+            "seed": self._seed,
+            "level": self._level,
+            "buffer": set(self._buffer),
+            "items_processed": self._items_processed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the level and buffer exactly."""
+        require_keys(
+            state,
+            ("capacity", "seed", "level", "buffer", "items_processed"),
+            "BJKSTSketch",
+        )
+        self.__init__(  # type: ignore[misc]
+            capacity=int(state["capacity"]), seed=int(state["seed"])
+        )
+        self._level = int(state["level"])
+        self._buffer = {int(value) for value in state["buffer"]}
+        self._items_processed = int(state["items_processed"])
 
     def estimate(self) -> float:
         """Return the estimated number of distinct items."""

@@ -18,12 +18,14 @@ from typing import Hashable, Iterable
 import numpy as np
 
 from ..errors import InvalidParameterError
+from ..persistence import require_keys, snapshottable
 from .base import PointQuerySketch
 from .hashing import HashFamily
 
 __all__ = ["CountSketch"]
 
 
+@snapshottable("sketch.countsketch")
 class CountSketch(PointQuerySketch[Hashable]):
     """Count-Sketch with median-of-rows point queries.
 
@@ -114,6 +116,31 @@ class CountSketch(PointQuerySketch[Hashable]):
             )
         self._items_processed += other._items_processed
         self._table += other._table
+
+    def state_dict(self) -> dict:
+        """Configuration plus the counter table (hashes re-derive from seed)."""
+        return {
+            "width": self._width,
+            "depth": self._depth,
+            "seed": self._seed,
+            "table": self._table.copy(),
+            "items_processed": self._items_processed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Rebuild the hash rows from the seed and restore the counters."""
+        require_keys(
+            state,
+            ("width", "depth", "seed", "table", "items_processed"),
+            "CountSketch",
+        )
+        self.__init__(  # type: ignore[misc]
+            width=int(state["width"]),
+            depth=int(state["depth"]),
+            seed=int(state["seed"]),
+        )
+        self._table = np.asarray(state["table"], dtype=np.int64).copy()
+        self._items_processed = int(state["items_processed"])
 
     def estimate(self, item: Hashable) -> float:
         """Return the (unbiased) estimate of the frequency of ``item``."""

@@ -20,6 +20,7 @@ from typing import Hashable
 import numpy as np
 
 from ..errors import InvalidParameterError
+from ..persistence import require_keys, snapshottable
 from .base import DistinctCountSketch
 from .hashing import stable_hash64
 
@@ -37,6 +38,7 @@ def _alpha(m: int) -> float:
     return 0.7213 / (1.0 + 1.079 / m)
 
 
+@snapshottable("sketch.hyperloglog")
 class HyperLogLog(DistinctCountSketch[Hashable]):
     """Distinct-count estimator with ``2^precision`` one-byte registers.
 
@@ -112,6 +114,28 @@ class HyperLogLog(DistinctCountSketch[Hashable]):
             )
         self._items_processed += other._items_processed
         np.maximum(self._registers, other._registers, out=self._registers)
+
+    def state_dict(self) -> dict:
+        """Configuration plus the register array."""
+        return {
+            "precision": self._precision,
+            "seed": self._seed,
+            "registers": self._registers.copy(),
+            "items_processed": self._items_processed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the registers exactly."""
+        require_keys(
+            state,
+            ("precision", "seed", "registers", "items_processed"),
+            "HyperLogLog",
+        )
+        self.__init__(  # type: ignore[misc]
+            precision=int(state["precision"]), seed=int(state["seed"])
+        )
+        self._registers = np.asarray(state["registers"], dtype=np.uint8).copy()
+        self._items_processed = int(state["items_processed"])
 
     def estimate(self) -> float:
         """Return the estimated number of distinct items."""

@@ -20,6 +20,7 @@ import math
 from typing import Hashable, Iterator
 
 from ..errors import InvalidParameterError
+from ..persistence import require_keys, snapshottable
 from .base import DistinctCountSketch
 from .hashing import hash_to_unit_interval
 
@@ -39,6 +40,7 @@ def kmv_size_for_epsilon(epsilon: float, delta: float = 0.05) -> int:
     return max(8, math.ceil(4.0 / (epsilon * epsilon) * math.log(2.0 / delta)))
 
 
+@snapshottable("sketch.kmv")
 class KMVSketch(DistinctCountSketch[Hashable]):
     """Distinct-count estimator keeping the ``k`` minimum hash values.
 
@@ -110,6 +112,23 @@ class KMVSketch(DistinctCountSketch[Hashable]):
         self._items_processed += other._items_processed
         for negated in other._heap:
             self._insert_value(-negated)
+
+    def state_dict(self) -> dict:
+        """Configuration plus the retained minimum hash values."""
+        return {
+            "k": self._k,
+            "seed": self._seed,
+            "heap": list(self._heap),
+            "items_processed": self._items_processed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the heap (and its membership index) exactly."""
+        require_keys(state, ("k", "seed", "heap", "items_processed"), "KMVSketch")
+        self.__init__(k=int(state["k"]), seed=int(state["seed"]))  # type: ignore[misc]
+        self._heap = [float(value) for value in state["heap"]]
+        self._members = {-value for value in self._heap}
+        self._items_processed = int(state["items_processed"])
 
     def minimum_values(self) -> Iterator[float]:
         """Yield the retained minimum hash values in ascending order."""

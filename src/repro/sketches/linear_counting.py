@@ -15,12 +15,14 @@ from typing import Hashable
 import numpy as np
 
 from ..errors import EstimationError, InvalidParameterError
+from ..persistence import require_keys, snapshottable
 from .base import DistinctCountSketch
 from .hashing import stable_hash64
 
 __all__ = ["LinearCounting"]
 
 
+@snapshottable("sketch.linear_counting")
 class LinearCounting(DistinctCountSketch[Hashable]):
     """Bitmap-based distinct counter.
 
@@ -79,6 +81,28 @@ class LinearCounting(DistinctCountSketch[Hashable]):
             )
         self._items_processed += other._items_processed
         np.logical_or(self._bitmap, other._bitmap, out=self._bitmap)
+
+    def state_dict(self) -> dict:
+        """Configuration plus the bitmap."""
+        return {
+            "bitmap_bits": self._m,
+            "seed": self._seed,
+            "bitmap": self._bitmap.copy(),
+            "items_processed": self._items_processed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the bitmap exactly."""
+        require_keys(
+            state,
+            ("bitmap_bits", "seed", "bitmap", "items_processed"),
+            "LinearCounting",
+        )
+        self.__init__(  # type: ignore[misc]
+            bitmap_bits=int(state["bitmap_bits"]), seed=int(state["seed"])
+        )
+        self._bitmap = np.asarray(state["bitmap"], dtype=bool).copy()
+        self._items_processed = int(state["items_processed"])
 
     def estimate(self) -> float:
         """Return the estimated number of distinct items.

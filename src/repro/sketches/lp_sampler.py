@@ -32,7 +32,13 @@ from typing import Hashable
 
 import numpy as np
 
-from ..errors import EstimationError, InvalidParameterError
+from ..errors import EstimationError, InvalidParameterError, SnapshotError
+from ..persistence import (
+    require_keys,
+    rng_from_state,
+    rng_state_dict,
+    snapshottable,
+)
 from .base import Sketch
 from .countmin import CountMinSketch
 from .hashing import hash_to_unit_interval
@@ -60,6 +66,7 @@ class LpSampleResult:
         )
 
 
+@snapshottable("sketch.lp_sampler")
 class LpSampler(Sketch[Hashable]):
     """Level-set ``ℓ_p`` sampler for insertion-only streams.
 
@@ -141,6 +148,64 @@ class LpSampler(Sketch[Hashable]):
                     width=4 * self._level_capacity, depth=3, seed=self._seed + level
                 )
             self._overflow[level].update(item, count)
+
+    def state_dict(self) -> dict:
+        """Configuration, per-level tables, spill sketches and draw RNG.
+
+        The Count-Min spill sketches nest as snapshots of their own, so the
+        whole level-set structure round-trips through one payload.
+        """
+        return {
+            "p": self.p,
+            "levels": self._levels,
+            "level_capacity": self._level_capacity,
+            "seed": self._seed,
+            "exact": [dict(table) for table in self._exact],
+            "overflow": list(self._overflow),
+            "rng": rng_state_dict(self._rng),
+            "items_processed": self._items_processed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore tables, spill sketches and the sampling RNG exactly."""
+        require_keys(
+            state,
+            (
+                "p",
+                "levels",
+                "level_capacity",
+                "seed",
+                "exact",
+                "overflow",
+                "rng",
+                "items_processed",
+            ),
+            "LpSampler",
+        )
+        self.__init__(  # type: ignore[misc]
+            p=float(state["p"]),
+            levels=int(state["levels"]),
+            level_capacity=int(state["level_capacity"]),
+            seed=int(state["seed"]),
+        )
+        exact = state["exact"]
+        overflow = state["overflow"]
+        if len(exact) != self._levels or len(overflow) != self._levels:
+            raise SnapshotError(
+                f"LpSampler state holds {len(exact)}/{len(overflow)} level "
+                f"tables but declares {self._levels} levels"
+            )
+        self._exact = [
+            {item: int(count) for item, count in table.items()} for table in exact
+        ]
+        for sketch in overflow:
+            if sketch is not None and not isinstance(sketch, CountMinSketch):
+                raise SnapshotError(
+                    "LpSampler overflow entries must be CountMinSketch or None"
+                )
+        self._overflow = list(overflow)
+        self._rng = rng_from_state(state["rng"])
+        self._items_processed = int(state["items_processed"])
 
     def _level_frequencies(self, level: int) -> dict[Hashable, float]:
         """Best-effort frequencies of survivors at ``level``."""

@@ -14,11 +14,13 @@ from __future__ import annotations
 from typing import Hashable, Iterable
 
 from ..errors import InvalidParameterError
+from ..persistence import require_keys, snapshottable
 from .base import PointQuerySketch
 
 __all__ = ["MisraGries"]
 
 
+@snapshottable("sketch.misra_gries")
 class MisraGries(PointQuerySketch[Hashable]):
     """Deterministic frequent-items summary with ``k`` counters.
 
@@ -91,6 +93,23 @@ class MisraGries(PointQuerySketch[Hashable]):
                 if count - cutoff > 0
             }
         self._counters = combined
+
+    def state_dict(self) -> dict:
+        """Counter budget plus the tracked (item, counter) map."""
+        return {
+            "k": self._k,
+            "counters": dict(self._counters),
+            "items_processed": self._items_processed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the tracked counters exactly."""
+        require_keys(state, ("k", "counters", "items_processed"), "MisraGries")
+        self.__init__(k=int(state["k"]))  # type: ignore[misc]
+        self._counters = {
+            item: int(count) for item, count in state["counters"].items()
+        }
+        self._items_processed = int(state["items_processed"])
 
     def estimate(self, item: Hashable) -> float:
         """Return the (under-)estimate of the frequency of ``item``."""

@@ -31,6 +31,12 @@ from typing import Generic, Iterable, Iterator, Sequence, TypeVar
 import numpy as np
 
 from ..errors import InvalidParameterError
+from ..persistence import (
+    require_keys,
+    rng_from_state,
+    rng_state_dict,
+    snapshottable,
+)
 from .base import Sketch
 
 __all__ = ["ReservoirSampler", "WithReplacementSampler", "BernoulliSampler"]
@@ -51,6 +57,7 @@ def _materialise_item(items: "Sequence[RowT] | np.ndarray", index: int):
     return item
 
 
+@snapshottable("sketch.reservoir")
 class ReservoirSampler(Sketch[RowT], Generic[RowT]):
     """Uniform sample without replacement of fixed capacity.
 
@@ -157,6 +164,27 @@ class ReservoirSampler(Sketch[RowT], Generic[RowT]):
             theirs[int(j)] for j in pick_theirs
         ]
 
+    def state_dict(self) -> dict:
+        """Capacity, RNG state, retained rows and stream length."""
+        return {
+            "capacity": self._capacity,
+            "rng": rng_state_dict(self._rng),
+            "reservoir": list(self._reservoir),
+            "items_processed": self._items_processed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore sample and RNG so further updates are bit-identical."""
+        require_keys(
+            state,
+            ("capacity", "rng", "reservoir", "items_processed"),
+            "ReservoirSampler",
+        )
+        self.__init__(capacity=int(state["capacity"]))  # type: ignore[misc]
+        self._rng = rng_from_state(state["rng"])
+        self._reservoir = list(state["reservoir"])
+        self._items_processed = int(state["items_processed"])
+
     def sample(self) -> list[RowT]:
         """Return a copy of the current sample."""
         return list(self._reservoir)
@@ -180,6 +208,7 @@ class ReservoirSampler(Sketch[RowT], Generic[RowT]):
         return 64 * self._capacity + 5 * 64
 
 
+@snapshottable("sketch.with_replacement")
 class WithReplacementSampler(Sketch[RowT], Generic[RowT]):
     """``t`` independent uniform draws from the stream (with replacement).
 
@@ -279,6 +308,27 @@ class WithReplacementSampler(Sketch[RowT], Generic[RowT]):
             self._slots[int(slot_index)] = other._slots[int(slot_index)]
         self._items_processed = total
 
+    def state_dict(self) -> dict:
+        """Draw count, RNG state, slot contents and stream length."""
+        return {
+            "draws": self._draws,
+            "rng": rng_state_dict(self._rng),
+            "slots": list(self._slots),
+            "items_processed": self._items_processed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore slots and RNG so further updates are bit-identical."""
+        require_keys(
+            state,
+            ("draws", "rng", "slots", "items_processed"),
+            "WithReplacementSampler",
+        )
+        self.__init__(draws=int(state["draws"]))  # type: ignore[misc]
+        self._rng = rng_from_state(state["rng"])
+        self._slots = list(state["slots"])
+        self._items_processed = int(state["items_processed"])
+
     def sample(self) -> list[RowT]:
         """Return the ``t`` draws (empty list if no data has been observed)."""
         if self._items_processed == 0:
@@ -295,6 +345,7 @@ class WithReplacementSampler(Sketch[RowT], Generic[RowT]):
         return 64 * self._draws + 5 * 64
 
 
+@snapshottable("sketch.bernoulli")
 class BernoulliSampler(Sketch[RowT], Generic[RowT]):
     """Keep each row independently with probability ``rate``.
 
@@ -360,6 +411,25 @@ class BernoulliSampler(Sketch[RowT], Generic[RowT]):
             )
         self._items_processed += other._items_processed
         self._sample.extend(other._sample)
+
+    def state_dict(self) -> dict:
+        """Retention rate, RNG state, retained rows and stream length."""
+        return {
+            "rate": self._rate,
+            "rng": rng_state_dict(self._rng),
+            "sample": list(self._sample),
+            "items_processed": self._items_processed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore sample and RNG so further updates are bit-identical."""
+        require_keys(
+            state, ("rate", "rng", "sample", "items_processed"), "BernoulliSampler"
+        )
+        self.__init__(rate=float(state["rate"]))  # type: ignore[misc]
+        self._rng = rng_from_state(state["rng"])
+        self._sample = list(state["sample"])
+        self._items_processed = int(state["items_processed"])
 
     def sample(self) -> list[RowT]:
         """Return a copy of the retained rows."""

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Hashable, Iterable, NamedTuple
 
 from ..errors import InvalidParameterError
+from ..persistence import require_keys, snapshottable
 from .base import PointQuerySketch
 
 __all__ = ["SpaceSaving", "TrackedCount"]
@@ -33,6 +34,7 @@ class TrackedCount(NamedTuple):
         return self.count - self.error
 
 
+@snapshottable("sketch.space_saving")
 class SpaceSaving(PointQuerySketch[Hashable]):
     """Frequent-items summary with ``k`` counters and over-estimate semantics.
 
@@ -108,6 +110,25 @@ class SpaceSaving(PointQuerySketch[Hashable]):
             combined_errors = {item: combined_errors[item] for item, _ in kept}
         self._counts = combined_counts
         self._errors = combined_errors
+
+    def state_dict(self) -> dict:
+        """Counter budget plus the tracked counts and over-count errors."""
+        return {
+            "k": self._k,
+            "counts": dict(self._counts),
+            "errors": dict(self._errors),
+            "items_processed": self._items_processed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the tracked (count, error) triples exactly."""
+        require_keys(
+            state, ("k", "counts", "errors", "items_processed"), "SpaceSaving"
+        )
+        self.__init__(k=int(state["k"]))  # type: ignore[misc]
+        self._counts = {item: int(count) for item, count in state["counts"].items()}
+        self._errors = {item: int(count) for item, count in state["errors"].items()}
+        self._items_processed = int(state["items_processed"])
 
     def estimate(self, item: Hashable) -> float:
         """Return the (over-)estimate of the frequency of ``item``."""

@@ -23,6 +23,7 @@ from typing import Hashable
 import numpy as np
 
 from ..errors import InvalidParameterError
+from ..persistence import require_keys, snapshottable
 from .base import FrequencyMomentSketch
 from .hashing import HashFamily, stable_hash64
 
@@ -64,6 +65,7 @@ def median_of_absolute_stable(p: float, samples: int = 200_001, seed: int = 7) -
     return float(np.median(draws))
 
 
+@snapshottable("sketch.stable_lp")
 class StableLpSketch(FrequencyMomentSketch[Hashable]):
     """Median-of-p-stable-projections estimator of ``||f||_p`` and ``F_p``.
 
@@ -157,6 +159,38 @@ class StableLpSketch(FrequencyMomentSketch[Hashable]):
             )
         self._items_processed += other._items_processed
         self._counters += other._counters
+
+    def state_dict(self) -> dict:
+        """Configuration plus the projection counters.
+
+        The row seeds and the de-bias scale are deterministic functions of
+        the configuration, so ``load_state_dict`` re-derives them instead of
+        shipping them over the wire.
+        """
+        return {
+            "p": self.p,
+            "width": self._width,
+            "depth": self._depth,
+            "seed": self._seed,
+            "counters": self._counters.copy(),
+            "items_processed": self._items_processed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Re-derive hashing/scale from the config and restore the counters."""
+        require_keys(
+            state,
+            ("p", "width", "depth", "seed", "counters", "items_processed"),
+            "StableLpSketch",
+        )
+        self.__init__(  # type: ignore[misc]
+            p=float(state["p"]),
+            width=int(state["width"]),
+            depth=int(state["depth"]),
+            seed=int(state["seed"]),
+        )
+        self._counters = np.asarray(state["counters"], dtype=np.float64).copy()
+        self._items_processed = int(state["items_processed"])
 
     def norm_estimate(self) -> float:
         """Return the estimated ``ℓ_p`` norm ``||f||_p`` of the frequency vector."""

@@ -1,0 +1,458 @@
+"""Round-trip property tests for the persistence layer.
+
+The contract under test, for every registered estimator and sketch:
+``from_bytes(to_bytes(x))`` (1) answers every supported query identically
+to ``x`` and (2) continues absorbing the stream *bit-identically* to ``x``
+under the same input — RNG state travels with the summary.  On top of
+that: engine checkpoints restore coordinators and query services exactly,
+scenario checkpoint bundles replay byte-identical results, transient
+serving state (timings, caches, latency recorders) never crosses a pickle
+boundary, and the process-pool ingest backend ships compact estimator
+state instead of pickled ``Shard`` objects.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Callable
+
+import pytest
+
+from repro import (
+    CHECKPOINT_FORMAT,
+    SNAPSHOT_FORMAT,
+    ColumnQuery,
+    Coordinator,
+    Dataset,
+    ExactBaseline,
+    QueryService,
+    RowStream,
+    SnapshotError,
+    UniformSampleEstimator,
+)
+from repro.core.alpha_net import AlphaNetEstimator, SketchPlan
+from repro.core.estimator import ProjectedFrequencyEstimator
+from repro.core.exhaustive import AllSubsetsBaseline
+from repro.engine.checkpoint import load_merged_estimator
+from repro.engine.shard import Shard
+from repro.experiments import RunParams, run_experiment, scenario_names
+from repro.persistence import (
+    from_bytes,
+    load_envelope,
+    registered_tags,
+    snapshot_tag,
+    to_bytes,
+)
+from repro.sketches import (
+    AMSSketch,
+    BJKSTSketch,
+    BernoulliSampler,
+    CountMinSketch,
+    CountSketch,
+    HyperLogLog,
+    KMVSketch,
+    LinearCounting,
+    LpSampler,
+    MisraGries,
+    ReservoirSampler,
+    SpaceSaving,
+    StableLpSketch,
+    WithReplacementSampler,
+)
+
+# Two overlapping streams with skew and tuple-valued items, so round trips
+# cover both the "restore answers" and the "restore then keep ingesting"
+# halves of the contract.
+STREAM_ONE = [f"item-{i % 23}" for i in range(180)] + [("row", i % 7) for i in range(60)]
+STREAM_TWO = [f"item-{i % 31}" for i in range(160)] + ["hot"] * 25
+
+
+@dataclass(frozen=True)
+class SketchCase:
+    """One sketch family's round-trip contract."""
+
+    name: str
+    make: Callable[[], object]
+    #: Probe returning a comparable view of the summary's query answers.
+    probe: Callable[[object], object]
+    #: Extra update stream fed after restoring (continuation check).
+    continuation: list = field(default_factory=lambda: list(STREAM_TWO))
+
+
+def _point_probe(sketch) -> tuple:
+    candidates = [f"item-{i}" for i in range(35)] + [("row", i) for i in range(7)]
+    return (
+        tuple(sketch.estimate(item) for item in candidates),
+        tuple(sorted(sketch.heavy_hitters(candidates, 5.0).items(), key=repr)),
+    )
+
+
+SKETCH_CASES = [
+    SketchCase("kmv", lambda: KMVSketch(k=48, seed=1), lambda s: (s.estimate(), list(s.minimum_values()))),
+    SketchCase("bjkst", lambda: BJKSTSketch(capacity=32, seed=1), lambda s: (s.estimate(), s.level)),
+    SketchCase("hyperloglog", lambda: HyperLogLog(precision=9, seed=1), lambda s: s.estimate()),
+    SketchCase("linear-counting", lambda: LinearCounting(bitmap_bits=2048, seed=1), lambda s: s.estimate()),
+    SketchCase("countmin", lambda: CountMinSketch(width=64, depth=4, seed=1), _point_probe),
+    SketchCase("countsketch", lambda: CountSketch(width=64, depth=5, seed=1), _point_probe),
+    SketchCase("misra-gries", lambda: MisraGries(k=12), lambda s: s.tracked_items),
+    SketchCase("space-saving", lambda: SpaceSaving(k=12), lambda s: tuple(s.tracked())),
+    SketchCase("ams", lambda: AMSSketch(width=16, depth=3, seed=1), lambda s: s.estimate()),
+    SketchCase("stable-lp", lambda: StableLpSketch(p=1.0, width=16, depth=3, seed=1), lambda s: s.estimate()),
+    SketchCase("reservoir", lambda: ReservoirSampler(capacity=25, seed=1), lambda s: s.sample()),
+    SketchCase("with-replacement", lambda: WithReplacementSampler(draws=12, seed=1), lambda s: s.sample()),
+    SketchCase("bernoulli", lambda: BernoulliSampler(rate=0.25, seed=1), lambda s: s.sample()),
+    SketchCase(
+        "lp-sampler",
+        lambda: LpSampler(p=1.0, levels=6, level_capacity=16, seed=1),
+        lambda s: [(r.item, r.level, r.frequency_estimate) for r in (s.sample(), s.sample())],
+    ),
+]
+
+
+@pytest.mark.parametrize("case", SKETCH_CASES, ids=lambda case: case.name)
+def test_sketch_roundtrip_answers_and_continues_identically(case: SketchCase):
+    """from_bytes(to_bytes(s)) answers like s and keeps ingesting like s."""
+    original = case.make()
+    original.update_many(STREAM_ONE)
+    restored = from_bytes(to_bytes(original))
+    assert type(restored) is type(original)
+    assert restored.items_processed == original.items_processed
+    assert case.probe(restored) == case.probe(original)
+    # Continuation: the restored sketch must consume the rest of the stream
+    # (and its RNG, where it has one) exactly as the never-serialized one.
+    original.update_many(case.continuation)
+    restored.update_many(case.continuation)
+    assert case.probe(restored) == case.probe(original)
+    assert restored.size_in_bits() == original.size_in_bits()
+
+
+def test_every_registered_sketch_family_is_covered():
+    """The parametrized cases cover every sketch tag in the registry."""
+    covered = {snapshot_tag(case.make()) for case in SKETCH_CASES}
+    sketch_tags = {tag for tag in registered_tags() if tag.startswith("sketch.")}
+    assert covered == sketch_tags
+
+
+def _estimator_probe(estimator, query: ColumnQuery) -> tuple:
+    answers = []
+    if estimator.supports("estimate_fp"):
+        for p in (0, 1, 2):
+            try:
+                answers.append(("fp", p, estimator.estimate_fp(query, p)))
+            except Exception as error:  # unsupported moment orders vary
+                answers.append(("fp", p, type(error).__name__))
+    if estimator.supports("estimate_frequency"):
+        for pattern in ((0, 0, 0), (0, 1, 0), (1, 1, 1)):
+            answers.append(
+                ("freq", pattern, estimator.estimate_frequency(query, pattern))
+            )
+    if estimator.supports("heavy_hitters"):
+        try:
+            report = estimator.heavy_hitters(query, 0.1)
+            answers.append(("hh", tuple(sorted(report.items()))))
+        except Exception as error:
+            answers.append(("hh", type(error).__name__))
+    return tuple(answers)
+
+
+def _mixed_plan(seed: int = 0) -> SketchPlan:
+    return SketchPlan(
+        distinct_factory=lambda index: KMVSketch(k=16, seed=seed + index),
+        moment_factory=lambda index: StableLpSketch(
+            p=2.0, width=16, depth=2, seed=seed + index
+        ),
+        point_factory=lambda index: CountMinSketch(
+            width=32, depth=2, seed=seed + index
+        ),
+    )
+
+
+ESTIMATOR_CASES = [
+    ("usample-reservoir", lambda: UniformSampleEstimator(8, 64, seed=3)),
+    (
+        "usample-with-replacement",
+        lambda: UniformSampleEstimator(8, 32, with_replacement=True, seed=3),
+    ),
+    ("alphanet-mixed", lambda: AlphaNetEstimator(8, alpha=0.3, plan=_mixed_plan())),
+    ("exact", lambda: ExactBaseline(n_columns=8)),
+    ("all-subsets", lambda: AllSubsetsBaseline(n_columns=8, subset_sizes=[2, 3])),
+]
+
+
+@pytest.mark.parametrize(
+    "factory", [case[1] for case in ESTIMATOR_CASES],
+    ids=[case[0] for case in ESTIMATOR_CASES],
+)
+def test_estimator_roundtrip_answers_and_continues_identically(factory):
+    """Every registered estimator round-trips queries and continued ingest."""
+    data = Dataset.random(n_rows=400, n_columns=8, seed=5)
+    more = Dataset.random(n_rows=150, n_columns=8, seed=6)
+    query = ColumnQuery.of([0, 3, 6], 8)
+    original = factory().observe(data)
+    restored = ProjectedFrequencyEstimator.from_bytes(original.to_bytes())
+    assert type(restored) is type(original)
+    assert restored.rows_observed == original.rows_observed
+    assert restored.version == original.version
+    assert restored.size_in_bits() == original.size_in_bits()
+    assert _estimator_probe(restored, query) == _estimator_probe(original, query)
+    # Bit-identical continued ingest under a fixed seed: both take the
+    # vectorized block path and then the per-row path.
+    original.observe(more)
+    restored.observe(more)
+    for row in [(0, 1, 0, 1, 0, 1, 0, 1), (1, 1, 1, 1, 0, 0, 0, 0)]:
+        original.observe_row(row)
+        restored.observe_row(row)
+    assert _estimator_probe(restored, query) == _estimator_probe(original, query)
+
+
+def test_every_registered_estimator_family_is_covered():
+    """The estimator cases cover every estimator tag in the registry."""
+    covered = {snapshot_tag(factory()) for _, factory in ESTIMATOR_CASES}
+    estimator_tags = {
+        tag for tag in registered_tags() if tag.startswith("estimator.")
+    }
+    assert covered == estimator_tags
+
+
+def test_snapshot_envelope_is_schema_checked():
+    """Garbage, wrong tags and unregistered types all fail loudly."""
+    with pytest.raises(SnapshotError):
+        from_bytes(b"not a snapshot at all")
+    estimator = ExactBaseline(n_columns=3)
+    estimator.observe_row((0, 1, 0))
+    blob = estimator.to_bytes()
+    envelope = load_envelope(blob)
+    assert envelope["format"] == SNAPSHOT_FORMAT
+    assert envelope["type"] == "estimator.exact"
+    # A truncated payload cannot decompress.
+    with pytest.raises(SnapshotError):
+        from_bytes(blob[:-10])
+    # Type-checked from_bytes on the wrong class refuses.
+    with pytest.raises(SnapshotError):
+        UniformSampleEstimator.from_bytes(blob)
+
+
+# -- engine checkpoints ---------------------------------------------------------
+
+
+def _engine(factory, **kwargs) -> Coordinator:
+    coordinator = Coordinator(factory, **kwargs)
+    data = Dataset.random(n_rows=500, n_columns=8, seed=2)
+    coordinator.ingest(RowStream(data))
+    return coordinator
+
+
+def test_coordinator_checkpoint_roundtrip(tmp_path):
+    """save_checkpoint/load_checkpoint restore answers and continued ingest."""
+    engine = _engine(
+        lambda: UniformSampleEstimator(8, 64, seed=4),
+        n_shards=2,
+        backend="serial",
+        batch_size=128,
+    )
+    path = tmp_path / "engine.ckpt"
+    info = engine.save_checkpoint(path)
+    assert info.n_bytes == path.stat().st_size > 0
+    assert info.rows_total == 500
+    assert info.summary_bits == engine.merged_estimator.size_in_bits()
+    restored = Coordinator.load_checkpoint(
+        path, lambda: UniformSampleEstimator(8, 64, seed=4)
+    )
+    assert restored.n_shards == engine.n_shards
+    assert restored.batch_size == engine.batch_size
+    query = ColumnQuery.of([1, 4, 7], 8)
+    assert (
+        restored.merged_estimator.estimate_frequency(query, (0, 1, 0))
+        == engine.merged_estimator.estimate_frequency(query, (0, 1, 0))
+    )
+    # Continued ingest is bit-identical: same stream into both engines.
+    more = Dataset.random(n_rows=200, n_columns=8, seed=9)
+    engine.ingest(RowStream(more))
+    restored.ingest(RowStream(more))
+    assert (
+        restored.merged_estimator.estimate_frequency(query, (1, 0, 1))
+        == engine.merged_estimator.estimate_frequency(query, (1, 0, 1))
+    )
+
+
+def test_checkpoint_restore_without_factory_serves_but_cannot_ingest(tmp_path):
+    """A factory-less restore serves queries; further ingest raises."""
+    from repro.errors import EstimationError
+
+    engine = _engine(lambda: ExactBaseline(n_columns=8), n_shards=2, backend="serial")
+    path = tmp_path / "engine.ckpt"
+    engine.save_checkpoint(path)
+    restored = Coordinator.load_checkpoint(path)
+    query = ColumnQuery.of([0, 5], 8)
+    assert restored.merged_estimator.estimate_fp(query, 0) == (
+        engine.merged_estimator.estimate_fp(query, 0)
+    )
+    with pytest.raises(EstimationError):
+        restored.ingest(RowStream(Dataset.random(10, 8, seed=1)))
+
+
+def test_query_service_warm_start_from_checkpoint(tmp_path):
+    """QueryService.from_checkpoint serves identically to the live service."""
+    engine = _engine(lambda: ExactBaseline(n_columns=8), n_shards=2, backend="serial")
+    path = tmp_path / "engine.ckpt"
+    engine.save_checkpoint(path)
+    live = engine.query_service()
+    warm = QueryService.from_checkpoint(path)
+    query = ColumnQuery.of([2, 4, 6], 8)
+    assert warm.estimate_fp(query, 0) == live.estimate_fp(query, 0)
+    assert warm.heavy_hitters(query, 0.05) == live.heavy_hitters(query, 0.05)
+    assert load_merged_estimator(path).rows_observed == 500
+
+
+def test_checkpoint_file_declares_the_checkpoint_format(tmp_path):
+    """The checkpoint envelope carries the engine-checkpoint format tag."""
+    engine = _engine(lambda: ExactBaseline(n_columns=8), n_shards=1, backend="serial")
+    path = tmp_path / "engine.ckpt"
+    engine.save_checkpoint(path)
+    envelope = load_envelope(path.read_bytes())
+    assert envelope["format"] == CHECKPOINT_FORMAT
+    assert envelope["config"]["n_shards"] == 1
+    assert len(envelope["shards"]) == 1
+
+
+# -- transient-state / pickling regression --------------------------------------
+
+
+def test_shard_pickle_never_carries_timing_state():
+    """Transient wall-clock accounting is zeroed across pickle boundaries."""
+    shard = Shard(0, ExactBaseline(n_columns=4))
+    shard.ingest([(0, 1, 0, 1), (1, 1, 0, 0)])
+    assert shard.ingest_seconds > 0
+    clone = pickle.loads(pickle.dumps(shard))
+    assert clone.ingest_seconds == 0.0
+    assert clone.rows_ingested == shard.rows_ingested
+    assert clone.estimator.rows_observed == 2
+
+
+def test_query_service_pickle_never_carries_cache_or_recorders():
+    """The LRU cache, hit counters and latency recorders stay per-process."""
+    estimator = ExactBaseline(n_columns=4).observe(
+        Dataset.random(n_rows=50, n_columns=4, seed=7)
+    )
+    service = QueryService(estimator)
+    query = ColumnQuery.of([0, 2], 4)
+    service.estimate_fp(query, 0)
+    service.estimate_fp(query, 0)
+    assert service.cache_info().hits == 1
+    assert service.cache_info().size > 0
+    assert service.stats() != {}
+    clone = pickle.loads(pickle.dumps(service))
+    info = clone.cache_info()
+    assert (info.hits, info.misses, info.size) == (0, 0, 0)
+    assert clone.stats() == {}
+    # The summary itself survives: the clone answers identically.
+    assert clone.estimate_fp(query, 0) == service.estimate_fp(query, 0)
+
+
+def test_process_backend_ships_estimator_state_not_shards(monkeypatch):
+    """The process pool must never pickle a Shard (regression for the
+
+    old protocol that shipped whole ``Shard`` objects — timing fields,
+    caches and all — across the process boundary on every call)."""
+
+    def forbid_shard_pickle(self):
+        raise AssertionError("Shard must not be pickled by the process backend")
+
+    monkeypatch.setattr(Shard, "__getstate__", forbid_shard_pickle)
+    monkeypatch.setattr(Shard, "__reduce__", forbid_shard_pickle)
+    data = Dataset.random(n_rows=300, n_columns=6, seed=3)
+    serial = Coordinator(
+        lambda: UniformSampleEstimator(6, 32, seed=8), n_shards=2, backend="serial"
+    )
+    serial.ingest(RowStream(data))
+    parallel = Coordinator(
+        lambda: UniformSampleEstimator(6, 32, seed=8),
+        n_shards=2,
+        backend="processes",
+    )
+    report = parallel.ingest(RowStream(data))
+    assert report.rows_total == 300
+    query = ColumnQuery.of([0, 3], 6)
+    assert parallel.merged_estimator.estimate_frequency(query, (0, 1)) == (
+        serial.merged_estimator.estimate_frequency(query, (0, 1))
+    )
+
+
+class _UnregisteredKMV(KMVSketch):
+    """A sketch subclass that is deliberately NOT in the snapshot registry."""
+
+
+def _unregistered_plan() -> SketchPlan:
+    return SketchPlan(
+        distinct_factory=lambda index: _UnregisteredKMV(k=16, seed=index)
+    )
+
+
+def test_process_backend_falls_back_to_pickle_for_unregistered_components():
+    """An estimator whose nested sketches cannot snapshot still ingests in
+
+    worker processes (travelling as a pickled estimator object — never as a
+    Shard), matching the serial backend exactly."""
+    data = Dataset.random(n_rows=200, n_columns=6, seed=4)
+    query = ColumnQuery.of([1, 4], 6)
+    results = []
+    for backend in ("serial", "processes"):
+        engine = Coordinator(
+            lambda: AlphaNetEstimator(6, alpha=0.3, plan=_unregistered_plan()),
+            n_shards=2,
+            backend=backend,
+        )
+        report = engine.ingest(RowStream(data))
+        assert report.rows_total == 200
+        results.append(engine.merged_estimator.estimate_fp(query, 0))
+    assert results[0] == results[1]
+
+
+# -- scenario checkpoint bundles -------------------------------------------------
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_scenario_checkpoint_replay_is_exact(tmp_path, name):
+    """--quick build → restore replays byte-identical metrics and tables."""
+    bundle = tmp_path / f"{name}.ckpt"
+    build = run_experiment(
+        name, RunParams(quick=True, checkpoint_to=str(bundle))
+    )
+    restored = run_experiment(
+        name, RunParams(quick=True, from_checkpoint=str(bundle))
+    )
+    assert restored.metrics == build.metrics
+    assert restored.tables == build.tables
+    for entry in build.checkpoints:
+        assert entry["bytes_on_disk"] == (bundle / entry["file"]).stat().st_size
+        assert entry["summary_bits"] >= 0
+    payload = build.to_dict()
+    if build.checkpoints:
+        assert "checkpoints" in payload
+
+
+def test_bundle_refuses_mismatched_parameters(tmp_path):
+    """A --quick bundle cannot be replayed as a full run (and vice versa)."""
+    bundle = tmp_path / "usample.ckpt"
+    run_experiment(
+        "usample-accuracy", RunParams(quick=True, checkpoint_to=str(bundle))
+    )
+    with pytest.raises(SnapshotError):
+        run_experiment(
+            "usample-accuracy", RunParams(quick=False, from_checkpoint=str(bundle))
+        )
+    with pytest.raises(SnapshotError):
+        run_experiment(
+            "bias-audit", RunParams(quick=True, from_checkpoint=str(bundle))
+        )
+
+
+def test_checkpoint_and_restore_params_are_mutually_exclusive(tmp_path):
+    """RunParams refuses a run that both writes and reads a bundle."""
+    from repro.errors import InvalidParameterError
+
+    with pytest.raises(InvalidParameterError):
+        RunParams(
+            checkpoint_to=str(tmp_path / "a"), from_checkpoint=str(tmp_path / "b")
+        ).validate()
