@@ -26,7 +26,12 @@ from typing import Callable
 from ..coding.words import Word, project_word
 from ..errors import EstimationError, InvalidParameterError, SnapshotError
 from ..persistence import require_keys, snapshottable
-from ..sketches.base import DistinctCountSketch, FrequencyMomentSketch, PointQuerySketch
+from ..sketches.base import (
+    DistinctCountSketch,
+    FrequencyMomentSketch,
+    PointQuerySketch,
+    collapse_block,
+)
 from ..sketches.countmin import CountMinSketch
 from ..sketches.kmv import KMVSketch
 from ..sketches.stable_lp import StableLpSketch
@@ -201,30 +206,33 @@ class AlphaNetEstimator(ProjectedFrequencyEstimator):
                 self._point_sketches[index].update(pattern)
 
     def _observe_block(self, block) -> None:
-        """Project the whole block onto each net member with one array slice.
+        """Project, deduplicate and hash each net member's view exactly once.
 
-        The per-row path re-sorts the member's columns and rebuilds the
-        pattern tuple symbol by symbol for every row; here each member's
-        projection is a single NumPy column slice and the patterns are
-        materialised in one ``tolist`` pass.  Each sketch still sees the same
-        patterns in the same stream order, so the resulting summary is
-        identical to per-row ingestion.
+        The vectorized spine of Algorithm 1's ingest path: per member the
+        block projects with a single NumPy column slice, collapses to
+        ``(unique pattern, count)`` pairs in first-occurrence order via
+        :func:`~repro.sketches.base.collapse_block`, and the counted batch
+        feeds every sketch family through its ``update_block`` kernel — so
+        the per-pattern BLAKE2b/bucket work happens once per *distinct*
+        projected pattern instead of once per row per sketch.
+
+        Equivalence to per-row ingestion: bit-identical summaries for the
+        integer-state sketches (Count-Min, Count-Sketch, AMS, KMV,
+        HyperLogLog, linear counting, BJKST); answer-equivalent (same
+        guarantees, not the same bits) for float-accumulating moment
+        sketches, whose rounding depends on addition order, and for the
+        order-dependent Misra–Gries/SpaceSaving trackers, which consume the
+        counted batch through their documented per-item fallback.
         """
         for index, member in enumerate(self._members):
             projected = block[:, list(member.columns)]
-            patterns = [tuple(pattern) for pattern in projected.tolist()]
+            unique, counts = collapse_block(projected)
             if self._distinct_sketches is not None:
-                sketch = self._distinct_sketches[index]
-                for pattern in patterns:
-                    sketch.update(pattern)
+                self._distinct_sketches[index].update_block(unique, counts)
             if self._moment_sketches is not None:
-                sketch = self._moment_sketches[index]
-                for pattern in patterns:
-                    sketch.update(pattern)
+                self._moment_sketches[index].update_block(unique, counts)
             if self._point_sketches is not None:
-                sketch = self._point_sketches[index]
-                for pattern in patterns:
-                    sketch.update(pattern)
+                self._point_sketches[index].update_block(unique, counts)
 
     def _merge_summaries(self, other: "ProjectedFrequencyEstimator") -> None:
         """Merge member-by-member via the sketches' own ``merge()`` methods.
@@ -439,12 +447,13 @@ class AlphaNetEstimator(ProjectedFrequencyEstimator):
         # Patterns are reported in the neighbour's column space, projected
         # back onto the queried columns.
         report: dict[Word, float] = {}
-        shared = [c for c in neighbour.columns if c in query.as_set()]
+        query_columns = query.as_set()
+        shared = {c for c in neighbour.columns if c in query_columns}
         for pattern, estimate in tracked.items():
             by_column = dict(zip(neighbour.columns, pattern))
-            reduced = tuple(by_column[c] for c in query.columns if c in set(shared))
+            reduced = tuple(by_column[c] for c in query.columns if c in shared)
             padded = tuple(
-                by_column.get(c, 0) if c in set(shared) else 0 for c in query.columns
+                by_column.get(c, 0) if c in shared else 0 for c in query.columns
             )
             key = padded if len(padded) == len(query) else reduced
             report[key] = max(report.get(key, 0.0), float(estimate))

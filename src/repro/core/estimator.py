@@ -97,12 +97,25 @@ class ProjectedFrequencyEstimator(abc.ABC):
     def observe_rows(self, rows: np.ndarray) -> "ProjectedFrequencyEstimator":
         """Absorb a whole block of rows given as an ``(m, d)`` integer array.
 
-        The batch counterpart of :meth:`observe_row`: the block is validated
-        once (shape and dtype) instead of once per row, and estimators with a
-        vectorized :meth:`_observe_block` override skip the per-row Python
-        loop entirely.  Feeding the same rows through :meth:`observe_row` and
-        :meth:`observe_rows` produces identical summaries (including for
-        randomized summaries, given the same seed).
+        The batch counterpart of :meth:`observe_row` — and the blessed fast
+        path through :meth:`~repro.engine.coordinator.Coordinator` batch
+        ingest: the block is validated once (shape and dtype) instead of
+        once per row, and estimators with a vectorized
+        :meth:`_observe_block` override skip the per-row Python loop
+        entirely.  Sketch-backed summaries route each block onward through
+        the sketches' counted ``update_block`` kernels (project → dedup →
+        block-hash → scatter), so the full chain
+        ``observe_rows → _observe_block → update_block`` never touches a
+        per-item Python loop on the hot path.  Feeding the same rows through
+        :meth:`observe_row` and :meth:`observe_rows` produces identical
+        summaries (including for randomized summaries, given the same seed),
+        with two documented carve-outs for sketch-plan estimators:
+        float-accumulating moment sketches may differ in the last ulp
+        (counted batches reorder their additions), and order-dependent
+        Misra–Gries/SpaceSaving trackers may return different — but equally
+        guaranteed — answers, because deduplicated counted batches change
+        the arrival order their state depends on.  See
+        ``docs/architecture.md``, *Batch ingest and vectorized kernels*.
         """
         block = np.asarray(rows)
         if block.ndim != 2:

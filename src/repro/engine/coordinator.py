@@ -135,9 +135,16 @@ class Coordinator:
         :meth:`~repro.streaming.stream.RowStream.iter_batches`, routed with
         one vectorized assignment per block, and shards ingest through the
         estimators' :meth:`observe_rows` fast path (worker processes receive
-        one ndarray each instead of a pickled list of tuples).  ``None``
-        keeps the row-at-a-time path.  Both paths produce identical
-        summaries for identical seeds.
+        one ndarray each instead of a pickled list of tuples).  Sketch-backed
+        estimators carry each block all the way down to the sketches'
+        counted ``update_block`` scatter kernels, so batch ingest is the
+        blessed path for the α-net estimator in particular.  ``None`` keeps
+        the row-at-a-time path.  Both paths produce identical summaries for
+        identical seeds, with two carve-outs for sketch plans:
+        float-accumulating moment sketches may differ in the last ulp, and
+        order-dependent Misra-Gries/SpaceSaving trackers may answer
+        differently (with the same guarantees) because counted batches
+        change the arrival order; see docs/architecture.md.
 
     Example::
 

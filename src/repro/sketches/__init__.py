@@ -15,6 +15,9 @@ from .base import (
     MergeableSketch,
     PointQuerySketch,
     Sketch,
+    as_item_block,
+    collapse_block,
+    validate_counts,
 )
 from .bjkst import BJKSTSketch
 from .countmin import CountMinSketch
@@ -27,6 +30,8 @@ from .hashing import (
     TabulationHash,
     hash_to_unit_interval,
     stable_hash64,
+    stable_hash64_patterns,
+    stable_hash64_rows,
 )
 from .hyperloglog import HyperLogLog
 from .kmv import KMVSketch, kmv_size_for_epsilon
@@ -64,9 +69,14 @@ __all__ = [
     "TabulationHash",
     "TrackedCount",
     "WithReplacementSampler",
+    "as_item_block",
+    "collapse_block",
     "hash_to_unit_interval",
     "kmv_size_for_epsilon",
     "median_of_absolute_stable",
     "sample_p_stable",
     "stable_hash64",
+    "stable_hash64_patterns",
+    "stable_hash64_rows",
+    "validate_counts",
 ]

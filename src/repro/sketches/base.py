@@ -24,8 +24,10 @@ from __future__ import annotations
 import abc
 from typing import Generic, Hashable, Iterable, TypeVar
 
+import numpy as np
+
 from .. import persistence
-from ..errors import SnapshotError
+from ..errors import InvalidParameterError, SnapshotError
 
 __all__ = [
     "Sketch",
@@ -33,9 +35,98 @@ __all__ = [
     "DistinctCountSketch",
     "FrequencyMomentSketch",
     "PointQuerySketch",
+    "as_item_block",
+    "validate_counts",
+    "collapse_block",
 ]
 
 ItemT = TypeVar("ItemT", bound=Hashable)
+
+
+def as_item_block(items: object) -> np.ndarray | None:
+    """Normalise ``items`` for the vectorized ``update_block`` kernels.
+
+    Returns an ``(m, w)`` ``int64`` view when ``items`` is a 2-D integer
+    ndarray (each row standing for the tuple of its entries), or ``None``
+    when ``items`` is not an ndarray at all — the caller then takes the
+    generic per-item path.  An ndarray of the wrong shape or dtype raises
+    immediately rather than degrading to the slow path silently.
+    """
+    if not isinstance(items, np.ndarray):
+        return None
+    if items.ndim != 2:
+        raise InvalidParameterError(
+            f"update_block expects a 2-D (rows, width) block, got "
+            f"{items.ndim} dimension(s)"
+        )
+    if not np.issubdtype(items.dtype, np.integer):
+        raise InvalidParameterError(
+            f"update_block expects an integer block, got dtype {items.dtype}"
+        )
+    if (
+        items.dtype == np.uint64
+        and items.size
+        and int(items.max()) > np.iinfo(np.int64).max
+    ):
+        # astype(int64) would wrap these silently and the hashed patterns
+        # would no longer match the scalar update path.
+        raise InvalidParameterError(
+            "update_block cannot represent uint64 values above the int64 "
+            "range; pass the items as Python-int tuples instead"
+        )
+    return items.astype(np.int64, copy=False)
+
+
+def validate_counts(n_items: int, counts: object) -> np.ndarray:
+    """Validate per-item multiplicities for ``update_block``.
+
+    ``None`` means one occurrence per item.  Anything else must be a 1-D
+    array-like of positive integers with one entry per item, mirroring the
+    ``count >= 1`` contract of the scalar :meth:`Sketch.update`.
+    """
+    if counts is None:
+        return np.ones(n_items, dtype=np.int64)
+    array = np.asarray(counts)
+    if array.ndim != 1:
+        raise InvalidParameterError(
+            f"counts must be 1-D, got {array.ndim} dimension(s)"
+        )
+    if array.shape[0] != n_items:
+        raise InvalidParameterError(
+            f"counts has {array.shape[0]} entries for {n_items} items"
+        )
+    if array.size and not np.issubdtype(array.dtype, np.integer):
+        raise InvalidParameterError(
+            f"counts must be integers, got dtype {array.dtype}"
+        )
+    array = array.astype(np.int64, copy=False)
+    if array.size and int(array.min()) < 1:
+        raise InvalidParameterError(
+            f"counts must all be >= 1, got minimum {int(array.min())}"
+        )
+    return array
+
+
+def collapse_block(
+    block: np.ndarray, counts: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deduplicate the rows of ``block``, summing their multiplicities.
+
+    Returns ``(unique_rows, summed_counts)`` with the unique rows in
+    *first-occurrence* order, so sketches whose internal layout depends on
+    insertion order (the KMV heap) see items exactly when the scalar stream
+    would first present them.
+    """
+    counts = validate_counts(block.shape[0], counts)
+    if block.shape[0] == 0:
+        return block, counts
+    unique, first_index, inverse = np.unique(
+        block, axis=0, return_index=True, return_inverse=True
+    )
+    summed = np.zeros(unique.shape[0], dtype=np.int64)
+    np.add.at(summed, inverse, counts)
+    order = np.argsort(first_index, kind="stable")
+    return unique[order], summed[order]
 
 
 class Sketch(abc.ABC, Generic[ItemT]):
@@ -54,6 +145,30 @@ class Sketch(abc.ABC, Generic[ItemT]):
         """Record one occurrence of every item in ``items``."""
         for item in items:
             self.update(item)
+
+    def update_block(self, items, counts=None) -> None:
+        """Record a batch of items with optional per-item multiplicities.
+
+        ``items`` is either a 2-D integer ndarray — each row standing for
+        the tuple of its entries, the wire format of the batch-ingest path —
+        or any iterable of hashable items.  ``counts`` (optional) gives one
+        positive multiplicity per item.
+
+        The contract: ``update_block(items, counts)`` leaves the sketch in
+        the same state as ``for item, count in zip(items, counts):
+        update(item, count)``.  This base implementation *is* that loop, so
+        order-dependent summaries (Misra–Gries, SpaceSaving) inherit a
+        correct per-item fallback; order-independent sketches override it
+        with counted scatter kernels that are bit-identical to the loop.
+        """
+        block = as_item_block(items)
+        if block is not None:
+            sequence = [tuple(row) for row in block.tolist()]
+        else:
+            sequence = list(items)
+        multiplicities = validate_counts(len(sequence), counts)
+        for item, count in zip(sequence, multiplicities.tolist()):
+            self.update(item, count)
 
     # -- persistence ------------------------------------------------------------
 

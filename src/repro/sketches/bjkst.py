@@ -16,10 +16,12 @@ from __future__ import annotations
 import math
 from typing import Hashable
 
+import numpy as np
+
 from ..errors import InvalidParameterError
 from ..persistence import require_keys, snapshottable
-from .base import DistinctCountSketch
-from .hashing import stable_hash64
+from .base import DistinctCountSketch, as_item_block, collapse_block
+from .hashing import stable_hash64, stable_hash64_patterns, trailing_zeros64
 
 __all__ = ["BJKSTSketch"]
 
@@ -101,6 +103,30 @@ class BJKSTSketch(DistinctCountSketch[Hashable]):
             self._buffer.add(hashed)
             if len(self._buffer) > self._capacity:
                 self._shrink()
+
+    def update_block(self, items, counts=None) -> None:
+        """Counted batch update, bit-identical to the per-item loop.
+
+        The final ``(level, buffer)`` of BJKST depends only on the *set* of
+        hash values presented, not their order: the level always settles at
+        the smallest ``L`` for which at most ``capacity`` seen hashes keep
+        ``L`` trailing zeros, and the buffer is exactly those hashes.  So the
+        kernel hashes the unique patterns once, bulk-adds the ones eligible
+        at the current level, and shrinks — landing in the same state as
+        sequential :meth:`update` calls.
+        """
+        block = as_item_block(items)
+        if block is None:
+            return super().update_block(items, counts)
+        unique, multiplicities = collapse_block(block, counts)
+        if unique.shape[0] == 0:
+            return
+        self._items_processed += int(multiplicities.sum())
+        keys = stable_hash64_patterns(unique, self._seed)
+        eligible = keys[trailing_zeros64(keys) >= self._level]
+        self._buffer.update(int(key) for key in eligible.tolist())
+        if len(self._buffer) > self._capacity:
+            self._shrink()
 
     def merge(self, other: "BJKSTSketch") -> None:
         if not isinstance(other, BJKSTSketch):

@@ -22,8 +22,8 @@ import numpy as np
 
 from ..errors import InvalidParameterError
 from ..persistence import require_keys, snapshottable
-from .base import PointQuerySketch
-from .hashing import HashFamily
+from .base import PointQuerySketch, as_item_block, collapse_block
+from .hashing import HashFamily, encode_pattern_block
 
 __all__ = ["CountMinSketch"]
 
@@ -94,9 +94,36 @@ class CountMinSketch(PointQuerySketch[Hashable]):
     def update(self, item: Hashable, count: int = 1) -> None:
         if count < 1:
             raise InvalidParameterError(f"count must be >= 1, got {count}")
+        if not isinstance(item, Hashable):
+            raise InvalidParameterError(
+                f"CountMinSketch items must be hashable, got {type(item).__name__}; "
+                f"feed ndarray rows through update_block instead"
+            )
         self._items_processed += count
         for row, hash_function in enumerate(self._hashes):
             self._table[row, hash_function(item)] += count
+
+    def update_block(self, items, counts=None) -> None:
+        """Counted batch update, bit-identical to the per-item loop.
+
+        Duplicate rows collapse into one ``(pattern, count)`` pair, each row
+        of the sketch hashes the unique patterns in a single
+        :func:`~repro.sketches.hashing.stable_hash64_patterns` pass, and the
+        counters absorb the whole batch through one ``np.add.at`` scatter per
+        row — commutative integer additions, so the final table matches
+        sequential :meth:`update` calls exactly.
+        """
+        block = as_item_block(items)
+        if block is None:
+            return super().update_block(items, counts)
+        unique, multiplicities = collapse_block(block, counts)
+        if unique.shape[0] == 0:
+            return
+        self._items_processed += int(multiplicities.sum())
+        encoded = encode_pattern_block(unique)
+        for row, hash_function in enumerate(self._hashes):
+            buckets = hash_function.evaluate_block(encoded.hash64(hash_function.seed))
+            np.add.at(self._table[row], buckets.astype(np.intp), multiplicities)
 
     def merge(self, other: "CountMinSketch") -> None:
         if not isinstance(other, CountMinSketch):

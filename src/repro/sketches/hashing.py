@@ -33,11 +33,16 @@ __all__ = [
     "MERSENNE_PRIME_61",
     "stable_hash64",
     "stable_hash64_rows",
+    "stable_hash64_patterns",
+    "EncodedPatternBlock",
+    "encode_pattern_block",
     "hash_to_unit_interval",
     "MultiplyShiftHash",
     "PolynomialHash",
     "TabulationHash",
     "HashFamily",
+    "bit_length64",
+    "trailing_zeros64",
 ]
 
 #: The Mersenne prime :math:`2^{61} - 1` used for polynomial hashing.
@@ -88,30 +93,60 @@ def hash_to_unit_interval(item: object, seed: int = 0) -> float:
     return stable_hash64(item, seed) / float(1 << 64)
 
 
-def stable_hash64_rows(block: np.ndarray, seed: int = 0) -> np.ndarray:
-    """Row-wise :func:`stable_hash64` over an ``(m, d)`` integer block.
+class EncodedPatternBlock:
+    """The seed-independent half of :func:`stable_hash64_patterns`.
 
-    Returns a ``uint64`` array where entry ``i`` equals
-    ``stable_hash64(tuple(block[i]), seed)`` — the per-row serialisation is
-    built for the whole block in a few NumPy passes, leaving only the
-    (mandatory) one BLAKE2b digest per row.  Content-addressed shard routing
-    therefore places a block's rows exactly where the row-at-a-time path
-    would.
+    Serialising an ``(m, w)`` integer block into per-row byte payloads
+    depends only on the block, not on the hash seed — but sketches with
+    several internal hash functions (the Count-Min rows, the Count-Sketch
+    bucket/sign pairs, the AMS sign grid, the StableLp row seeds) need the
+    *digest* under many different seeds.  Encoding once and calling
+    :meth:`hash64` per seed avoids rebuilding the identical serialisation
+    for every seed on the hot ingest path.
+    """
+
+    __slots__ = ("_payloads",)
+
+    def __init__(self, payloads: list[bytes]) -> None:
+        self._payloads = payloads
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    def hash64(self, seed: int = 0) -> np.ndarray:
+        """Keyed BLAKE2b digests of every encoded row, as ``uint64`` keys.
+
+        Entry ``i`` equals ``stable_hash64(tuple(block[i]), seed)`` for the
+        block this encoding was built from.
+        """
+        key = int(seed).to_bytes(8, "little", signed=False)
+        out = np.empty(len(self._payloads), dtype=np.uint64)
+        for index, payload in enumerate(self._payloads):
+            digest = hashlib.blake2b(payload, digest_size=8, key=key).digest()
+            out[index] = struct.unpack("<Q", digest)[0]
+        return out
+
+
+def encode_pattern_block(block: np.ndarray) -> EncodedPatternBlock:
+    """Serialise an ``(m, w)`` integer block into per-row hash payloads.
+
+    Each row encodes exactly as :func:`stable_hash64` serialises the
+    corresponding tuple of Python ints, built for the whole block in a few
+    NumPy passes.  The returned :class:`EncodedPatternBlock` digests the
+    rows under any number of seeds without re-serialising.
     """
     block = np.asarray(block)
     if block.ndim != 2:
         raise InvalidParameterError(
-            f"stable_hash64_rows expects a 2-D block, got {block.ndim} dimension(s)"
+            f"encode_pattern_block expects a 2-D block, got {block.ndim} dimension(s)"
         )
     if not np.issubdtype(block.dtype, np.integer):
         raise InvalidParameterError(
-            f"stable_hash64_rows expects an integer block, got dtype {block.dtype}"
+            f"encode_pattern_block expects an integer block, got dtype {block.dtype}"
         )
     n_rows, n_columns = block.shape
-    out = np.empty(n_rows, dtype=np.uint64)
     if n_rows == 0:
-        return out
-    key = int(seed).to_bytes(8, "little", signed=False)
+        return EncodedPatternBlock([])
     prefix = b"t" + n_columns.to_bytes(4, "little")
     # Per element, _item_to_bytes emits a 21-byte record: the length prefix
     # (17, little-endian, 4 bytes), the b"i" tag, and the value as a 16-byte
@@ -124,12 +159,110 @@ def stable_hash64_rows(block: np.ndarray, seed: int = 0) -> np.ndarray:
     records[:, :, 5:13] = values.view(np.uint8).reshape(n_rows, n_columns, 8)
     records[:, :, 13:21] = np.where(values < 0, 0xFF, 0).astype(np.uint8)[:, :, None]
     bodies = records.reshape(n_rows, n_columns * 21)
-    for index in range(n_rows):
-        digest = hashlib.blake2b(
-            prefix + bodies[index].tobytes(), digest_size=8, key=key
-        ).digest()
-        out[index] = struct.unpack("<Q", digest)[0]
-    return out
+    return EncodedPatternBlock(
+        [prefix + bodies[index].tobytes() for index in range(n_rows)]
+    )
+
+
+def stable_hash64_patterns(block: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Row-wise :func:`stable_hash64` over an ``(m, w)`` integer pattern block.
+
+    Returns a ``uint64`` array where entry ``i`` equals
+    ``stable_hash64(tuple(block[i]), seed)`` — the per-row serialisation is
+    built for the whole block in a few NumPy passes (see
+    :func:`encode_pattern_block`), leaving only the (mandatory) one BLAKE2b
+    digest per row.  This is the block-hashing entry point of the vectorized
+    sketch-ingest path: a sketch's ``update_block`` hashes a block of
+    projected patterns with each of its internal seeds exactly as the scalar
+    ``update`` path would hash the corresponding tuples, so the structured
+    families below can consume the resulting keys through their
+    ``evaluate_block`` kernels without changing a single output bucket.
+    """
+    return encode_pattern_block(block).hash64(seed)
+
+
+def stable_hash64_rows(block: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Row-wise :func:`stable_hash64` over an ``(m, d)`` integer block.
+
+    Identical computation to :func:`stable_hash64_patterns` (a row *is* a
+    pattern over the full column set); the name is kept for the
+    content-addressed shard-routing call sites, which place a block's rows
+    exactly where the row-at-a-time path would.
+    """
+    return stable_hash64_patterns(block, seed)
+
+
+def _as_uint64(values: np.ndarray) -> np.ndarray:
+    """Validate a 1-D ``uint64`` key array (the output of the block hashers)."""
+    keys = np.asarray(values)
+    if keys.ndim != 1:
+        raise InvalidParameterError(
+            f"evaluate_block expects a 1-D key array, got {keys.ndim} dimension(s)"
+        )
+    if keys.dtype != np.uint64:
+        raise InvalidParameterError(
+            f"evaluate_block expects uint64 keys, got dtype {keys.dtype}"
+        )
+    return keys
+
+
+def _mulmod_mersenne61(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vectorized ``(a * b) mod (2^61 - 1)`` for ``uint64`` operands ``< 2^61``.
+
+    The 122-bit product never materialises: both operands split into 32-bit
+    halves, and the three partial products are folded with the identity
+    ``2^61 ≡ 1 (mod p)`` so every intermediate stays below ``2^63``.
+    """
+    mask32 = np.uint64(0xFFFFFFFF)
+    mersenne = np.uint64(MERSENNE_PRIME_61)
+    a_hi, a_lo = a >> np.uint64(32), a & mask32
+    b_hi, b_lo = b >> np.uint64(32), b & mask32
+    # a*b = hi*2^64 + mid*2^32 + lo with 2^64 ≡ 8 and 2^32 folded below.
+    hi = a_hi * b_hi  # < 2^58
+    mid = a_hi * b_lo + a_lo * b_hi  # < 2^62
+    lo = a_lo * b_lo  # < 2^64, exact in uint64
+    # mid*2^32 = (mid >> 29)*2^61 + (mid & (2^29-1))*2^32 ≡ (mid >> 29) + ...
+    mid_folded = (mid >> np.uint64(29)) + ((mid & np.uint64(0x1FFFFFFF)) << np.uint64(32))
+    lo_folded = (lo >> np.uint64(61)) + (lo & mersenne)
+    total = (hi << np.uint64(3)) + mid_folded + lo_folded  # < 2^63
+    total = (total >> np.uint64(61)) + (total & mersenne)
+    return np.where(total >= mersenne, total - mersenne, total)
+
+
+def _addmod_mersenne61(a: np.ndarray, b: np.uint64) -> np.ndarray:
+    """Vectorized ``(a + b) mod (2^61 - 1)`` for operands already ``< 2^61 - 1``."""
+    mersenne = np.uint64(MERSENNE_PRIME_61)
+    total = a + b
+    return np.where(total >= mersenne, total - mersenne, total)
+
+
+def _bit_length_u32(values: np.ndarray) -> np.ndarray:
+    """``int.bit_length`` for arrays of non-negative ints ``< 2^32`` (0 for 0).
+
+    Integers below ``2^53`` convert to ``float64`` exactly, and ``frexp``
+    returns the exponent ``e`` with ``v in [2^(e-1), 2^e)`` — which is the
+    bit length.
+    """
+    return np.frexp(values.astype(np.float64))[1].astype(np.int64)
+
+
+def bit_length64(values: np.ndarray) -> np.ndarray:
+    """``int.bit_length`` for a ``uint64`` array, vectorized (0 maps to 0)."""
+    keys = _as_uint64(values)
+    hi = (keys >> np.uint64(32)).astype(np.int64)
+    lo = (keys & np.uint64(0xFFFFFFFF)).astype(np.int64)
+    return np.where(hi > 0, 32 + _bit_length_u32(hi), _bit_length_u32(lo))
+
+
+def trailing_zeros64(values: np.ndarray) -> np.ndarray:
+    """Trailing zero bits of each ``uint64`` (64 for zero), vectorized.
+
+    Matches the scalar ``(v & -v).bit_length() - 1`` idiom used by the BJKST
+    sketch.
+    """
+    keys = _as_uint64(values)
+    lowest_bit = keys & (~keys + np.uint64(1))
+    return np.where(keys == np.uint64(0), np.int64(64), bit_length64(lowest_bit) - 1)
 
 
 @dataclass
@@ -170,6 +303,18 @@ class MultiplyShiftHash:
     def __call__(self, item: object) -> int:
         key = stable_hash64(item, self.seed)
         return ((self._a * key + self._b) & _MASK64) >> (64 - self.output_bits)
+
+    def evaluate_block(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized bucket computation over pre-hashed ``uint64`` keys.
+
+        ``keys`` must come from :func:`stable_hash64_patterns` called with
+        *this* function's seed; entry ``i`` of the result then equals the
+        scalar ``__call__`` on the corresponding item.  The multiply wraps
+        modulo ``2^64`` exactly as the masked Python-int arithmetic does.
+        """
+        keys = _as_uint64(keys)
+        mixed = keys * np.uint64(self._a) + np.uint64(self._b)
+        return mixed >> np.uint64(64 - self.output_bits)
 
 
 @dataclass
@@ -232,6 +377,34 @@ class PolynomialHash:
         """Return a pseudo-random sign in ``{-1, +1}`` for ``item``."""
         return 1 if self.field_value(item) & 1 else -1
 
+    def field_value_block(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`field_value` over pre-hashed ``uint64`` keys.
+
+        ``keys`` must come from :func:`stable_hash64_patterns` called with
+        *this* function's seed.  Horner evaluation runs entirely in ``uint64``
+        via split-multiply reduction modulo the Mersenne prime, so entry
+        ``i`` equals the scalar ``field_value`` of the corresponding item.
+        """
+        keys = _as_uint64(keys) % np.uint64(MERSENNE_PRIME_61)
+        value = np.zeros(len(keys), dtype=np.uint64)
+        for coefficient in self._coefficients:
+            value = _addmod_mersenne61(
+                _mulmod_mersenne61(value, keys), np.uint64(coefficient)
+            )
+        return value
+
+    def evaluate_block(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized ``__call__`` over pre-hashed ``uint64`` keys."""
+        value = self.field_value_block(keys)
+        if self.range_size is None:
+            return value
+        return value % np.uint64(self.range_size)
+
+    def sign_block(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`sign` over pre-hashed ``uint64`` keys (``int64``)."""
+        parity = self.field_value_block(keys) & np.uint64(1)
+        return np.where(parity == np.uint64(1), np.int64(1), np.int64(-1))
+
 
 @dataclass
 class TabulationHash:
@@ -274,6 +447,20 @@ class TabulationHash:
             byte = (key >> (8 * byte_index)) & 0xFF
             value ^= int(self._tables[byte_index, byte])
         return value >> (64 - self.output_bits)
+
+    def evaluate_block(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized ``__call__`` over pre-hashed ``uint64`` keys.
+
+        ``keys`` must come from :func:`stable_hash64_patterns` called with
+        *this* function's seed; each of the eight byte lanes becomes one
+        fancy-indexed table gather followed by an XOR fold.
+        """
+        keys = _as_uint64(keys)
+        value = np.zeros(len(keys), dtype=np.uint64)
+        for byte_index in range(8):
+            bytes_lane = (keys >> np.uint64(8 * byte_index)) & np.uint64(0xFF)
+            value ^= self._tables[byte_index, bytes_lane.astype(np.intp)]
+        return value >> np.uint64(64 - self.output_bits)
 
 
 class HashFamily:

@@ -21,8 +21,8 @@ import numpy as np
 
 from ..errors import InvalidParameterError
 from ..persistence import require_keys, snapshottable
-from .base import DistinctCountSketch
-from .hashing import stable_hash64
+from .base import DistinctCountSketch, as_item_block, collapse_block
+from .hashing import bit_length64, stable_hash64, stable_hash64_patterns
 
 __all__ = ["HyperLogLog"]
 
@@ -104,6 +104,32 @@ class HyperLogLog(DistinctCountSketch[Hashable]):
             rank = 64 - remainder.bit_length() + 1
         if rank > self._registers[register_index]:
             self._registers[register_index] = rank
+
+    def update_block(self, items, counts=None) -> None:
+        """Counted batch update, bit-identical to the per-item loop.
+
+        The unique patterns hash in one pass, leading-zero ranks come from a
+        vectorized bit-length, and the registers absorb the batch through a
+        single ``np.maximum.at`` scatter — an idempotent, commutative max, so
+        the final registers match sequential :meth:`update` calls exactly
+        (multiplicities only feed the stream accounting).
+        """
+        block = as_item_block(items)
+        if block is None:
+            return super().update_block(items, counts)
+        unique, multiplicities = collapse_block(block, counts)
+        if unique.shape[0] == 0:
+            return
+        self._items_processed += int(multiplicities.sum())
+        keys = stable_hash64_patterns(unique, self._seed)
+        register_indices = (keys >> np.uint64(64 - self._precision)).astype(np.intp)
+        remainders = keys << np.uint64(self._precision)
+        ranks = np.where(
+            remainders == np.uint64(0),
+            np.int64(64 - self._precision + 1),
+            64 - bit_length64(remainders) + 1,
+        ).astype(np.uint8)
+        np.maximum.at(self._registers, register_indices, ranks)
 
     def merge(self, other: "HyperLogLog") -> None:
         if not isinstance(other, HyperLogLog):

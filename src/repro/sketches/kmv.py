@@ -19,10 +19,12 @@ import heapq
 import math
 from typing import Hashable, Iterator
 
+import numpy as np
+
 from ..errors import InvalidParameterError
 from ..persistence import require_keys, snapshottable
-from .base import DistinctCountSketch
-from .hashing import hash_to_unit_interval
+from .base import DistinctCountSketch, as_item_block, collapse_block
+from .hashing import hash_to_unit_interval, stable_hash64_patterns
 
 __all__ = ["KMVSketch", "kmv_size_for_epsilon"]
 
@@ -101,6 +103,29 @@ class KMVSketch(DistinctCountSketch[Hashable]):
             raise InvalidParameterError(f"count must be >= 1, got {count}")
         self._items_processed += count
         self._insert_value(hash_to_unit_interval(item, self._seed))
+
+    def update_block(self, items, counts=None) -> None:
+        """Counted batch update, bit-identical to the per-item loop.
+
+        Duplicates collapse before hashing (re-inserting a value already
+        seen is always a no-op, even after an eviction, because an evicted
+        value can never fall below the shrinking heap maximum again), and the
+        unique hash values replay through :meth:`_insert_value` in
+        first-occurrence order so the heap layout — part of the persisted
+        state — matches sequential :meth:`update` calls exactly.
+        """
+        block = as_item_block(items)
+        if block is None:
+            return super().update_block(items, counts)
+        unique, multiplicities = collapse_block(block, counts)
+        if unique.shape[0] == 0:
+            return
+        self._items_processed += int(multiplicities.sum())
+        keys = stable_hash64_patterns(unique, self._seed)
+        # uint64 -> float64 rounds exactly as Python's int/float division.
+        values = keys.astype(np.float64) / float(1 << 64)
+        for value in values.tolist():
+            self._insert_value(value)
 
     def merge(self, other: "KMVSketch") -> None:
         if not isinstance(other, KMVSketch):

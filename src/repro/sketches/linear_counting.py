@@ -16,8 +16,8 @@ import numpy as np
 
 from ..errors import EstimationError, InvalidParameterError
 from ..persistence import require_keys, snapshottable
-from .base import DistinctCountSketch
-from .hashing import stable_hash64
+from .base import DistinctCountSketch, as_item_block, collapse_block
+from .hashing import stable_hash64, stable_hash64_patterns
 
 __all__ = ["LinearCounting"]
 
@@ -71,6 +71,25 @@ class LinearCounting(DistinctCountSketch[Hashable]):
         self._items_processed += count
         position = stable_hash64(item, self._seed) % self._m
         self._bitmap[position] = True
+
+    def update_block(self, items, counts=None) -> None:
+        """Counted batch update, bit-identical to the per-item loop.
+
+        One hashing pass over the unique patterns and one fancy-indexed
+        bitmap store — setting a bit is idempotent, so the final bitmap
+        matches sequential :meth:`update` calls exactly (multiplicities only
+        feed the stream accounting).
+        """
+        block = as_item_block(items)
+        if block is None:
+            return super().update_block(items, counts)
+        unique, multiplicities = collapse_block(block, counts)
+        if unique.shape[0] == 0:
+            return
+        self._items_processed += int(multiplicities.sum())
+        keys = stable_hash64_patterns(unique, self._seed)
+        positions = (keys % np.uint64(self._m)).astype(np.intp)
+        self._bitmap[positions] = True
 
     def merge(self, other: "LinearCounting") -> None:
         if not isinstance(other, LinearCounting):

@@ -29,6 +29,18 @@ class MisraGries(PointQuerySketch[Hashable]):
     k:
         Number of counters; guarantees additive error at most
         ``F_1 / (k + 1)`` on every frequency estimate.
+
+    Notes
+    -----
+    Misra–Gries is *order-dependent*: which items survive the decrement
+    phases depends on arrival order, so there is no counted scatter kernel
+    that reproduces the sequential state.  ``update_block`` therefore keeps
+    the inherited per-item fallback — it replays the batch through
+    :meth:`update` in the given order.  Feeding a deduplicated
+    ``(pattern, count)`` batch (as the α-net block path does) is *answer-
+    equivalent* rather than bit-identical: every estimate still respects the
+    ``F_1 / (k + 1)`` error bound and every true heavy hitter above the
+    threshold is still reported.
     """
 
     def __init__(self, k: int = 100) -> None:

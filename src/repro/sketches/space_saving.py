@@ -43,6 +43,18 @@ class SpaceSaving(PointQuerySketch[Hashable]):
     k:
         Number of counters; guarantees additive error at most ``F_1 / k`` on
         every tracked item and recall of every item above that threshold.
+
+    Notes
+    -----
+    SpaceSaving is *order-dependent*: which item inherits the minimum
+    counter depends on arrival order, so there is no counted scatter kernel
+    that reproduces the sequential state.  ``update_block`` therefore keeps
+    the inherited per-item fallback — it replays the batch through
+    :meth:`update` in the given order.  Feeding a deduplicated
+    ``(pattern, count)`` batch (as the α-net block path does) is *answer-
+    equivalent* rather than bit-identical: tracked counters still
+    over-estimate by at most ``F_1 / k`` and every item above that threshold
+    is still tracked.
     """
 
     def __init__(self, k: int = 100) -> None:

@@ -24,8 +24,8 @@ import numpy as np
 
 from ..errors import InvalidParameterError
 from ..persistence import require_keys, snapshottable
-from .base import FrequencyMomentSketch
-from .hashing import HashFamily, stable_hash64
+from .base import FrequencyMomentSketch, as_item_block, validate_counts
+from .hashing import HashFamily, encode_pattern_block, stable_hash64
 
 __all__ = ["StableLpSketch", "sample_p_stable", "median_of_absolute_stable"]
 
@@ -144,6 +144,48 @@ class StableLpSketch(FrequencyMomentSketch[Hashable]):
         self._items_processed += count
         for row in range(self._depth):
             self._counters[row] += count * self._stable_row(item, row)
+
+    #: Batch rows accumulated per ``np.add.accumulate`` pass; bounds the
+    #: temporary to ``(budget + 1) x width`` floats without changing the
+    #: (strictly sequential) addition order.
+    _BLOCK_ROW_BUDGET = 4096
+
+    def update_block(self, items, counts=None) -> None:
+        """Counted batch update, bit-identical to the per-item loop.
+
+        The expensive work — one BLAKE2b key, one ``default_rng`` and one
+        Chambers–Mallows–Stuck draw per (item, sketch row) — is deduplicated
+        to the *unique* patterns of the batch.  The float additions, whose
+        rounding depends on order, are **not** reordered: the scaled draws
+        accumulate through ``np.add.accumulate`` (strictly sequential, the
+        counter row seeded as the first operand), so the final counters match
+        ``for item, count in zip(items, counts): update(item, count)`` to the
+        last bit.  Note that collapsing duplicates *before* calling (as the
+        α-net ingest path does) is a semantic choice: ``update(x, 2)`` and
+        ``update(x); update(x)`` differ in float rounding, though never in
+        the estimator's guarantees.
+        """
+        block = as_item_block(items)
+        if block is None:
+            return super().update_block(items, counts)
+        multiplicities = validate_counts(len(block), counts)
+        if block.shape[0] == 0:
+            return
+        self._items_processed += int(multiplicities.sum())
+        unique, inverse = np.unique(block, axis=0, return_inverse=True)
+        scale = multiplicities.astype(np.float64)[:, np.newaxis]
+        encoded = encode_pattern_block(unique)
+        for row in range(self._depth):
+            item_seeds = encoded.hash64(self._row_seeds[row])
+            draws = np.empty((unique.shape[0], self._width), dtype=np.float64)
+            for index, item_seed in enumerate(item_seeds.tolist()):
+                rng = np.random.default_rng(item_seed)
+                draws[index] = sample_p_stable(self.p, rng, self._width)
+            scaled = scale * draws[inverse]
+            for start in range(0, scaled.shape[0], self._BLOCK_ROW_BUDGET):
+                chunk = scaled[start : start + self._BLOCK_ROW_BUDGET]
+                ledger = np.vstack([self._counters[row : row + 1], chunk])
+                self._counters[row] = np.add.accumulate(ledger, axis=0)[-1]
 
     def merge(self, other: "StableLpSketch") -> None:
         if not isinstance(other, StableLpSketch):

@@ -1,0 +1,352 @@
+"""Property tests for the counted ``update_block`` sketch kernels.
+
+The contract behind the vectorized ingest path: for every sketch,
+``update_block(items, counts)`` must leave the summary in the same state as
+the sequential loop ``for item, count in zip(items, counts): update(item,
+count)``.  For the order-independent sketches (Count-Min, Count-Sketch, AMS,
+KMV, HyperLogLog, linear counting, BJKST, StableLp) the equivalence is
+*bit-identical* — asserted here on the full ``state_dict()``, across random
+seeds, duplicate-heavy blocks, empty blocks and explicit multiplicities.
+The order-dependent Misra–Gries/SpaceSaving trackers keep the documented
+per-item fallback: replaying the given batch is exact by construction, and
+feeding a *deduplicated counted* batch (what the α-net block path does) is
+answer-equivalent — every guarantee of the summary still holds — which is
+tested against ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.sketches import (
+    AMSSketch,
+    BJKSTSketch,
+    CountMinSketch,
+    CountSketch,
+    HyperLogLog,
+    KMVSketch,
+    LinearCounting,
+    MisraGries,
+    SpaceSaving,
+    StableLpSketch,
+    collapse_block,
+    stable_hash64,
+    stable_hash64_patterns,
+)
+from repro.sketches.hashing import (
+    MultiplyShiftHash,
+    PolynomialHash,
+    TabulationHash,
+    bit_length64,
+    trailing_zeros64,
+)
+
+# Small widths/depths keep the exhaustive per-item reference loops fast; the
+# kernels themselves are parameter-independent.
+ORDER_INDEPENDENT = {
+    "countmin": lambda seed: CountMinSketch(width=29, depth=3, seed=seed),
+    "countsketch": lambda seed: CountSketch(width=31, depth=3, seed=seed),
+    "ams": lambda seed: AMSSketch(width=6, depth=2, seed=seed),
+    "kmv": lambda seed: KMVSketch(k=12, seed=seed),
+    "hyperloglog": lambda seed: HyperLogLog(precision=5, seed=seed),
+    "linear-counting": lambda seed: LinearCounting(bitmap_bits=64, seed=seed),
+    "bjkst": lambda seed: BJKSTSketch(capacity=8, seed=seed),
+    "stable-lp": lambda seed: StableLpSketch(p=1.0, width=12, depth=2, seed=seed),
+}
+
+
+def assert_state_dicts_equal(expected: dict, actual: dict, context: str) -> None:
+    """Exact (bit-level) equality of two ``state_dict`` values."""
+    assert expected.keys() == actual.keys(), context
+    for key in expected:
+        want, got = expected[key], actual[key]
+        if isinstance(want, np.ndarray):
+            assert isinstance(got, np.ndarray), f"{context}: {key} type"
+            assert want.dtype == got.dtype, f"{context}: {key} dtype"
+            assert np.array_equal(want, got), f"{context}: {key} values"
+        else:
+            assert type(want) is type(got), f"{context}: {key} type"
+            assert want == got, f"{context}: {key} values"
+
+
+def _sequential_reference(factory, seed, block, counts):
+    sketch = factory(seed)
+    effective = [1] * len(block) if counts is None else list(counts)
+    for row, count in zip(block.tolist(), effective):
+        sketch.update(tuple(row), int(count))
+    return sketch
+
+
+# -- order-independent kernels: bit-identical to the sequential loop ---------------
+
+
+@pytest.mark.parametrize("name", sorted(ORDER_INDEPENDENT))
+@settings(max_examples=15, deadline=None)
+@given(
+    data=st.data(),
+    n_items=st.integers(min_value=0, max_value=60),
+    value_span=st.integers(min_value=1, max_value=25),
+    seed=st.integers(min_value=0, max_value=1000),
+    with_counts=st.booleans(),
+)
+def test_update_block_is_bit_identical(name, data, n_items, value_span, seed, with_counts):
+    """``update_block`` ≡ sequential ``update`` on the same (item, count) batch.
+
+    ``value_span`` small relative to ``n_items`` makes blocks duplicate-heavy,
+    exercising the ``np.unique`` collapse; ``n_items = 0`` exercises empty
+    blocks.
+    """
+    factory = ORDER_INDEPENDENT[name]
+    rng = np.random.default_rng(data.draw(st.integers(min_value=0, max_value=10_000)))
+    block = rng.integers(-value_span, value_span, size=(n_items, 3), dtype=np.int64)
+    counts = (
+        rng.integers(1, 5, size=n_items, dtype=np.int64) if with_counts else None
+    )
+    reference = _sequential_reference(factory, seed, block, counts)
+    batched = factory(seed)
+    batched.update_block(block, counts)
+    assert_state_dicts_equal(
+        reference.state_dict(),
+        batched.state_dict(),
+        f"{name} seed={seed} n={n_items}",
+    )
+    assert batched.items_processed == reference.items_processed
+
+
+@pytest.mark.parametrize("name", sorted(ORDER_INDEPENDENT))
+def test_update_block_split_points_do_not_matter(name):
+    """Any chunking of the same stream lands in the same state (integer
+    sketches) / answers identically (StableLp float counters are only
+    guaranteed bitwise-stable for identical chunkings)."""
+    factory = ORDER_INDEPENDENT[name]
+    rng = np.random.default_rng(7)
+    block = rng.integers(0, 9, size=(120, 4), dtype=np.int64)
+    whole = factory(5)
+    whole.update_block(block)
+    chunked = factory(5)
+    for start, stop in ((0, 13), (13, 14), (14, 90), (90, 120)):
+        chunked.update_block(block[start:stop])
+    if name == "stable-lp":
+        assert np.allclose(
+            whole.state_dict()["counters"], chunked.state_dict()["counters"]
+        )
+        assert whole.items_processed == chunked.items_processed
+    else:
+        assert_state_dicts_equal(
+            whole.state_dict(), chunked.state_dict(), f"{name} chunked"
+        )
+
+
+@pytest.mark.parametrize(
+    "name",
+    [n for n in sorted(ORDER_INDEPENDENT) if n != "stable-lp"],
+)
+def test_update_block_accepts_pre_collapsed_batches(name):
+    """Deduplicated counted batches (the α-net path) are bit-identical too
+    for the integer-state sketches — counted scatter commutes exactly."""
+    factory = ORDER_INDEPENDENT[name]
+    rng = np.random.default_rng(3)
+    block = rng.integers(0, 6, size=(80, 3), dtype=np.int64)
+    reference = _sequential_reference(factory, 11, block, None)
+    unique, counts = collapse_block(block)
+    assert unique.shape[0] < block.shape[0]  # the workload is duplicate-heavy
+    collapsed = factory(11)
+    collapsed.update_block(unique, counts)
+    assert_state_dicts_equal(
+        reference.state_dict(), collapsed.state_dict(), f"{name} collapsed"
+    )
+
+
+def test_update_block_falls_back_for_non_array_items():
+    """Arbitrary hashable iterables run through the per-item fallback."""
+    direct = CountMinSketch(width=17, depth=2, seed=1)
+    for item in ("a", "b", "a"):
+        direct.update(item)
+    batched = CountMinSketch(width=17, depth=2, seed=1)
+    batched.update_block(["a", "b", "a"])
+    assert_state_dicts_equal(direct.state_dict(), batched.state_dict(), "fallback")
+
+
+def test_update_block_validates_input():
+    sketch = CountMinSketch(width=17, depth=2, seed=1)
+    with pytest.raises(InvalidParameterError):
+        sketch.update_block(np.zeros(4, dtype=np.int64))  # 1-D
+    with pytest.raises(InvalidParameterError):
+        sketch.update_block(np.zeros((3, 2), dtype=np.float64))  # dtype
+    with pytest.raises(InvalidParameterError):
+        sketch.update_block(np.zeros((3, 2), dtype=np.int64), counts=[1, 2])  # length
+    with pytest.raises(InvalidParameterError):
+        sketch.update_block(np.zeros((3, 2), dtype=np.int64), counts=[1, 0, 2])  # < 1
+    with pytest.raises(InvalidParameterError):
+        sketch.update_block(
+            np.zeros((2, 2), dtype=np.int64), counts=np.array([[1], [2]])
+        )  # 2-D counts
+    sketch.update_block(np.zeros((0, 5), dtype=np.int64))  # empty block is a no-op
+    assert sketch.items_processed == 0
+
+
+def test_update_block_rejects_unrepresentable_uint64():
+    """uint64 values above the int64 range would wrap silently under
+    astype(int64) and hash differently from the scalar path — rejected."""
+    sketch = CountMinSketch(width=17, depth=2, seed=1)
+    with pytest.raises(InvalidParameterError, match="int64"):
+        sketch.update_block(np.array([[2**63 + 5]], dtype=np.uint64))
+    # In-range uint64 blocks stay bit-identical to the tuple path.
+    block = np.array([[7, 2**40], [7, 2**40], [1, 2]], dtype=np.uint64)
+    reference = CountMinSketch(width=17, depth=2, seed=1)
+    for row in block.tolist():
+        reference.update(tuple(row))
+    sketch.update_block(block)
+    assert_state_dicts_equal(reference.state_dict(), sketch.state_dict(), "uint64")
+
+
+# -- the hashability satellite -----------------------------------------------------
+
+
+@pytest.mark.parametrize("factory", [CountMinSketch, CountSketch])
+def test_point_sketches_reject_unhashable_items(factory):
+    """ndarray rows slipping through the ``Hashable`` hint raise a clear
+    error naming the offending type instead of a bare ``TypeError``."""
+    sketch = factory(width=17, depth=2, seed=0)
+    with pytest.raises(InvalidParameterError, match="ndarray"):
+        sketch.update(np.array([1, 2, 3]))
+
+
+# -- Misra-Gries / SpaceSaving: documented fallback --------------------------------
+
+
+@pytest.mark.parametrize("factory", [lambda: MisraGries(k=6), lambda: SpaceSaving(k=6)])
+def test_tracker_update_block_replays_the_given_order(factory):
+    """The per-item fallback is exact for the batch it is given."""
+    rng = np.random.default_rng(5)
+    block = rng.integers(0, 10, size=(90, 2), dtype=np.int64)
+    reference = factory()
+    for row in block.tolist():
+        reference.update(tuple(row))
+    batched = factory()
+    batched.update_block(block)
+    assert_state_dicts_equal(reference.state_dict(), batched.state_dict(), "tracker")
+
+
+@pytest.mark.parametrize(
+    "factory,bound_items",
+    [
+        (lambda: MisraGries(k=8), lambda s: s._items_processed / (8 + 1)),
+        (lambda: SpaceSaving(k=8), lambda s: s._items_processed / 8),
+    ],
+)
+def test_tracker_collapsed_batches_are_answer_equivalent(factory, bound_items):
+    """Deduplicated counted batches keep the trackers' guarantees.
+
+    The final counters differ from the streamed order (the trackers are
+    order-dependent) but every estimate stays within the summary's additive
+    error bound of the true frequency, and every true heavy hitter above the
+    guarantee threshold is reported.
+    """
+    rng = np.random.default_rng(9)
+    # Zipf-flavoured stream: a few heavy patterns, a long tail.
+    heavy = np.repeat(np.arange(3, dtype=np.int64), 40)
+    tail = rng.integers(3, 40, size=60, dtype=np.int64)
+    values = np.concatenate([heavy, tail])
+    rng.shuffle(values)
+    block = np.stack([values, values + 1], axis=1)
+
+    truth: dict[tuple[int, ...], int] = {}
+    for row in block.tolist():
+        truth[tuple(row)] = truth.get(tuple(row), 0) + 1
+
+    sketch = factory()
+    unique, counts = collapse_block(block)
+    sketch.update_block(unique, counts)
+    bound = bound_items(sketch)
+    for pattern, frequency in truth.items():
+        assert abs(sketch.estimate(pattern) - frequency) <= bound
+    for pattern, frequency in truth.items():
+        if frequency > bound:
+            assert sketch.estimate(pattern) > 0, f"heavy {pattern} lost"
+
+
+# -- block hashing layer -----------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_rows=st.integers(min_value=0, max_value=40),
+    width=st.integers(min_value=0, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**32),
+    low=st.integers(min_value=-(10**9), max_value=0),
+)
+def test_stable_hash64_patterns_matches_scalar(n_rows, width, seed, low):
+    rng = np.random.default_rng(abs(low) + n_rows)
+    block = rng.integers(low, 10**9, size=(n_rows, width), dtype=np.int64)
+    keys = stable_hash64_patterns(block, seed)
+    assert keys.dtype == np.uint64
+    for key, row in zip(keys, block):
+        assert int(key) == stable_hash64(tuple(int(v) for v in row), seed)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    family_seed=st.integers(min_value=0, max_value=10_000),
+    item_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_evaluate_block_matches_scalar_calls(family_seed, item_seed):
+    rng = np.random.default_rng(item_seed)
+    block = rng.integers(-50, 50, size=(30, 3), dtype=np.int64)
+    items = [tuple(int(v) for v in row) for row in block.tolist()]
+    functions = [
+        MultiplyShiftHash(output_bits=9, seed=family_seed),
+        MultiplyShiftHash(output_bits=64, seed=family_seed + 1),
+        PolynomialHash(independence=2, range_size=53, seed=family_seed),
+        PolynomialHash(independence=4, range_size=None, seed=family_seed + 1),
+        TabulationHash(output_bits=13, seed=family_seed),
+    ]
+    for function in functions:
+        keys = stable_hash64_patterns(block, function.seed)
+        assert [int(v) for v in function.evaluate_block(keys)] == [
+            function(item) for item in items
+        ]
+    sign_hash = PolynomialHash(independence=4, seed=family_seed + 2)
+    keys = stable_hash64_patterns(block, sign_hash.seed)
+    assert [int(v) for v in sign_hash.sign_block(keys)] == [
+        sign_hash.sign(item) for item in items
+    ]
+
+
+def test_evaluate_block_validates_keys():
+    function = MultiplyShiftHash(output_bits=8, seed=0)
+    with pytest.raises(InvalidParameterError):
+        function.evaluate_block(np.zeros((2, 2), dtype=np.uint64))  # 2-D
+    with pytest.raises(InvalidParameterError):
+        function.evaluate_block(np.zeros(3, dtype=np.int64))  # signed dtype
+
+
+def test_bit_utilities_match_python_ints():
+    rng = np.random.default_rng(0)
+    values = np.concatenate(
+        [
+            np.array([0, 1, 2, 3, (1 << 64) - 1, 1 << 63], dtype=np.uint64),
+            rng.integers(0, 1 << 63, size=500, dtype=np.uint64),
+        ]
+    )
+    assert [int(v) for v in bit_length64(values)] == [
+        int(v).bit_length() for v in values
+    ]
+    expected = [
+        64 if int(v) == 0 else (int(v) & -int(v)).bit_length() - 1 for v in values
+    ]
+    assert [int(v) for v in trailing_zeros64(values)] == expected
+
+
+def test_collapse_block_preserves_first_occurrence_order():
+    block = np.array([[2, 2], [0, 1], [2, 2], [0, 0], [0, 1], [2, 2]], dtype=np.int64)
+    unique, counts = collapse_block(block)
+    assert unique.tolist() == [[2, 2], [0, 1], [0, 0]]
+    assert counts.tolist() == [3, 2, 1]
+    weighted, summed = collapse_block(block, np.array([1, 2, 3, 4, 5, 6]))
+    assert weighted.tolist() == [[2, 2], [0, 1], [0, 0]]
+    assert summed.tolist() == [10, 7, 4]
