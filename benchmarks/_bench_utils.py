@@ -2,12 +2,36 @@
 
 from __future__ import annotations
 
+import platform
+import socket
+import sys
+from datetime import datetime, timezone
+
+import numpy
+
 from repro.analysis.reporting import render_series, render_table
 
-__all__ = ["emit", "render_table", "render_series"]
+__all__ = ["emit", "render_table", "render_series", "run_metadata"]
 
 
 def emit(title: str, body: str) -> None:
     """Print a benchmark artefact with a recognisable banner."""
     banner = "=" * max(20, len(title))
     print(f"\n{banner}\n{title}\n{banner}\n{body}\n")
+
+
+def run_metadata() -> dict:
+    """Provenance stamped into every ``BENCH_*.json`` record.
+
+    Answers "what machine and toolchain produced these numbers" when the
+    perf trajectory is compared run over run: an ISO-8601 UTC timestamp,
+    the interpreter and numpy versions, the hostname and the platform.
+    """
+    return {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "implementation": sys.implementation.name,
+        "hostname": socket.gethostname(),
+        "platform": platform.platform(),
+    }

@@ -12,7 +12,7 @@ import os
 
 import pytest
 
-from _bench_utils import emit
+from _bench_utils import emit, run_metadata
 from repro.analysis.reporting import render_series, render_table
 
 
@@ -37,6 +37,12 @@ def record_bench(request) -> bool:
         request.config.getoption("--record-bench")
         or os.environ.get("REPRO_RECORD_BENCH")
     )
+
+
+@pytest.fixture(scope="session")
+def bench_metadata() -> dict:
+    """One provenance stamp per session for every BENCH_*.json writer."""
+    return run_metadata()
 
 
 @pytest.fixture(scope="session")

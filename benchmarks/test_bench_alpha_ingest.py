@@ -72,7 +72,7 @@ def _assert_identical(per_row: AlphaNetEstimator, block: AlphaNetEstimator) -> N
         )
 
 
-def test_alpha_net_block_ingest_throughput(benchmark, record_bench):
+def test_alpha_net_block_ingest_throughput(benchmark, record_bench, bench_metadata):
     """Rows/sec of block vs per-row alpha-net ingest; block must be >= 3x."""
 
     def run_comparison():
@@ -120,6 +120,7 @@ def test_alpha_net_block_ingest_throughput(benchmark, record_bench):
 
     if record_bench:
         record = {
+            "meta": bench_metadata,
             "n_rows": N_ROWS,
             "n_columns": N_COLUMNS,
             "alpha": ALPHA,

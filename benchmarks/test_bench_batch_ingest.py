@@ -75,7 +75,7 @@ def _equivalent(per_row, batch) -> bool:
     )
 
 
-def test_batch_ingest_throughput(benchmark, record_bench):
+def test_batch_ingest_throughput(benchmark, record_bench, bench_metadata):
     """Rows/sec of batch vs per-row ingest; batch must be >= 5x faster."""
 
     def run_sweep():
@@ -117,6 +117,7 @@ def test_batch_ingest_throughput(benchmark, record_bench):
 
     if record_bench:
         record = {
+            "meta": bench_metadata,
             "n_rows": N_ROWS,
             "n_columns": N_COLUMNS,
             "batch_size": BATCH_SIZE,

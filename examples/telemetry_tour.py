@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Telemetry tour: metrics, spans and exporters around one engine run.
+
+Everything ``repro.telemetry`` records while the serving stack does its
+normal work — no extra configuration, the instrumentation ships with the
+engine:
+
+1. scope a fresh registry + tracer so this run's numbers stand alone;
+2. ingest a Zipfian table through a sharded :class:`~repro.Coordinator`,
+   serve a few batch queries (twice, to exercise the result cache), and
+   save/restore a checkpoint;
+3. print the Prometheus text exposition of every recorded metric, the
+   span tree of the run, and the cache/latency stats the
+   :class:`~repro.engine.service.QueryService` keeps.
+
+The same artifacts come out of the CLI as files:
+``python -m repro run usample-accuracy --quick --trace trace.json
+--metrics metrics.prom``.
+
+Run with:  python examples/telemetry_tour.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro import (
+    ColumnQuery,
+    Coordinator,
+    RowStream,
+    UniformSampleEstimator,
+    render_prometheus,
+    render_span_tree,
+)
+from repro import telemetry
+from repro.engine.service import QueryService
+from repro.workloads.synthetic import zipfian_rows
+
+N_ROWS, N_COLUMNS = 4_000, 8
+
+
+def estimator_factory() -> UniformSampleEstimator:
+    return UniformSampleEstimator(n_columns=N_COLUMNS, sample_size=512, seed=11)
+
+
+def main() -> None:
+    telemetry.enable()  # a no-op unless REPRO_TELEMETRY=0 turned it off
+    data = zipfian_rows(
+        n_rows=N_ROWS, n_columns=N_COLUMNS, distinct_patterns=200, exponent=1.1, seed=7
+    )
+    with telemetry.scoped_registry() as registry:
+        with telemetry.scoped_tracer() as tracer:
+            with telemetry.span("example.telemetry_tour"):
+                engine = Coordinator(
+                    estimator_factory, n_shards=2, backend="serial"
+                )
+                report = engine.ingest(RowStream(data))
+                service = engine.query_service(cache_size=64)
+                queries = [
+                    ColumnQuery.of(columns, N_COLUMNS)
+                    for columns in ([0], [1, 3], [2, 4, 6])
+                ]
+                service.batch_estimate_fp(queries, p=0)
+                service.batch_estimate_fp(queries, p=0)  # cache hits
+
+                path = os.path.join(tempfile.mkdtemp(), "tour.ckpt")
+                engine.save_checkpoint(path)
+                restored = QueryService.from_checkpoint(path)
+                restored.estimate_fp(queries[0], 0)
+
+    print(
+        f"Ingested {report.rows_total:,} rows across {report.n_shards} shards "
+        f"at {report.rows_per_second:,.0f} rows/s.\n"
+    )
+
+    print("=" * 60)
+    print("Prometheus text exposition (scrape-ready)")
+    print("=" * 60)
+    print(render_prometheus(registry))
+
+    print("=" * 60)
+    print("Span tree of the run")
+    print("=" * 60)
+    print(render_span_tree(tracer))
+    print()
+
+    info = service.cache_info()
+    print(
+        f"Query cache: {info.hits} hits / {info.misses} misses "
+        f"({info.hit_rate:.0%} hit rate), {info.invalidations} invalidation(s)."
+    )
+    for kind, summary in sorted(service.stats().items()):
+        if kind == "cache":
+            continue
+        print(
+            f"  {kind}: {summary.count} uncached quer(y/ies), "
+            f"p50 {summary.p50_seconds * 1e6:.0f}us"
+        )
+
+
+if __name__ == "__main__":
+    main()

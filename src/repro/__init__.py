@@ -25,6 +25,9 @@ constructions and experimental harness of Cormode, Dickens and Woodruff
 * :mod:`repro.experiments` — the config-driven experiment runner behind
   ``python -m repro``: declarative scenario specs, a named registry, and
   JSON + Markdown result reports (see ``docs/experiments.md``).
+* :mod:`repro.telemetry` — dependency-free metrics, tracing spans and
+  exporters instrumented through the ingest → merge → query → checkpoint
+  path (see ``docs/observability.md``).
 
 Quickstart::
 
@@ -87,6 +90,15 @@ from .errors import (
     SnapshotError,
 )
 from .streaming import RowStream
+from .telemetry import (
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+    render_prometheus,
+    render_span_tree,
+    span,
+)
 
 __version__ = "1.0.0"
 
@@ -112,6 +124,7 @@ __all__ = [
     "HeavyHitters",
     "InvalidParameterError",
     "LpSampling",
+    "MetricsRegistry",
     "ProjectedFrequencyEstimator",
     "ProtocolError",
     "QueryError",
@@ -124,14 +137,20 @@ __all__ = [
     "SketchPlan",
     "SnapshotError",
     "StreamPartitioner",
+    "Tracer",
     "UniformSampleEstimator",
     "__version__",
+    "get_registry",
     "get_scenario",
+    "get_tracer",
     "load_checkpoint",
     "load_merged_estimator",
+    "render_prometheus",
+    "render_span_tree",
     "rounding_distortion",
     "run_experiment",
     "sample_size_for",
     "save_checkpoint",
     "scenario_names",
+    "span",
 ]

@@ -1,6 +1,6 @@
-"""The ``python -m repro`` command line: list, run, checkpoint, report.
+"""The ``python -m repro`` command line: list, run, checkpoint, report, stats.
 
-Four subcommands over the scenario registry of
+Five subcommands over the scenario registry of
 :mod:`repro.experiments`:
 
 * ``python -m repro list`` — name, paper reference and title of every
@@ -11,28 +11,36 @@ Four subcommands over the scenario registry of
   ``--shards``, ``--batch-size`` and ``--quick``; with
   ``--from-checkpoint <bundle>`` the ingest phase is skipped and every
   engine session is restored from the bundle instead — the paper's
-  "query arbitrarily later" phase, standalone;
+  "query arbitrarily later" phase, standalone; ``--trace``,
+  ``--chrome-trace`` and ``--metrics`` additionally capture the run's
+  telemetry (``repro/trace@1`` JSON, Chrome trace events, Prometheus
+  text exposition — see ``docs/observability.md``);
 * ``python -m repro checkpoint <scenario>`` — the matching build phase:
   run the scenario once, saving every engine session into
   ``<out>/<scenario>.ckpt/`` and recording bytes-on-disk next to the
   structural space accounting in the result JSON;
 * ``python -m repro report`` — regenerate every Markdown report from the
-  JSON payloads in the output directory and write a ``REPORT.md`` index.
+  JSON payloads in the output directory and write a ``REPORT.md`` index;
+* ``python -m repro stats`` — pretty-print the ``telemetry`` section of
+  recorded result JSONs (phase wall times, throughput, cache hit rates).
 
 Example::
 
     $ PYTHONPATH=src python -m repro checkpoint figure1 --quick
     $ PYTHONPATH=src python -m repro run figure1 --quick \\
-          --from-checkpoint results/figure1.ckpt
+          --trace trace.json --metrics metrics.prom
+    $ PYTHONPATH=src python -m repro stats
     $ PYTHONPATH=src python -m repro report
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from . import telemetry
 from .analysis.reporting import render_table
 from .errors import ReproError
 from .experiments import (
@@ -46,6 +54,7 @@ from .experiments import (
     scenario_names,
     write_result,
 )
+from .experiments.runner import RESULT_SCHEMA
 
 __all__ = ["build_parser", "main"]
 
@@ -93,6 +102,24 @@ def build_parser() -> argparse.ArgumentParser:
             default=DEFAULT_OUT_DIR,
             help=f"output directory for JSON + Markdown (default: {DEFAULT_OUT_DIR}/)",
         )
+        subparser.add_argument(
+            "--trace",
+            default=None,
+            metavar="PATH",
+            help="write the run's spans as repro/trace@1 JSON to PATH",
+        )
+        subparser.add_argument(
+            "--chrome-trace",
+            default=None,
+            metavar="PATH",
+            help="write the run's spans as Chrome trace events to PATH",
+        )
+        subparser.add_argument(
+            "--metrics",
+            default=None,
+            metavar="PATH",
+            help="write the run's metrics as Prometheus text exposition to PATH",
+        )
 
     run = commands.add_parser("run", help="run one scenario and record results")
     add_run_options(run)
@@ -123,6 +150,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_OUT_DIR,
         help=f"directory holding <scenario>.json files (default: {DEFAULT_OUT_DIR}/)",
     )
+
+    stats = commands.add_parser(
+        "stats",
+        help="pretty-print the telemetry section of recorded result JSONs",
+    )
+    stats.add_argument(
+        "paths",
+        nargs="*",
+        help="result JSON files (default: every *.json under --out)",
+    )
+    stats.add_argument(
+        "--out",
+        default=DEFAULT_OUT_DIR,
+        help=f"directory holding <scenario>.json files (default: {DEFAULT_OUT_DIR}/)",
+    )
     return parser
 
 
@@ -141,6 +183,43 @@ def _cmd_list() -> int:
     return 0
 
 
+def _run_capturing_telemetry(spec, params, args):
+    """Run one experiment, honouring the ``--trace``/``--metrics`` capture flags.
+
+    Without capture flags this is a plain :func:`run_experiment` call.  With
+    any of them, telemetry is force-enabled for the run (restored after) and
+    a fresh scoped tracer + registry record exactly this run; the requested
+    artifacts are written before returning.
+    """
+    if not (args.trace or args.chrome_trace or args.metrics):
+        return run_experiment(spec, params)
+    was_enabled = telemetry.enabled()
+    telemetry.enable()
+    try:
+        with telemetry.scoped_registry() as registry:
+            with telemetry.scoped_tracer() as tracer:
+                result = run_experiment(spec, params)
+    finally:
+        if not was_enabled:
+            telemetry.disable()
+    for path_text, payload in (
+        (args.trace, tracer.to_dict()),
+        (args.chrome_trace, tracer.to_chrome()),
+    ):
+        if path_text is None:
+            continue
+        path = Path(path_text)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    if args.metrics is not None:
+        path = Path(args.metrics)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(telemetry.render_prometheus(registry))
+        print(f"wrote {path}")
+    return result
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = get_scenario(args.scenario)
     params = RunParams(
@@ -150,7 +229,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         from_checkpoint=getattr(args, "from_checkpoint", None),
     )
-    result = run_experiment(spec, params)
+    result = _run_capturing_telemetry(spec, params, args)
     json_path, md_path = write_result(result, args.out)
     print(render_markdown(result.to_dict()))
     print(f"wrote {json_path}")
@@ -168,7 +247,7 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         checkpoint_to=str(bundle_dir),
     )
-    result = run_experiment(spec, params)
+    result = _run_capturing_telemetry(spec, params, args)
     json_path, md_path = write_result(result, args.out)
     sessions = result.checkpoints
     total_bytes = sum(entry["bytes_on_disk"] for entry in sessions)
@@ -214,14 +293,92 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 1
     payloads = []
     for json_path in json_paths:
+        # Trace/metrics artifacts may share the directory; only JSON files
+        # carrying the result schema tag are reports to re-render.
+        if json.loads(json_path.read_text()).get("schema") != RESULT_SCHEMA:
+            continue
         payload = load_result(json_path)
         payloads.append(payload)
         md_path = out_dir / f"{payload['scenario']}.md"
         md_path.write_text(render_markdown(payload))
         print(f"wrote {md_path}")
+    if not payloads:
+        print(
+            f"no result payloads among {len(json_paths)} JSON file(s) "
+            f"under {out_dir}/",
+            file=sys.stderr,
+        )
+        return 1
     index_path = out_dir / "REPORT.md"
     index_path.write_text(render_index(payloads))
     print(f"wrote {index_path}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    json_paths = (
+        [Path(path) for path in args.paths]
+        if args.paths
+        else sorted(Path(args.out).glob("*.json"))
+    )
+    if not json_paths:
+        print(
+            f"no results under {args.out}/ — run a scenario first, e.g. "
+            "python -m repro run figure1",
+            file=sys.stderr,
+        )
+        return 1
+    rows = []
+    for json_path in json_paths:
+        if not args.paths:
+            # Globbed directories may also hold trace/metrics artifacts;
+            # only explicit paths are required to be result payloads.
+            tag = json.loads(Path(json_path).read_text()).get("schema")
+            if tag != RESULT_SCHEMA:
+                continue
+        payload = load_result(json_path)
+        section = payload["telemetry"]
+        phases = section["phases"]
+        cache = section["cache"]
+        rows.append(
+            (
+                payload["scenario"],
+                section["ingest"]["sessions"],
+                f"{section['ingest']['rows_total']:,}",
+                f"{section['ingest']['rows_per_second']:,.0f}",
+                f"{phases['ingest_seconds']:.3f}",
+                f"{phases['merge_seconds']:.3f}",
+                f"{phases['query_seconds']:.3f}",
+                section["queries"]["count"],
+                f"{cache['hits']}/{cache['misses']}"
+                f" ({cache['hit_rate']:.0%})",
+                f"{section['peak_summary_bits']:,}",
+            )
+        )
+    if not rows:
+        print(
+            f"no result payloads among {len(json_paths)} JSON file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        render_table(
+            [
+                "scenario",
+                "sessions",
+                "rows",
+                "rows/s",
+                "ingest s",
+                "merge s",
+                "query s",
+                "queries",
+                "cache h/m",
+                "peak bits",
+            ],
+            rows,
+            title=f"telemetry of {len(rows)} recorded run(s)",
+        )
+    )
     return 0
 
 
@@ -236,6 +393,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "checkpoint":
             return _cmd_checkpoint(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
         return _cmd_report(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -20,9 +20,11 @@ from __future__ import annotations
 
 import copy
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from .. import telemetry
 from ..coding.words import Word, project_word
 from ..errors import EstimationError, InvalidParameterError, SnapshotError
 from ..persistence import require_keys, snapshottable
@@ -224,15 +226,39 @@ class AlphaNetEstimator(ProjectedFrequencyEstimator):
         order-dependent Misra–Gries/SpaceSaving trackers, which consume the
         counted batch through their documented per-item fallback.
         """
+        timed = telemetry.enabled()
+        family_seconds = {"distinct": 0.0, "moment": 0.0, "point": 0.0}
         for index, member in enumerate(self._members):
             projected = block[:, list(member.columns)]
             unique, counts = collapse_block(projected)
-            if self._distinct_sketches is not None:
-                self._distinct_sketches[index].update_block(unique, counts)
-            if self._moment_sketches is not None:
-                self._moment_sketches[index].update_block(unique, counts)
-            if self._point_sketches is not None:
-                self._point_sketches[index].update_block(unique, counts)
+            for family, sketches in (
+                ("distinct", self._distinct_sketches),
+                ("moment", self._moment_sketches),
+                ("point", self._point_sketches),
+            ):
+                if sketches is None:
+                    continue
+                if timed:
+                    started = time.perf_counter()
+                    sketches[index].update_block(unique, counts)
+                    family_seconds[family] += time.perf_counter() - started
+                else:
+                    sketches[index].update_block(unique, counts)
+        if timed:
+            # One histogram sample per sketch family per block: the kernel
+            # time aggregates across net members so the overhead stays
+            # block-granular however large the net is.
+            histogram = telemetry.get_registry().histogram(
+                "repro_sketch_update_block_seconds",
+                "update_block kernel seconds per ingested block, by family",
+            )
+            for family, sketches in (
+                ("distinct", self._distinct_sketches),
+                ("moment", self._moment_sketches),
+                ("point", self._point_sketches),
+            ):
+                if sketches is not None:
+                    histogram.observe(family_seconds[family], family=family)
 
     def _merge_summaries(self, other: "ProjectedFrequencyEstimator") -> None:
         """Merge member-by-member via the sketches' own ``merge()`` methods.

@@ -13,11 +13,12 @@ from __future__ import annotations
 
 import abc
 import copy
+import time
 from typing import Iterable
 
 import numpy as np
 
-from .. import persistence
+from .. import persistence, telemetry
 from ..coding.words import Word
 from ..errors import EstimationError, InvalidParameterError, SnapshotError
 from .dataset import ColumnQuery, Dataset
@@ -135,7 +136,33 @@ class ProjectedFrequencyEstimator(abc.ABC):
             return self
         self._rows_observed += int(block.shape[0])
         self._version += 1
-        self._observe_block(block.astype(np.int64, copy=False))
+        block = block.astype(np.int64, copy=False)
+        if not telemetry.enabled():
+            self._observe_block(block)
+            return self
+        # Block-granular instrumentation: one timing + three metric updates
+        # per ingested block, never per row (see docs/observability.md for
+        # the overhead accounting).
+        started = time.perf_counter()
+        self._observe_block(block)
+        elapsed = time.perf_counter() - started
+        registry = telemetry.get_registry()
+        estimator = type(self).__name__
+        registry.counter(
+            "repro_ingest_blocks_total", "ndarray blocks absorbed via observe_rows"
+        ).inc(estimator=estimator)
+        registry.counter(
+            "repro_ingest_block_bytes_total", "raw bytes of absorbed blocks"
+        ).inc(block.nbytes, estimator=estimator)
+        registry.histogram(
+            "repro_ingest_block_rows",
+            "rows per absorbed block",
+            buckets=telemetry.SIZE_BUCKETS,
+        ).observe(block.shape[0], estimator=estimator)
+        registry.histogram(
+            "repro_observe_rows_seconds",
+            "wall seconds per observe_rows block",
+        ).observe(elapsed, estimator=estimator)
         return self
 
     def observe(self, rows: Iterable[Word] | Dataset) -> "ProjectedFrequencyEstimator":

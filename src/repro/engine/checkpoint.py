@@ -34,11 +34,12 @@ Example::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from .. import persistence
+from .. import persistence, telemetry
 from ..core.estimator import ProjectedFrequencyEstimator
 from ..errors import SnapshotError
 
@@ -74,29 +75,35 @@ def save_checkpoint(coordinator: "Coordinator", path: str | Path) -> CheckpointI
     """Persist ``coordinator``'s shards, merged summary and config to ``path``."""
     merged = coordinator._merged  # noqa: SLF001 - same-package accessor
     shards = coordinator._shards  # noqa: SLF001
-    envelope = {
-        "format": persistence.CHECKPOINT_FORMAT,
-        "config": {
-            "n_shards": coordinator.n_shards,
-            "policy": coordinator._partitioner.policy,  # noqa: SLF001
-            "backend": coordinator.backend,
-            "hash_seed": coordinator._partitioner.hash_seed,  # noqa: SLF001
-            "batch_size": coordinator.batch_size,
-        },
-        "merged": None if merged is None else persistence.encode_state(merged),
-        "shards": [
-            {
-                "shard_id": shard.shard_id,
-                "rows_ingested": shard.rows_ingested,
-                "estimator": persistence.encode_state(shard.estimator),
-            }
-            for shard in shards
-        ],
-    }
-    data = persistence.dump_envelope(envelope)
-    target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_bytes(data)
+    started = time.perf_counter()
+    with telemetry.span(
+        "checkpoint.save", path=str(path), n_shards=coordinator.n_shards
+    ) as save_span:
+        envelope = {
+            "format": persistence.CHECKPOINT_FORMAT,
+            "config": {
+                "n_shards": coordinator.n_shards,
+                "policy": coordinator._partitioner.policy,  # noqa: SLF001
+                "backend": coordinator.backend,
+                "hash_seed": coordinator._partitioner.hash_seed,  # noqa: SLF001
+                "batch_size": coordinator.batch_size,
+            },
+            "merged": None if merged is None else persistence.encode_state(merged),
+            "shards": [
+                {
+                    "shard_id": shard.shard_id,
+                    "rows_ingested": shard.rows_ingested,
+                    "estimator": persistence.encode_state(shard.estimator),
+                }
+                for shard in shards
+            ],
+        }
+        data = persistence.dump_envelope(envelope)
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(data)
+        save_span.set(bytes=len(data))
+    _record_checkpoint_metrics("save", len(data), time.perf_counter() - started)
     return CheckpointInfo(
         path=str(target),
         n_bytes=len(data),
@@ -111,6 +118,22 @@ def save_checkpoint(coordinator: "Coordinator", path: str | Path) -> CheckpointI
         ),
         summary_bits=0 if merged is None else merged.size_in_bits(),
     )
+
+
+def _record_checkpoint_metrics(op: str, n_bytes: int, seconds: float) -> None:
+    """Record one checkpoint save/load into the default metrics registry."""
+    if not telemetry.enabled():
+        return
+    registry = telemetry.get_registry()
+    registry.counter(
+        "repro_checkpoint_total", "Checkpoint operations performed."
+    ).inc(op=op)
+    registry.counter(
+        "repro_checkpoint_bytes_total", "Bytes written or read by checkpoints."
+    ).inc(n_bytes, op=op)
+    registry.histogram(
+        "repro_checkpoint_seconds", "Wall time of one checkpoint operation."
+    ).observe(seconds, op=op)
 
 
 def read_checkpoint_envelope(path: str | Path) -> dict:
@@ -145,50 +168,63 @@ def load_checkpoint(
     from .coordinator import Coordinator  # deferred: avoid import cycle
     from .shard import Shard
 
-    envelope = read_checkpoint_envelope(path)
-    config = envelope["config"]
-    coordinator = Coordinator(
-        estimator_factory
-        if estimator_factory is not None
-        else _missing_factory,
-        n_shards=int(config["n_shards"]),
-        policy=str(config["policy"]),
-        backend=str(config["backend"]),
-        hash_seed=int(config["hash_seed"]),
-        batch_size=config["batch_size"],
+    started = time.perf_counter()
+    with telemetry.span(
+        "checkpoint.load", path=str(path), scope="coordinator"
+    ) as load_span:
+        envelope = read_checkpoint_envelope(path)
+        config = envelope["config"]
+        coordinator = Coordinator(
+            estimator_factory
+            if estimator_factory is not None
+            else _missing_factory,
+            n_shards=int(config["n_shards"]),
+            policy=str(config["policy"]),
+            backend=str(config["backend"]),
+            hash_seed=int(config["hash_seed"]),
+            batch_size=config["batch_size"],
+        )
+        shards = []
+        for entry in envelope["shards"]:
+            estimator = persistence.decode_state(entry["estimator"])
+            if not isinstance(estimator, ProjectedFrequencyEstimator):
+                raise SnapshotError(
+                    f"{path}: shard {entry['shard_id']} does not hold an estimator"
+                )
+            shard = Shard(int(entry["shard_id"]), estimator)
+            shard._rows_ingested = int(entry["rows_ingested"])  # noqa: SLF001
+            shards.append(shard)
+        coordinator._shards = shards  # noqa: SLF001
+        merged = envelope["merged"]
+        if merged is not None:
+            estimator = persistence.decode_state(merged)
+            if not isinstance(estimator, ProjectedFrequencyEstimator):
+                raise SnapshotError(f"{path}: merged summary is not an estimator")
+            coordinator._merged = estimator  # noqa: SLF001
+        load_span.set(n_shards=coordinator.n_shards)
+    _record_checkpoint_metrics(
+        "load", Path(path).stat().st_size, time.perf_counter() - started
     )
-    shards = []
-    for entry in envelope["shards"]:
-        estimator = persistence.decode_state(entry["estimator"])
-        if not isinstance(estimator, ProjectedFrequencyEstimator):
-            raise SnapshotError(
-                f"{path}: shard {entry['shard_id']} does not hold an estimator"
-            )
-        shard = Shard(int(entry["shard_id"]), estimator)
-        shard._rows_ingested = int(entry["rows_ingested"])  # noqa: SLF001
-        shards.append(shard)
-    coordinator._shards = shards  # noqa: SLF001
-    merged = envelope["merged"]
-    if merged is not None:
-        estimator = persistence.decode_state(merged)
-        if not isinstance(estimator, ProjectedFrequencyEstimator):
-            raise SnapshotError(f"{path}: merged summary is not an estimator")
-        coordinator._merged = estimator  # noqa: SLF001
     return coordinator
 
 
 def load_merged_estimator(path: str | Path) -> ProjectedFrequencyEstimator:
     """Restore only the merged summary — all a query-serving tier needs."""
-    envelope = read_checkpoint_envelope(path)
-    merged = envelope["merged"]
-    if merged is None:
-        raise SnapshotError(
-            f"{path}: checkpoint holds no merged summary (nothing was "
-            "ingested before saving)"
-        )
-    estimator = persistence.decode_state(merged)
-    if not isinstance(estimator, ProjectedFrequencyEstimator):
-        raise SnapshotError(f"{path}: merged summary is not an estimator")
+    started = time.perf_counter()
+    with telemetry.span("checkpoint.load", path=str(path), scope="merged"):
+        envelope = read_checkpoint_envelope(path)
+        merged = envelope["merged"]
+        if merged is None:
+            raise SnapshotError(
+                f"{path}: checkpoint holds no merged summary (nothing was "
+                "ingested before saving)"
+            )
+        estimator = persistence.decode_state(merged)
+        if not isinstance(estimator, ProjectedFrequencyEstimator):
+            raise SnapshotError(f"{path}: merged summary is not an estimator")
+    _record_checkpoint_metrics(
+        "load", Path(path).stat().st_size, time.perf_counter() - started
+    )
     return estimator
 
 

@@ -31,7 +31,7 @@ from typing import Callable
 
 import numpy as np
 
-from .. import persistence
+from .. import persistence, telemetry
 from ..coding.words import Word
 from ..core.estimator import ProjectedFrequencyEstimator
 from ..errors import EstimationError, InvalidParameterError, SnapshotError
@@ -49,29 +49,40 @@ INGEST_BACKENDS = ("serial", "processes")
 
 def _ingest_estimator_state(
     payload: bytes | ProjectedFrequencyEstimator, rows
-) -> tuple[int, float, bytes | ProjectedFrequencyEstimator]:
+) -> tuple[int, float, bytes | ProjectedFrequencyEstimator, dict | None]:
     """Worker entry point: restore compact estimator state, ingest, ship back.
 
     ``payload`` is the estimator's snapshot byte payload (the normal case);
     estimators that predate the ``state_dict`` contract arrive as plain
     pickled estimator objects instead.  Either way no :class:`Shard` — with
     its timing fields and serving bookkeeping — ever crosses the process
-    boundary.  Returns ``(rows_ingested, ingest_seconds, updated_payload)``.
+    boundary.  Returns ``(rows_ingested, ingest_seconds, updated_payload,
+    metrics_state)`` where ``metrics_state`` is the worker's *own* telemetry
+    registry (recorded fresh, so a forked parent's history is never double
+    counted) for the coordinator to merge, or ``None`` when telemetry is
+    off.
     """
     compact = isinstance(payload, (bytes, bytearray))
     estimator = (
         persistence.from_bytes(bytes(payload)) if compact else payload
     )
-    started = time.perf_counter()
-    if isinstance(rows, np.ndarray):
-        estimator.observe_rows(rows)
-        ingested = int(rows.shape[0])
-    else:
-        for row in rows:
-            estimator.observe_row(row)
-        ingested = len(rows)
-    elapsed = time.perf_counter() - started
-    return ingested, elapsed, (estimator.to_bytes() if compact else estimator)
+    with telemetry.scoped_registry() as worker_registry:
+        started = time.perf_counter()
+        if isinstance(rows, np.ndarray):
+            estimator.observe_rows(rows)
+            ingested = int(rows.shape[0])
+        else:
+            for row in rows:
+                estimator.observe_row(row)
+            ingested = len(rows)
+        elapsed = time.perf_counter() - started
+    metrics_state = worker_registry.state_dict() if telemetry.enabled() else None
+    return (
+        ingested,
+        elapsed,
+        (estimator.to_bytes() if compact else estimator),
+        metrics_state,
+    )
 
 
 @dataclass(frozen=True)
@@ -246,44 +257,98 @@ class Coordinator:
                 f"{type(shards[0].estimator).__name__} is not mergeable; it "
                 "cannot be sharded or ingested incrementally"
             )
-        if self._backend == "serial" or self.n_shards == 1:
-            if self._batch_size is not None:
-                for start, block in stream.iter_batches(self._batch_size):
-                    assignment = self._partitioner.assign_block(start, block)
-                    for shard_index in range(self.n_shards):
-                        rows = block[assignment == shard_index]
-                        if rows.shape[0]:
-                            shards[shard_index].ingest_block(rows)
-            else:
-                for index, row in enumerate(stream):
-                    shards[self._partitioner.assign(index, row)].ingest_row(row)
-        elif self._batch_size is not None:
-            buckets = self._partitioner.split_blocks(stream, self._batch_size)
-            shards = self._ingest_in_processes(shards, buckets)
-        else:
-            buckets = self._partitioner.split(stream)
-            shards = self._ingest_in_processes(shards, buckets)
-        merge_started = time.perf_counter()
-        merged = shards[0].snapshot()
-        for shard in shards[1:]:
-            merged.merge(shard.estimator)
-        if self._merged is not None:
-            self._merged.merge(merged)
-        else:
-            self._merged = merged
-        merge_seconds = time.perf_counter() - merge_started
-        self._shards = shards
-        rows_per_shard = tuple(shard.rows_ingested for shard in shards)
-        return IngestReport(
-            n_shards=self.n_shards,
+        with telemetry.span(
+            "coordinator.ingest",
             backend=self._backend,
             policy=self._partitioner.policy,
-            rows_total=sum(rows_per_shard),
-            rows_per_shard=rows_per_shard,
-            wall_seconds=time.perf_counter() - started,
-            shard_seconds=tuple(shard.ingest_seconds for shard in shards),
-            merge_seconds=merge_seconds,
+            n_shards=self.n_shards,
+        ) as ingest_span:
+            if self._backend == "serial" or self.n_shards == 1:
+                if self._batch_size is not None:
+                    for start, block in stream.iter_batches(self._batch_size):
+                        assignment = self._partitioner.assign_block(start, block)
+                        for shard_index in range(self.n_shards):
+                            rows = block[assignment == shard_index]
+                            if rows.shape[0]:
+                                shards[shard_index].ingest_block(rows)
+                else:
+                    for index, row in enumerate(stream):
+                        shards[self._partitioner.assign(index, row)].ingest_row(row)
+            elif self._batch_size is not None:
+                buckets = self._partitioner.split_blocks(stream, self._batch_size)
+                shards = self._ingest_in_processes(shards, buckets)
+            else:
+                buckets = self._partitioner.split(stream)
+                shards = self._ingest_in_processes(shards, buckets)
+            with telemetry.span("coordinator.merge", n_shards=self.n_shards):
+                merge_started = time.perf_counter()
+                merged = shards[0].snapshot()
+                for shard in shards[1:]:
+                    merged.merge(shard.estimator)
+                if self._merged is not None:
+                    self._merged.merge(merged)
+                else:
+                    self._merged = merged
+                merge_seconds = time.perf_counter() - merge_started
+            self._shards = shards
+            rows_per_shard = tuple(shard.rows_ingested for shard in shards)
+            rows_total = sum(rows_per_shard)
+            ingest_span.set(rows=rows_total)
+            report = IngestReport(
+                n_shards=self.n_shards,
+                backend=self._backend,
+                policy=self._partitioner.policy,
+                rows_total=rows_total,
+                rows_per_shard=rows_per_shard,
+                wall_seconds=time.perf_counter() - started,
+                shard_seconds=tuple(shard.ingest_seconds for shard in shards),
+                merge_seconds=merge_seconds,
+            )
+        if telemetry.enabled():
+            self._record_ingest_metrics(report)
+        return report
+
+    def _record_ingest_metrics(self, report: IngestReport) -> None:
+        """Account one finished ingest in the process-global registry.
+
+        Counters for rows/merges, histograms for wall/merge/per-shard
+        seconds, and the partition-skew gauge (max over mean rows per
+        shard — 1.0 is perfectly balanced) the ROADMAP's scale-out work
+        will watch.  One call per ingest, so the cost is independent of
+        the stream length.
+        """
+        registry = telemetry.get_registry()
+        registry.counter(
+            "repro_ingest_rows_total", "rows routed through Coordinator.ingest"
+        ).inc(report.rows_total, backend=report.backend, policy=report.policy)
+        registry.histogram(
+            "repro_ingest_seconds", "wall seconds per Coordinator.ingest call"
+        ).observe(report.wall_seconds, backend=report.backend)
+        registry.counter(
+            "repro_merge_total", "per-shard summary merges folded by ingest"
+        ).inc(max(0, report.n_shards - 1))
+        registry.histogram(
+            "repro_merge_seconds", "wall seconds merging shard summaries"
+        ).observe(report.merge_seconds)
+        shard_histogram = registry.histogram(
+            "repro_shard_ingest_seconds", "wall seconds of shard ingest work"
         )
+        for shard_index, seconds in enumerate(report.shard_seconds):
+            shard_histogram.observe(seconds, shard=str(shard_index))
+        if report.rows_total:
+            mean_rows = report.rows_total / report.n_shards
+            registry.gauge(
+                "repro_partition_skew_ratio",
+                "max/mean rows per shard of the last ingest (1.0 = balanced)",
+            ).set(max(report.rows_per_shard) / mean_rows, policy=report.policy)
+        if self._merged is not None:
+            registry.gauge(
+                "repro_summary_size_bits",
+                "structural size of the merged summary",
+            ).set(
+                self._merged.size_in_bits(),
+                estimator=type(self._merged).__name__,
+            )
 
     def _ingest_in_processes(
         self, shards: list[Shard], buckets: list
@@ -309,7 +374,10 @@ class Coordinator:
         ]
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
             results = list(pool.map(_ingest_estimator_state, payloads, buckets))
-        for shard, (ingested, elapsed, payload) in zip(shards, results):
+        registry = telemetry.get_registry()
+        for shard, (ingested, elapsed, payload, metrics_state) in zip(
+            shards, results
+        ):
             estimator = (
                 persistence.from_bytes(bytes(payload))
                 if isinstance(payload, (bytes, bytearray))
@@ -321,6 +389,11 @@ class Coordinator:
                     f"{type(estimator).__name__}"
                 )
             shard.adopt(estimator, ingested, elapsed)
+            if metrics_state is not None and telemetry.enabled():
+                # Workers record into a registry of their own and ship it
+                # back next to the estimator state; fold it in so block and
+                # kernel metrics survive the process boundary.
+                registry.merge_state(metrics_state)
         return shards
 
     @staticmethod

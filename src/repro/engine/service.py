@@ -22,6 +22,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Sequence
 
+from .. import telemetry
 from ..coding.words import Word
 from ..core.dataset import ColumnQuery
 from ..core.estimator import ProjectedFrequencyEstimator
@@ -33,12 +34,13 @@ __all__ = ["CacheInfo", "QueryService"]
 
 @dataclass(frozen=True)
 class CacheInfo:
-    """Hit/miss accounting of the service's LRU result cache."""
+    """Hit/miss/invalidation accounting of the service's LRU result cache."""
 
     hits: int
     misses: int
     size: int
     capacity: int
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -98,6 +100,7 @@ class QueryService:
         self._cache_version = estimator.version
         self._hits = 0
         self._misses = 0
+        self._invalidations = 0
         self._recorders: dict[str, LatencyRecorder] = {}
 
     @property
@@ -147,6 +150,7 @@ class QueryService:
         state["_recorders"] = {}
         state["_hits"] = 0
         state["_misses"] = 0
+        state["_invalidations"] = 0
         return state
 
     # -- cache plumbing ----------------------------------------------------------
@@ -158,16 +162,38 @@ class QueryService:
             # the cache was filled: every cached answer is stale.
             self._cache.clear()
             self._cache_version = current_version
+            self._invalidations += 1
+            if telemetry.enabled():
+                telemetry.get_registry().counter(
+                    "repro_query_cache_invalidations_total",
+                    "Cache flushes (manual or stale summary version).",
+                ).inc(reason="stale")
         cache_key = (kind, key)
         if self._cache_size and cache_key in self._cache:
             self._hits += 1
             self._cache.move_to_end(cache_key)
+            if telemetry.enabled():
+                telemetry.get_registry().counter(
+                    "repro_query_cache_hits_total",
+                    "Queries answered from the result cache.",
+                ).inc(kind=kind)
             return self._cache[cache_key]
-        started = time.perf_counter()
-        value = compute()
-        elapsed = time.perf_counter() - started
+        with telemetry.span("service.query", kind=kind):
+            started = time.perf_counter()
+            value = compute()
+            elapsed = time.perf_counter() - started
         self._misses += 1
         self._recorders.setdefault(kind, LatencyRecorder()).record(elapsed)
+        if telemetry.enabled():
+            registry = telemetry.get_registry()
+            registry.counter(
+                "repro_query_cache_misses_total",
+                "Queries that had to be computed from the summary.",
+            ).inc(kind=kind)
+            registry.histogram(
+                "repro_query_latency_seconds",
+                "Latency of one uncached query against the summary.",
+            ).observe(elapsed, kind=kind)
         if self._cache_size:
             self._cache[cache_key] = value
             while len(self._cache) > self._cache_size:
@@ -177,19 +203,45 @@ class QueryService:
     def invalidate(self) -> None:
         """Drop every cached result (call after merging in more data)."""
         self._cache.clear()
+        self._invalidations += 1
+        if telemetry.enabled():
+            telemetry.get_registry().counter(
+                "repro_query_cache_invalidations_total",
+                "Cache flushes (manual or stale summary version).",
+            ).inc(reason="manual")
 
     def cache_info(self) -> CacheInfo:
-        """Current hit/miss accounting of the result cache."""
+        """Current hit/miss/invalidation accounting of the result cache."""
         return CacheInfo(
             hits=self._hits,
             misses=self._misses,
             size=len(self._cache),
             capacity=self._cache_size,
+            invalidations=self._invalidations,
         )
 
-    def stats(self) -> dict[str, LatencySummary]:
-        """Per-query-kind latency summaries (cache misses only)."""
-        return {kind: rec.summary() for kind, rec in self._recorders.items()}
+    def stats(self) -> dict[str, LatencySummary | CacheInfo]:
+        """Per-query-kind latency summaries plus the ``"cache"`` accounting.
+
+        Latency entries (cache misses only) keep their historical shape —
+        one :class:`~repro.engine.stats.LatencySummary` per query kind —
+        and the ``"cache"`` key carries the :class:`CacheInfo` counters so
+        callers get hits/misses/invalidations from the same snapshot.
+
+        Example::
+
+            >>> from repro import Dataset, ExactBaseline, QueryService
+            >>> service = QueryService(
+            ...     ExactBaseline(n_columns=4).observe(Dataset.random(20, 4, seed=1))
+            ... )
+            >>> service.stats()["cache"].misses
+            0
+        """
+        summaries: dict[str, LatencySummary | CacheInfo] = {
+            kind: rec.summary() for kind, rec in self._recorders.items()
+        }
+        summaries["cache"] = self.cache_info()
+        return summaries
 
     # -- single queries ----------------------------------------------------------
 

@@ -22,6 +22,7 @@ from pathlib import Path
 
 from ..analysis.reporting import format_quantity
 from ..errors import InvalidParameterError
+from ..telemetry import validate_telemetry_section
 from .runner import RESULT_SCHEMA, ExperimentResult
 
 __all__ = [
@@ -106,6 +107,7 @@ def validate_result_payload(payload: object) -> list[str]:
                     break
     if not isinstance(payload.get("wall_seconds"), (int, float)):
         problems.append("'wall_seconds' must be a number")
+    problems.extend(validate_telemetry_section(payload.get("telemetry")))
     checkpoints = payload.get("checkpoints")
     if checkpoints is not None:
         if not isinstance(checkpoints, list):
@@ -195,6 +197,28 @@ def render_markdown(payload: dict) -> str:
     for table in payload["tables"]:
         lines.extend(["", f"## {table['title']}", ""])
         lines.extend(_markdown_table(table["headers"], table["rows"]))
+    telemetry = payload["telemetry"]
+    phases = telemetry["phases"]
+    cache = telemetry["cache"]
+    queries = telemetry["queries"]
+    lines.extend(["", "## Telemetry", ""])
+    lines.extend(
+        _markdown_table(
+            ["measure", "value"],
+            [
+                ["registry enabled", bool(telemetry["enabled"])],
+                ["engine sessions", telemetry["ingest"]["sessions"]],
+                ["rows ingested", telemetry["ingest"]["rows_total"]],
+                ["ingest wall (s)", phases["ingest_seconds"]],
+                ["merge wall (s)", phases["merge_seconds"]],
+                ["query wall (s)", phases["query_seconds"]],
+                ["uncached queries", queries["count"]],
+                ["cache hits / misses", f"{cache['hits']} / {cache['misses']}"],
+                ["cache invalidations", cache["invalidations"]],
+                ["peak summary bits", telemetry["peak_summary_bits"]],
+            ],
+        )
+    )
     if payload.get("checkpoints"):
         lines.extend(["", "## Saved checkpoints (wire bytes vs structural bits)", ""])
         lines.extend(

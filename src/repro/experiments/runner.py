@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from itertools import count
 from typing import Iterator
 
+from .. import telemetry as _telemetry
 from ..core.dataset import Dataset
 from ..engine.coordinator import Coordinator, IngestReport
 from ..engine.service import QueryService
@@ -46,8 +47,9 @@ from .specs import (
 
 __all__ = ["EngineSession", "ExperimentResult", "RunContext", "run_experiment"]
 
-#: Version tag stamped into every JSON result payload.
-RESULT_SCHEMA = "repro/experiment-result@1"
+#: Version tag stamped into every JSON result payload.  ``@2`` added the
+#: required ``telemetry`` section (``repro/telemetry@1``).
+RESULT_SCHEMA = "repro/experiment-result@2"
 
 #: Sentinel distinguishing "no override" from an explicit ``batch_size=None``.
 _UNSET = object()
@@ -84,6 +86,9 @@ class RunContext:
     checkpoints: CheckpointWriter | None = None
     restore: CheckpointReader | None = None
     _session_ids: Iterator[int] = field(default_factory=count, repr=False)
+    #: Every :class:`EngineSession` this run created, in creation order —
+    #: the raw material for the result's ``telemetry`` section.
+    sessions: list[EngineSession] = field(default_factory=list, repr=False)
 
     def dataset(self) -> Dataset:
         """Generate the scenario's dataset from its workload spec."""
@@ -134,12 +139,14 @@ class RunContext:
         if self.restore is not None:
             coordinator, report = self.restore.next_session(key)
             service = coordinator.query_service(cache_size=self.engine.cache_size)
-            return EngineSession(
+            session = EngineSession(
                 estimator_name=estimator.name,
                 coordinator=coordinator,
                 service=service,
                 ingest_report=report,
             )
+            self.sessions.append(session)
+            return session
         coordinator = Coordinator(
             lambda: estimator.build(self.params),
             n_shards=self.engine.n_shards if n_shards is None else n_shards,
@@ -153,12 +160,14 @@ class RunContext:
         service = coordinator.query_service(cache_size=self.engine.cache_size)
         if self.checkpoints is not None:
             self.checkpoints.record(key, estimator.name, coordinator, report)
-        return EngineSession(
+        session = EngineSession(
             estimator_name=estimator.name,
             coordinator=coordinator,
             service=service,
             ingest_report=report,
         )
+        self.sessions.append(session)
+        return session
 
 
 @dataclass(frozen=True)
@@ -178,6 +187,10 @@ class ExperimentResult:
     #: the checkpoint's bytes on disk with the summary's structural
     #: ``size_in_bits()`` accounting.  Empty for ordinary runs.
     checkpoints: tuple[dict, ...] = ()
+    #: The ``repro/telemetry@1`` section: per-phase wall time, ingest
+    #: throughput, cache accounting and the peak summary size (see
+    #: :func:`repro.telemetry.validate_telemetry_section`).
+    telemetry: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """The JSON payload ``python -m repro run`` writes to disk."""
@@ -192,10 +205,72 @@ class ExperimentResult:
             "metrics": dict(self.metrics),
             "tables": [table.to_dict() for table in self.tables],
             "wall_seconds": self.wall_seconds,
+            "telemetry": dict(self.telemetry),
         }
         if self.checkpoints:
             payload["checkpoints"] = [dict(entry) for entry in self.checkpoints]
         return payload
+
+
+def _telemetry_section(context: RunContext) -> dict:
+    """Build the result's ``repro/telemetry@1`` section from the run's sessions.
+
+    Computed from the :class:`~repro.engine.coordinator.IngestReport` and
+    :class:`~repro.engine.service.QueryService` accounting every session
+    carries, so the section is present (with the same shape) whether the
+    metrics registry is enabled or not — ``enabled`` records which mode the
+    run used.
+    """
+    sessions = tuple(context.sessions)
+    reports = [session.ingest_report for session in sessions]
+    ingest_seconds = float(sum(report.wall_seconds for report in reports))
+    merge_seconds = float(sum(report.merge_seconds for report in reports))
+    rows_total = int(sum(report.rows_total for report in reports))
+    hits = misses = invalidations = 0
+    query_seconds = 0.0
+    kinds: dict[str, int] = {}
+    peak_summary_bits = 0
+    for session in sessions:
+        info = session.service.cache_info()
+        hits += info.hits
+        misses += info.misses
+        invalidations += info.invalidations
+        for kind, summary in session.service.stats().items():
+            if kind == "cache":
+                continue
+            kinds[kind] = kinds.get(kind, 0) + summary.count
+            query_seconds += summary.total_seconds
+        merged = session.coordinator.merged_estimator
+        if merged is not None:
+            peak_summary_bits = max(peak_summary_bits, merged.size_in_bits())
+    lookups = hits + misses
+    return {
+        "schema": _telemetry.TELEMETRY_SCHEMA,
+        "enabled": _telemetry.enabled(),
+        "phases": {
+            "ingest_seconds": ingest_seconds,
+            "merge_seconds": merge_seconds,
+            "query_seconds": query_seconds,
+        },
+        "ingest": {
+            "sessions": len(sessions),
+            "rows_total": rows_total,
+            "rows_per_second": (
+                rows_total / ingest_seconds if ingest_seconds > 0 else 0.0
+            ),
+        },
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "invalidations": invalidations,
+            "hit_rate": hits / lookups if lookups else 0.0,
+        },
+        "queries": {
+            "count": sum(kinds.values()),
+            "kinds": dict(sorted(kinds.items())),
+        },
+        "peak_summary_bits": peak_summary_bits,
+    }
 
 
 def run_experiment(
@@ -233,7 +308,10 @@ def run_experiment(
         spec=spec, params=params, engine=engine, checkpoints=writer, restore=reader
     )
     started = time.perf_counter()
-    output = spec.run(context)
+    with _telemetry.span(
+        "experiment.run", scenario=spec.name, quick=params.quick
+    ):
+        output = spec.run(context)
     wall_seconds = time.perf_counter() - started
     if writer is not None:
         writer.finalise()
@@ -272,4 +350,5 @@ def run_experiment(
         tables=tables,
         wall_seconds=wall_seconds,
         checkpoints=tuple(writer.sessions) if writer is not None else (),
+        telemetry=_telemetry_section(context),
     )

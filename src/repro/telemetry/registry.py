@@ -1,0 +1,612 @@
+"""Labeled metrics: counters, gauges, log-bucket histograms, and a registry.
+
+The measurement substrate of the serving stack.  Three metric kinds cover
+everything the engine needs to account for itself:
+
+* :class:`Counter` — monotonically increasing totals (rows ingested, cache
+  hits, checkpoint bytes);
+* :class:`Gauge` — last-written values (partition skew, summary size in
+  bits);
+* :class:`Histogram` — distributions over **fixed log-scale buckets**
+  (ingest block latencies, per-query latencies, batch sizes).  Fixed
+  buckets are what make histograms *mergeable*: two histograms recorded in
+  different processes add bucket-wise, so shard workers can ship their
+  registries back to the coordinator next to their estimator snapshots.
+
+All three are labeled: ``counter.inc(5, shard="2")`` keeps one series per
+distinct label set, exactly like the Prometheus data model the exporter in
+:mod:`repro.telemetry.export` renders.
+
+A process-global default registry backs the instrumented hot paths (see
+:func:`get_registry`); :func:`disable` swaps in a shared null registry
+whose metrics are no-op singletons, so an instrumented call site costs one
+function call and one attribute access when telemetry is off.
+
+Example::
+
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("rows_total", "rows ingested").inc(128, shard="0")
+    >>> registry.counter("rows_total").value(shard="0")
+    128.0
+    >>> other = MetricsRegistry()
+    >>> other.counter("rows_total", "rows ingested").inc(64, shard="0")
+    >>> registry.merge(other).counter("rows_total").value(shard="0")
+    192.0
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetric",
+    "NullRegistry",
+    "SIZE_BUCKETS",
+    "TIME_BUCKETS",
+    "disable",
+    "enable",
+    "enabled",
+    "get_registry",
+    "reset",
+    "scoped_registry",
+    "set_registry",
+]
+
+#: Log-scale (base 2) latency buckets: 1 µs .. ~17 minutes.  Fixed across
+#: every histogram instance so recordings from any process merge bucket-wise.
+TIME_BUCKETS = tuple(1e-6 * 2.0**k for k in range(31))
+
+#: Log-scale (base 2) magnitude buckets for sizes and counts: 1 .. 2^30.
+SIZE_BUCKETS = tuple(float(2**k) for k in range(31))
+
+#: Canonical label-set key: sorted ``(key, value)`` pairs, values stringified.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Common name/help/kind plumbing of the three metric kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        if not name or not all(c.isalnum() or c == "_" for c in name):
+            raise InvalidParameterError(
+                f"metric name {name!r} must be non-empty [A-Za-z0-9_] "
+                "(Prometheus-safe without escaping)"
+            )
+        self.name = name
+        self.help = help_text
+
+    def series(self) -> list[tuple[LabelKey, object]]:
+        """Every recorded ``(label set, value)`` pair, sorted by labels."""
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A labeled, monotonically increasing total.
+
+    Example::
+
+        >>> counter = Counter("queries_total")
+        >>> counter.inc(kind="fp")
+        >>> counter.inc(2, kind="fp")
+        >>> counter.value(kind="fp")
+        3.0
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (>= 0) to the series selected by ``labels``."""
+        if amount < 0:
+            raise InvalidParameterError(
+                f"counter {self.name!r} cannot decrease (amount={amount})"
+            )
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + float(amount)
+
+    def value(self, **labels: object) -> float:
+        """Current total of the series selected by ``labels`` (0 if unseen)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def series(self) -> list[tuple[LabelKey, object]]:
+        """Every recorded ``(label set, total)`` pair, sorted by labels."""
+        return sorted(self._values.items())
+
+    def _merge(self, other: "Counter") -> None:
+        for key, value in other._values.items():
+            self._values[key] = self._values.get(key, 0.0) + value
+
+    def _state(self) -> list:
+        return [[list(key), value] for key, value in self.series()]
+
+    def _load(self, state: list) -> None:
+        for key, value in state:
+            labels = dict(tuple(pair) for pair in key)
+            self.inc(float(value), **labels)
+
+
+class Gauge(_Metric):
+    """A labeled last-written value.
+
+    Merging keeps the *maximum* per series — the useful aggregation for the
+    peak-style gauges the engine records (summary bits, partition skew)
+    when per-process registries are folded together.
+
+    Example::
+
+        >>> gauge = Gauge("summary_size_bits")
+        >>> gauge.set(4096, estimator="alpha-net")
+        >>> gauge.value(estimator="alpha-net")
+        4096.0
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        """Overwrite the series selected by ``labels`` with ``value``."""
+        self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Adjust the series selected by ``labels`` by ``amount``."""
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + float(amount)
+
+    def value(self, **labels: object) -> float:
+        """Current value of the series selected by ``labels`` (0 if unseen)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def series(self) -> list[tuple[LabelKey, object]]:
+        """Every recorded ``(label set, value)`` pair, sorted by labels."""
+        return sorted(self._values.items())
+
+    def _merge(self, other: "Gauge") -> None:
+        for key, value in other._values.items():
+            mine = self._values.get(key)
+            self._values[key] = value if mine is None else max(mine, value)
+
+    def _state(self) -> list:
+        return [[list(key), value] for key, value in self.series()]
+
+    def _load(self, state: list) -> None:
+        for key, value in state:
+            labels = dict(tuple(pair) for pair in key)
+            current = self._values.get(_label_key(labels))
+            merged = float(value) if current is None else max(current, float(value))
+            self.set(merged, **labels)
+
+
+class HistogramSeries:
+    """One label set's worth of histogram state (bucket counts + moments)."""
+
+    __slots__ = ("bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * (n_buckets + 1)  # +1 for the +Inf bucket
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+
+class Histogram(_Metric):
+    """A labeled distribution over fixed, monotonically increasing buckets.
+
+    ``buckets`` are *upper bounds* (``le`` in Prometheus terms); an implicit
+    ``+Inf`` bucket catches everything above the last bound.  Because the
+    bounds are fixed at construction, two histograms with the same bounds
+    merge exactly by adding bucket counts — no resampling, no raw values.
+
+    Example::
+
+        >>> histogram = Histogram("latency_seconds", buckets=(0.1, 1.0))
+        >>> for value in (0.05, 0.5, 5.0):
+        ...     histogram.observe(value)
+        >>> histogram.snapshot().count
+        3
+        >>> histogram.snapshot().bucket_counts
+        [1, 1, 1]
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = TIME_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(a >= b for a, b in zip(bounds, bounds[1:])):
+            raise InvalidParameterError(
+                f"histogram {name!r} buckets must be non-empty and strictly "
+                "increasing"
+            )
+        self.buckets = bounds
+        self._series: dict[LabelKey, HistogramSeries] = {}
+
+    def observe(self, value: float, count: int = 1, **labels: object) -> None:
+        """Record ``value`` (``count`` times) into the ``labels`` series."""
+        if count < 1:
+            raise InvalidParameterError(
+                f"histogram {self.name!r} observation count must be >= 1"
+            )
+        value = float(value)
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = HistogramSeries(len(self.buckets))
+        # Binary search beats a linear scan over 31 log-scale bounds.
+        low, high = 0, len(self.buckets)
+        while low < high:
+            mid = (low + high) // 2
+            if value <= self.buckets[mid]:
+                high = mid
+            else:
+                low = mid + 1
+        series.bucket_counts[low] += count
+        series.count += count
+        series.total += value * count
+        series.min = min(series.min, value)
+        series.max = max(series.max, value)
+
+    def snapshot(self, **labels: object) -> HistogramSeries:
+        """The state of the ``labels`` series (empty state if unseen)."""
+        return self._series.get(
+            _label_key(labels), HistogramSeries(len(self.buckets))
+        )
+
+    def series(self) -> list[tuple[LabelKey, object]]:
+        """Every recorded ``(label set, series state)`` pair, sorted."""
+        return sorted(self._series.items())
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """Bucket-resolution estimate of the ``q``-quantile (``0 <= q <= 1``).
+
+        Returns the upper bound of the bucket holding the target rank —
+        exact to within one log-scale bucket, which is the deal histograms
+        trade raw samples for.  ``nan`` when the series is empty.
+        """
+        if not 0 <= q <= 1:
+            raise InvalidParameterError(f"q must be in [0, 1], got {q}")
+        series = self.snapshot(**labels)
+        if series.count == 0:
+            return math.nan
+        rank = max(1, math.ceil(q * series.count))
+        seen = 0
+        for index, bucket_count in enumerate(series.bucket_counts):
+            seen += bucket_count
+            if seen >= rank:
+                if index < len(self.buckets):
+                    return self.buckets[index]
+                return series.max  # +Inf bucket: best available bound
+        return series.max
+
+    def _merge(self, other: "Histogram") -> None:
+        if other.buckets != self.buckets:
+            raise InvalidParameterError(
+                f"histogram {self.name!r}: cannot merge differing bucket "
+                "layouts"
+            )
+        for key, theirs in other._series.items():
+            mine = self._series.get(key)
+            if mine is None:
+                mine = self._series[key] = HistogramSeries(len(self.buckets))
+            mine.bucket_counts = [
+                a + b for a, b in zip(mine.bucket_counts, theirs.bucket_counts)
+            ]
+            mine.count += theirs.count
+            mine.total += theirs.total
+            mine.min = min(mine.min, theirs.min)
+            mine.max = max(mine.max, theirs.max)
+
+    def _state(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "series": [
+                [
+                    list(key),
+                    {
+                        "bucket_counts": list(state.bucket_counts),
+                        "count": state.count,
+                        "total": state.total,
+                        "min": None if math.isinf(state.min) else state.min,
+                        "max": None if math.isinf(state.max) else state.max,
+                    },
+                ]
+                for key, state in self.series()
+            ],
+        }
+
+    def _load(self, state: dict) -> None:
+        incoming = Histogram(
+            self.name, self.help, tuple(float(b) for b in state["buckets"])
+        )
+        for key, fields in state["series"]:
+            series = HistogramSeries(len(incoming.buckets))
+            series.bucket_counts = [int(c) for c in fields["bucket_counts"]]
+            series.count = int(fields["count"])
+            series.total = float(fields["total"])
+            series.min = math.inf if fields["min"] is None else float(fields["min"])
+            series.max = -math.inf if fields["max"] is None else float(fields["max"])
+            incoming._series[_label_key(dict(tuple(p) for p in key))] = series
+        self._merge(incoming)
+
+
+class MetricsRegistry:
+    """Name → metric map with get-or-create accessors and exact merging.
+
+    The registry is the unit that crosses process boundaries: a shard
+    worker records into a fresh registry, ships ``state_dict()`` back next
+    to its estimator snapshot, and the coordinator folds it into the
+    process-global registry with :meth:`merge_state` — counters add,
+    gauges keep their per-series maximum, histograms add bucket-wise.
+
+    Example::
+
+        >>> registry = MetricsRegistry()
+        >>> registry.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        >>> restored = MetricsRegistry.from_state_dict(registry.state_dict())
+        >>> restored.histogram("h", buckets=(1.0, 2.0)).snapshot().count
+        1
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help_text: str, **kwargs) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, help_text, **kwargs)
+            elif not isinstance(metric, cls):
+                raise InvalidParameterError(
+                    f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Get or create the counter registered under ``name``."""
+        return self._get_or_create(Counter, name, help_text)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """Get or create the gauge registered under ``name``."""
+        return self._get_or_create(Gauge, name, help_text)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = TIME_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram registered under ``name``."""
+        metric = self._get_or_create(Histogram, name, help_text, buckets=buckets)
+        if metric.buckets != tuple(float(b) for b in buckets):  # type: ignore[union-attr]
+            raise InvalidParameterError(
+                f"histogram {name!r} already registered with different buckets"
+            )
+        return metric  # type: ignore[return-value]
+
+    def collect(self) -> list[_Metric]:
+        """Every registered metric, sorted by name."""
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s recordings into this registry; returns ``self``."""
+        for metric in other.collect():
+            mine = self._get_or_create(
+                type(metric),
+                metric.name,
+                metric.help,
+                **(
+                    {"buckets": metric.buckets}
+                    if isinstance(metric, Histogram)
+                    else {}
+                ),
+            )
+            mine._merge(metric)  # type: ignore[attr-defined]
+        return self
+
+    def merge_state(self, state: dict) -> "MetricsRegistry":
+        """Fold a :meth:`state_dict` payload (e.g. from a worker) into this."""
+        return self.merge(MetricsRegistry.from_state_dict(state))
+
+    def state_dict(self) -> dict:
+        """JSON-able view of every metric — the cross-process wire form."""
+        return {
+            "metrics": [
+                {
+                    "name": metric.name,
+                    "kind": metric.kind,
+                    "help": metric.help,
+                    "state": metric._state(),  # type: ignore[attr-defined]
+                }
+                for metric in self.collect()
+            ]
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`state_dict` payload."""
+        registry = cls()
+        kinds = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+        for entry in state.get("metrics", ()):
+            kind = kinds.get(entry.get("kind"))
+            if kind is None:
+                raise InvalidParameterError(
+                    f"unknown metric kind {entry.get('kind')!r} in registry state"
+                )
+            if kind is Histogram:
+                metric = registry.histogram(
+                    entry["name"],
+                    entry.get("help", ""),
+                    tuple(float(b) for b in entry["state"]["buckets"]),
+                )
+            elif kind is Counter:
+                metric = registry.counter(entry["name"], entry.get("help", ""))
+            else:
+                metric = registry.gauge(entry["name"], entry.get("help", ""))
+            metric._load(entry["state"])  # type: ignore[attr-defined]
+        return registry
+
+    def reset(self) -> None:
+        """Drop every metric (test and run isolation helper)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+class NullMetric:
+    """Shared no-op metric handed out by :class:`NullRegistry`.
+
+    Every mutator is an empty method, so disabled-mode instrumentation
+    costs one registry call and one no-op method call per site.
+    """
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """No-op."""
+
+    def set(self, value: float, **labels: object) -> None:
+        """No-op."""
+
+    def observe(self, value: float, count: int = 1, **labels: object) -> None:
+        """No-op."""
+
+    def value(self, **labels: object) -> float:
+        """Always 0 — nothing is recorded in null mode."""
+        return 0.0
+
+
+_NULL_METRIC = NullMetric()
+
+
+class NullRegistry:
+    """The disabled-mode registry: every accessor returns the null metric."""
+
+    def counter(self, name: str, help_text: str = "") -> NullMetric:
+        """The shared no-op metric."""
+        return _NULL_METRIC
+
+    def gauge(self, name: str, help_text: str = "") -> NullMetric:
+        """The shared no-op metric."""
+        return _NULL_METRIC
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = TIME_BUCKETS,
+    ) -> NullMetric:
+        """The shared no-op metric."""
+        return _NULL_METRIC
+
+    def collect(self) -> list:
+        """Nothing is ever recorded in null mode."""
+        return []
+
+    def merge(self, other: object) -> "NullRegistry":
+        """No-op; returns self."""
+        return self
+
+    def merge_state(self, state: dict) -> "NullRegistry":
+        """No-op; returns self."""
+        return self
+
+    def state_dict(self) -> dict:
+        """An empty registry state."""
+        return {"metrics": []}
+
+    def reset(self) -> None:
+        """No-op."""
+
+
+_NULL_REGISTRY = NullRegistry()
+_DEFAULT_REGISTRY = MetricsRegistry()
+# Telemetry defaults to on (the instrumentation is block/call granular, not
+# per row); REPRO_TELEMETRY=0 in the environment starts the process dark.
+_ENABLED = os.environ.get("REPRO_TELEMETRY", "1") not in ("0", "false", "off")
+
+
+def enabled() -> bool:
+    """Whether telemetry is currently recording in this process."""
+    return _ENABLED
+
+
+def enable() -> None:
+    """Turn telemetry on (the default)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn telemetry off: hot paths see the null registry and no-op spans."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def get_registry() -> MetricsRegistry | NullRegistry:
+    """The process-global registry, or the null registry when disabled."""
+    return _DEFAULT_REGISTRY if _ENABLED else _NULL_REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process-global default; returns the old one."""
+    global _DEFAULT_REGISTRY
+    previous = _DEFAULT_REGISTRY
+    _DEFAULT_REGISTRY = registry
+    return previous
+
+
+def reset() -> None:
+    """Clear the process-global registry (test isolation helper)."""
+    _DEFAULT_REGISTRY.reset()
+
+
+@contextmanager
+def scoped_registry(
+    registry: MetricsRegistry | None = None,
+) -> Iterator[MetricsRegistry]:
+    """Swap in a fresh (or given) registry for the duration of a block.
+
+    The run-isolation primitive: the experiment runner and worker
+    processes record into a scoped registry so their numbers are
+    attributable to one run and never double-count a forked parent's
+    history.
+
+    Example::
+
+        >>> with scoped_registry() as registry:
+        ...     registry.counter("c").inc()
+        ...     registry.counter("c").value()
+        1.0
+    """
+    fresh = registry if registry is not None else MetricsRegistry()
+    previous = set_registry(fresh)
+    try:
+        yield fresh
+    finally:
+        set_registry(previous)

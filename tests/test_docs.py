@@ -23,6 +23,10 @@ DOCTEST_MODULES = (
     "repro.experiments.report",
     "repro.experiments.runner",
     "repro.experiments.specs",
+    "repro.telemetry",
+    "repro.telemetry.export",
+    "repro.telemetry.registry",
+    "repro.telemetry.trace",
 )
 
 
@@ -47,7 +51,7 @@ def test_public_engine_and_experiments_symbols_have_docstrings():
 
 
 def test_docs_tree_exists():
-    for name in ("architecture.md", "experiments.md", "api.md"):
+    for name in ("architecture.md", "experiments.md", "api.md", "observability.md"):
         assert (REPO_ROOT / "docs" / name).exists()
 
 

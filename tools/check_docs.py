@@ -30,7 +30,11 @@ MARKDOWN_FILES = ("README.md", "CHANGES.md", "ROADMAP.md")
 MARKDOWN_GLOBS = ("docs/*.md",)
 
 #: Python trees whose public symbols must all carry docstrings.
-DOCSTRING_TREES = ("src/repro/engine", "src/repro/experiments")
+DOCSTRING_TREES = (
+    "src/repro/engine",
+    "src/repro/experiments",
+    "src/repro/telemetry",
+)
 DOCSTRING_FILES = ("src/repro/cli.py", "src/repro/__main__.py")
 
 _LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

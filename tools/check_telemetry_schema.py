@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Telemetry schema gate for CI and local validation.
+
+Validates the observability artifacts against their declared formats (run
+from the repository root with ``PYTHONPATH=src``):
+
+1. **Trace files** (``--trace PATH``) — the ``repro/trace@1`` JSON written
+   by ``python -m repro run <scenario> --trace PATH``: schema tag, span
+   field types, span-id uniqueness, parent references, and parent/child
+   interval nesting.  ``--require-span NAME`` (repeatable) additionally
+   demands that the trace contains at least one span with that name — CI
+   uses it to prove an engine-scenario trace really covers the
+   ``coordinator.ingest`` / ``coordinator.merge`` / ``service.query`` path.
+2. **Result files** (``--result PATH``) — the ``telemetry`` section
+   (``repro/telemetry@1``) of an experiment result JSON written by
+   ``python -m repro run``.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_telemetry_schema.py \\
+        --trace trace.json --require-span coordinator.ingest \\
+        --result results/figure1.json
+
+Exit code 0 when every artifact is schema-valid, 1 with a problem listing
+otherwise, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+try:
+    from repro import telemetry
+except ImportError:  # pragma: no cover - direct invocation convenience
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro import telemetry
+
+
+def _load_json(path: Path) -> tuple[object | None, list[str]]:
+    if not path.exists():
+        return None, [f"{path}: does not exist"]
+    try:
+        return json.loads(path.read_text()), []
+    except json.JSONDecodeError as error:
+        return None, [f"{path}: invalid JSON: {error}"]
+
+
+def check_trace_file(path: Path, required_spans: list[str]) -> list[str]:
+    """Validate one ``repro/trace@1`` file; returns problem strings."""
+    payload, problems = _load_json(path)
+    if payload is None:
+        return problems
+    problems = [
+        f"{path}: {problem}"
+        for problem in telemetry.validate_trace_payload(payload)
+    ]
+    if problems:
+        return problems
+    present = {entry["name"] for entry in payload["spans"]}
+    for name in required_spans:
+        if name not in present:
+            problems.append(
+                f"{path}: required span {name!r} not present (trace has: "
+                f"{', '.join(sorted(present)) or 'no spans'})"
+            )
+    return problems
+
+
+def check_result_file(path: Path) -> list[str]:
+    """Validate the ``telemetry`` section of one experiment result JSON."""
+    payload, problems = _load_json(path)
+    if payload is None:
+        return problems
+    if not isinstance(payload, dict):
+        return [f"{path}: result payload must be an object"]
+    return [
+        f"{path}: {problem}"
+        for problem in telemetry.validate_telemetry_section(
+            payload.get("telemetry")
+        )
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Check every argument artifact; print problems; return the exit code."""
+    parser = argparse.ArgumentParser(
+        description="validate repro telemetry artifacts against their schemas"
+    )
+    parser.add_argument(
+        "--trace",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="a repro/trace@1 JSON file to validate (repeatable)",
+    )
+    parser.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="span name every --trace file must contain (repeatable)",
+    )
+    parser.add_argument(
+        "--result",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help=(
+            "an experiment result JSON whose telemetry section to validate "
+            "(repeatable)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if not args.trace and not args.result:
+        parser.print_usage(sys.stderr)
+        print(
+            "error: pass at least one --trace or --result artifact",
+            file=sys.stderr,
+        )
+        return 2
+    problems: list[str] = []
+    for path_text in args.trace:
+        problems.extend(check_trace_file(Path(path_text), args.require_span))
+    for path_text in args.result:
+        problems.extend(check_result_file(Path(path_text)))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"\n{len(problems)} telemetry schema problem(s) found")
+        return 1
+    checked = len(args.trace) + len(args.result)
+    print(
+        f"telemetry schema OK: {checked} artifact(s) validated against "
+        f"{telemetry.TRACE_SCHEMA} / {telemetry.TELEMETRY_SCHEMA}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
