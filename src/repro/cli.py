@@ -1,7 +1,7 @@
-"""The ``python -m repro`` command line: list, run, checkpoint, report, stats.
+"""``python -m repro``: list, run, checkpoint, report, stats, lint.
 
-Five subcommands over the scenario registry of
-:mod:`repro.experiments`:
+Six subcommands — five over the scenario registry of
+:mod:`repro.experiments`, plus the static analyzer of :mod:`repro.lint`:
 
 * ``python -m repro list`` — name, paper reference and title of every
   registered scenario;
@@ -22,7 +22,13 @@ Five subcommands over the scenario registry of
 * ``python -m repro report`` — regenerate every Markdown report from the
   JSON payloads in the output directory and write a ``REPORT.md`` index;
 * ``python -m repro stats`` — pretty-print the ``telemetry`` section of
-  recorded result JSONs (phase wall times, throughput, cache hit rates).
+  recorded result JSONs (phase wall times, throughput, cache hit rates);
+* ``python -m repro lint`` — run the contract-aware static analyzer of
+  :mod:`repro.lint` over the source tree (determinism, kernel-safety,
+  protocol-completeness and telemetry-convention rules; see
+  ``docs/static-analysis.md``), with ``--list-rules``, ``--explain RULE``,
+  ``--changed-only``, ``--baseline``/``--write-baseline`` and
+  pretty/JSON output.
 
 Example::
 
@@ -164,6 +170,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default=DEFAULT_OUT_DIR,
         help=f"directory holding <scenario>.json files (default: {DEFAULT_OUT_DIR}/)",
+    )
+
+    lint = commands.add_parser(
+        "lint",
+        help=(
+            "run the contract-aware static analyzer over the source tree "
+            "(rule catalogue: docs/static-analysis.md)"
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("pretty", "json"),
+        default="pretty",
+        help="output format (default: pretty)",
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="run only this rule id (repeatable)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file of grandfathered findings to tolerate",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="write the current findings as a baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="lint only files changed vs git HEAD (plus untracked files)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every registered rule and exit",
+    )
+    lint.add_argument(
+        "--explain",
+        default=None,
+        metavar="RULE",
+        help="print one rule's rationale, example and suppression syntax",
     )
     return parser
 
@@ -382,6 +442,49 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from . import lint as lint_pkg
+
+    if args.list_rules:
+        for rule in lint_pkg.all_rules():
+            kind = "ast" if rule.check is not None else "external"
+            print(f"{rule.rule_id}  [{rule.severity:7}] [{kind:8}] {rule.summary}")
+        return 0
+    if args.explain is not None:
+        try:
+            rule = lint_pkg.get_rule(args.explain.upper())
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+        print(rule.explain())
+        return 0
+    paths = args.paths or ["src/repro"]
+    try:
+        if args.write_baseline is not None:
+            report = lint_pkg.run_lint(
+                paths,
+                select=args.select,
+                changed_only=args.changed_only,
+            )
+            lint_pkg.write_baseline(report.findings, args.write_baseline)
+            print(
+                f"wrote baseline with {len(report.findings)} finding(s) to "
+                f"{args.write_baseline}"
+            )
+            return 0
+        report = lint_pkg.run_lint(
+            paths,
+            select=args.select,
+            changed_only=args.changed_only,
+            baseline_path=args.baseline,
+        )
+    except lint_pkg.LintUsageError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(lint_pkg.render_findings(report, args.format))
+    return lint_pkg.exit_code(report)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
@@ -395,6 +498,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_checkpoint(args)
         if args.command == "stats":
             return _cmd_stats(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         return _cmd_report(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -1,0 +1,192 @@
+"""Telemetry-convention rules (TEL001–TEL003).
+
+``docs/observability.md`` is the authoritative catalogue of metric names,
+their label sets and the span naming scheme; dashboards and the Prometheus
+scrape config are written against it.  A metric declared under a name the
+catalogue does not know, a label the catalogue does not list, or a span
+that breaks the ``component.op`` scheme silently falls off every
+dashboard.  These rules diff call sites against the parsed catalogue.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from .context import ModuleContext, ProjectContext, iter_scope_nodes
+from .rules import rule
+
+__all__ = []
+
+_METRIC_NAME = re.compile(r"^repro_[a-z0-9_]+$")
+_SPAN_NAME = re.compile(r"^[a-z0-9_]+\.[a-z0-9_]+$")
+
+#: MetricsRegistry accessor methods that declare a metric by name.
+_DECLARATIONS = {"counter", "gauge", "histogram"}
+
+#: Metric-instance methods whose keyword arguments are label values.
+_RECORDERS = {"inc", "observe", "set"}
+
+
+def _literal_first_arg(node: ast.Call) -> str | None:
+    if node.args and isinstance(node.args[0], ast.Constant):
+        value = node.args[0].value
+        if isinstance(value, str):
+            return value
+    return None
+
+
+def _declaration_calls(module: ModuleContext) -> Iterator[tuple[ast.Call, str]]:
+    """Every ``registry.counter/gauge/histogram("literal", ...)`` call."""
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _DECLARATIONS):
+            continue
+        name = _literal_first_arg(node)
+        if name is not None:
+            yield node, name
+
+
+@rule(
+    "TEL001",
+    severity="error",
+    summary="metric name not in the docs/observability.md catalogue",
+    rationale=(
+        "Dashboards and alerting are written against the metric catalogue\n"
+        "in docs/observability.md.  A metric declared under an\n"
+        "uncatalogued name (or one that breaks the `repro_*` snake_case\n"
+        "scheme) is emitted but observed by nothing.  Add the metric to\n"
+        "the catalogue table in the same PR that introduces it."
+    ),
+    example='registry.counter("rows_total")  # missing repro_ prefix, uncatalogued',
+)
+def check_metric_names(
+    module: ModuleContext, project: ProjectContext
+) -> Iterator[tuple]:
+    """Flag metric declarations with bad or uncatalogued names."""
+    catalogue = project.metric_catalogue
+    for node, name in _declaration_calls(module):
+        if not _METRIC_NAME.match(name):
+            yield module, node, (
+                f"metric name {name!r} does not match the repro_[a-z0-9_]+ "
+                "naming scheme"
+            )
+        elif catalogue and name not in catalogue:
+            yield module, node, (
+                f"metric {name!r} is not in the docs/observability.md "
+                "catalogue; add it to the metric table"
+            )
+
+
+@rule(
+    "TEL002",
+    severity="error",
+    summary="metric recorded with a label the catalogue does not list",
+    rationale=(
+        "Prometheus treats every new label as a new time series; a label\n"
+        "absent from the catalogue means either a typo (the dashboard\n"
+        "query silently matches nothing) or unbounded cardinality nobody\n"
+        "signed off on.  Labels passed to `.inc()` / `.observe()` /\n"
+        "`.set()` must be a subset of the catalogue's label set for that\n"
+        "metric."
+    ),
+    example=(
+        'registry.counter("repro_merge_total").inc(shard="0")\n'
+        "# catalogue lists no labels for repro_merge_total"
+    ),
+)
+def check_metric_labels(
+    module: ModuleContext, project: ProjectContext
+) -> Iterator[tuple]:
+    """Flag recorder calls whose label kwargs drift from the catalogue."""
+    catalogue = project.metric_catalogue
+    if not catalogue:
+        return
+    for scope, body in module.scopes():
+        # Metric handles are either used inline
+        # (registry.counter("x").inc(...)) or bound to a local first
+        # (h = registry.histogram("x", ...); h.observe(...)); track both.
+        handle_names: dict[str, str] = {}
+        for node in iter_scope_nodes(body):
+            if not isinstance(node, ast.Assign):
+                continue
+            if isinstance(node.value, ast.Call):
+                func = node.value.func
+                if isinstance(func, ast.Attribute) and func.attr in _DECLARATIONS:
+                    name = _literal_first_arg(node.value)
+                    if name is not None:
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                handle_names[target.id] = name
+        for node in iter_scope_nodes(body):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr in _RECORDERS):
+                continue
+            metric_name: str | None = None
+            receiver = func.value
+            if isinstance(receiver, ast.Call):
+                inner = receiver.func
+                if isinstance(inner, ast.Attribute) and inner.attr in _DECLARATIONS:
+                    metric_name = _literal_first_arg(receiver)
+            elif isinstance(receiver, ast.Name):
+                metric_name = handle_names.get(receiver.id)
+            if metric_name is None or metric_name not in catalogue:
+                continue
+            allowed = catalogue[metric_name]
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    continue
+                if keyword.arg not in allowed:
+                    listed = ", ".join(sorted(allowed)) or "none"
+                    yield module, node, (
+                        f"metric {metric_name!r} recorded with label "
+                        f"{keyword.arg!r}; the catalogue allows: {listed}"
+                    )
+
+
+@rule(
+    "TEL003",
+    severity="error",
+    summary="span name breaks the component.op scheme or is uncatalogued",
+    rationale=(
+        "Trace spans follow the `component.op` scheme\n"
+        "(`coordinator.ingest`, `service.query`, ...) and the CI telemetry\n"
+        "gate asserts specific span names appear in captured traces.  A\n"
+        "renamed or misformatted span silently drops out of the trace\n"
+        "assertions and of any trace-derived timing dashboards.  New spans\n"
+        "go into the span list in docs/observability.md."
+    ),
+    example='with telemetry.span("ingesting rows"):  # not component.op',
+)
+def check_span_names(
+    module: ModuleContext, project: ProjectContext
+) -> Iterator[tuple]:
+    """Flag ``span("...")`` calls with drifting names."""
+    spans = project.span_catalogue
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name_part = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name_part != "span":
+            continue
+        literal = _literal_first_arg(node)
+        if literal is None:
+            continue
+        if not _SPAN_NAME.match(literal):
+            yield module, node, (
+                f"span name {literal!r} does not follow the component.op "
+                "naming scheme"
+            )
+        elif spans and literal not in spans:
+            yield module, node, (
+                f"span {literal!r} is not in the docs/observability.md span "
+                "list; add it in the same PR"
+            )

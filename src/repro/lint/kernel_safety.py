@@ -1,0 +1,190 @@
+"""Kernel-safety rules (KER001–KER003).
+
+The vectorized sketch kernels live or die by dtype discipline: NumPy
+silently upcasts a ``uint64``/``int64`` pair to ``float64``, losing the
+top bits of 64-bit hashes; float equality comparisons make bucket
+boundaries platform-dependent; and scatter updates (``np.add.at``) on a
+target whose dtype was never declared inherit whatever dtype an upstream
+refactor produces.  These rules enforce the discipline the hand-written
+kernels in ``sketches/hashing.py`` already follow — every operand of a
+64-bit expression wrapped in an explicit ``np.uint64(...)`` cast, every
+accumulator constructed with an explicit ``dtype=``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .context import (
+    ModuleContext,
+    ProjectContext,
+    collect_local_dtypes,
+    infer_dtype,
+    iter_scope_nodes,
+)
+from .rules import rule
+
+__all__ = []
+
+_UNSIGNED = {"uint8", "uint16", "uint32", "uint64"}
+_SIGNED = {"int8", "int16", "int32", "int64", "intp"}
+_FLOATS = {"float16", "float32", "float64"}
+
+#: Scatter ufunc methods KER003 audits.
+_SCATTER_UFUNCS = {"add", "maximum", "minimum", "subtract", "bitwise_or"}
+
+
+def _in_sketch_scope(module: ModuleContext) -> bool:
+    library = module.library_rel
+    if library is not None:
+        return library.startswith("sketches/")
+    # Outside src/repro (fixtures, tests) everything is in scope so golden
+    # fixtures exercise the rule without replicating the package layout.
+    return True
+
+
+@rule(
+    "KER001",
+    severity="error",
+    summary="mixed unsigned/signed 64-bit arithmetic in a block kernel",
+    rationale=(
+        "NumPy resolves `uint64 <op> int64` by upcasting BOTH operands to\n"
+        "float64, silently truncating 64-bit hash values to 53 bits of\n"
+        "mantissa.  Every operand of a uint64 expression must be uint64 —\n"
+        "wrap scalars in `np.uint64(...)` as the kernels in\n"
+        "`sketches/hashing.py` do.  (Bare int literals are not flagged:\n"
+        "NumPy applies value-based casting to them.)"
+    ),
+    example="mixed = hashes * step  # hashes: uint64, step: int64",
+)
+def check_mixed_dtype(
+    module: ModuleContext, project: ProjectContext
+) -> Iterator[tuple]:
+    """Flag binary ops whose operands infer to uint vs signed/float."""
+    if not _in_sketch_scope(module):
+        return
+    for scope, body in module.scopes():
+        local_dtypes = collect_local_dtypes(body, module)
+        for node in iter_scope_nodes(body):
+            if not isinstance(node, ast.BinOp):
+                continue
+            # Int literals are value-cast by NumPy; only flag when both
+            # sides carry an explicit, conflicting declared dtype.
+            if isinstance(node.left, ast.Constant) or isinstance(
+                node.right, ast.Constant
+            ):
+                continue
+            left = infer_dtype(node.left, module, local_dtypes)
+            right = infer_dtype(node.right, module, local_dtypes)
+            if left is None or right is None or left == right:
+                continue
+            left_unsigned = left in _UNSIGNED
+            right_unsigned = right in _UNSIGNED
+            if left_unsigned != right_unsigned and (
+                "64" in left or "64" in right
+            ):
+                yield module, node, (
+                    f"mixed {left}/{right} arithmetic: NumPy upcasts the "
+                    "uint64/int64 pair to float64, truncating 64-bit hashes; "
+                    "cast both operands to one dtype explicitly"
+                )
+
+
+@rule(
+    "KER002",
+    severity="error",
+    summary="float equality comparison in a block kernel",
+    rationale=(
+        "`==` / `!=` between floats makes bucket assignment and tie-breaking\n"
+        "depend on rounding that varies across BLAS builds and platforms.\n"
+        "Kernels must compare with a tolerance (`np.isclose`) or restructure\n"
+        "to integer comparisons.  Division produces float64, so comparing a\n"
+        "division result with `==` is flagged too."
+    ),
+    example="collision = (value / width) == threshold",
+)
+def check_float_equality(
+    module: ModuleContext, project: ProjectContext
+) -> Iterator[tuple]:
+    """Flag Eq/NotEq comparisons with float-typed operands."""
+    if not _in_sketch_scope(module):
+        return
+    for scope, body in module.scopes():
+        local_dtypes = collect_local_dtypes(body, module)
+        for node in iter_scope_nodes(body):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            for operand in operands:
+                if isinstance(operand, ast.Constant) and isinstance(
+                    operand.value, float
+                ):
+                    yield module, node, (
+                        "float equality comparison; use np.isclose() or an "
+                        "integer comparison"
+                    )
+                    break
+                inferred = infer_dtype(operand, module, local_dtypes)
+                if inferred in _FLOATS:
+                    yield module, node, (
+                        f"equality comparison on a {inferred} operand; use "
+                        "np.isclose() or restructure to integer comparison"
+                    )
+                    break
+
+
+@rule(
+    "KER003",
+    severity="error",
+    summary="scatter update on a target with no declared dtype",
+    rationale=(
+        "`np.add.at(target, idx, vals)` accumulates in the target's dtype.\n"
+        "If the target was never constructed with an explicit `dtype=` (or\n"
+        "`astype` cast) in this file, an upstream refactor can silently\n"
+        "change the accumulator to float64 and lose counts past 2**53.\n"
+        "Declare the accumulator dtype where it is allocated."
+    ),
+    example=(
+        "summed = np.zeros(n)           # dtype never declared\n"
+        "np.add.at(summed, idx, counts)"
+    ),
+)
+def check_undeclared_scatter(
+    module: ModuleContext, project: ProjectContext
+) -> Iterator[tuple]:
+    """Flag ``np.<ufunc>.at`` calls on targets without a declared dtype."""
+    for scope, body in module.scopes():
+        local_dtypes = collect_local_dtypes(body, module)
+        for node in iter_scope_nodes(body):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "at"):
+                continue
+            ufunc = func.value
+            if not isinstance(ufunc, ast.Attribute):
+                continue
+            if ufunc.attr not in _SCATTER_UFUNCS:
+                continue
+            resolved = module.resolve(ufunc)
+            if resolved is None or not resolved.startswith("numpy."):
+                continue
+            if not node.args:
+                continue
+            target = node.args[0]
+            # Unwrap subscripts: np.add.at(self._table[row], ...) audits
+            # the dtype of self._table.
+            root = target
+            while isinstance(root, ast.Subscript):
+                root = root.value
+            inferred = infer_dtype(root, module, local_dtypes)
+            if inferred is None:
+                label = ast.unparse(target)
+                yield module, node, (
+                    f"np.{ufunc.attr}.at on {label!r} whose dtype is never "
+                    "declared in this file; allocate the accumulator with an "
+                    "explicit dtype="
+                )

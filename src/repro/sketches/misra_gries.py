@@ -21,7 +21,7 @@ __all__ = ["MisraGries"]
 
 
 @snapshottable("sketch.misra_gries")
-class MisraGries(PointQuerySketch[Hashable]):
+class MisraGries(PointQuerySketch[Hashable]):  # repro: noqa[PRO004]
     """Deterministic frequent-items summary with ``k`` counters.
 
     Parameters

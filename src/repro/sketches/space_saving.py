@@ -35,7 +35,7 @@ class TrackedCount(NamedTuple):
 
 
 @snapshottable("sketch.space_saving")
-class SpaceSaving(PointQuerySketch[Hashable]):
+class SpaceSaving(PointQuerySketch[Hashable]):  # repro: noqa[PRO004]
     """Frequent-items summary with ``k`` counters and over-estimate semantics.
 
     Parameters

@@ -39,11 +39,13 @@ def sample_p_stable(p: float, rng: np.random.Generator, size: int) -> np.ndarray
     """
     if not 0 < p <= 2:
         raise InvalidParameterError(f"p must be in (0, 2], got {p}")
-    if p == 2.0:
+    # Exact parameter dispatch: callers pass p = 2.0 / 1.0 literally to
+    # select the closed-form Gaussian/Cauchy branches.
+    if p == 2.0:  # repro: noqa[KER002]
         return rng.normal(0.0, math.sqrt(2.0), size=size)
     theta = rng.uniform(-math.pi / 2.0, math.pi / 2.0, size=size)
     w = rng.exponential(1.0, size=size)
-    if p == 1.0:
+    if p == 1.0:  # repro: noqa[KER002] — exact parameter dispatch
         return np.tan(theta)
     numerator = np.sin(p * theta)
     denominator = np.power(np.cos(theta), 1.0 / p)
@@ -58,8 +60,8 @@ def median_of_absolute_stable(p: float, samples: int = 200_001, seed: int = 7) -
     form for general ``p``; a one-off Monte-Carlo estimate (deterministic via
     the fixed seed) is accurate to well under a percent and cached by callers.
     """
-    if p == 1.0:
-        return 1.0  # median of |Cauchy| is tan(pi/4) = 1
+    if p == 1.0:  # repro: noqa[KER002] — median of |Cauchy| is exactly 1
+        return 1.0
     rng = np.random.default_rng(seed)
     draws = np.abs(sample_p_stable(p, rng, samples))
     return float(np.median(draws))

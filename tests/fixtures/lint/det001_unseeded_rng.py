@@ -1,0 +1,6 @@
+# Golden fixture: DET001 — unseeded RNG constructor.
+import numpy as np
+
+
+def make_generator():
+    return np.random.default_rng()

@@ -1,0 +1,6 @@
+# Golden fixture: DET002 — global RNG state seeded in place.
+import numpy as np
+
+
+def seed_everything():
+    np.random.seed(1234)

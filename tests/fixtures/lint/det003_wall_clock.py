@@ -1,0 +1,7 @@
+# Golden fixture: DET003 — wall-clock read outside telemetry/.
+import time
+
+
+def stamp_result(payload):
+    payload["recorded_at"] = time.time()
+    return payload

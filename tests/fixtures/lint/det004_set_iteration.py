@@ -1,0 +1,9 @@
+# Golden fixture: DET004 — iteration over an unordered set in merge().
+
+
+def merge(mine, theirs):
+    shared = set(mine) | set(theirs)
+    total = 0
+    for key in shared:
+        total += len(key)
+    return total

@@ -1,0 +1,8 @@
+# Golden fixture: KER001 — mixed uint64/int64 arithmetic.
+import numpy as np
+
+
+def mix(values):
+    hashes = np.asarray(values, dtype=np.uint64)
+    step = np.arange(4, dtype=np.int64)
+    return hashes * step

@@ -1,0 +1,6 @@
+# Golden fixture: KER002 — float equality comparison in a kernel.
+
+
+def has_boundary(values, width):
+    scaled = values / width
+    return scaled == 0.5

@@ -1,0 +1,8 @@
+# Golden fixture: KER003 — scatter update on a dtype-less accumulator.
+import numpy as np
+
+
+def scatter(indexes, counts):
+    totals = np.zeros(16)
+    np.add.at(totals, indexes, counts)
+    return totals

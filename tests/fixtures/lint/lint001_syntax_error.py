@@ -1,0 +1,3 @@
+# Golden fixture: LINT001 — unparseable file.
+def broken(:
+    pass

@@ -1,0 +1,22 @@
+# Golden fixture: PRO001 — sketch subclass without snapshot methods.
+# The stub base and decorator mirror the protocol names the rule matches on.
+
+
+class MergeableSketch:
+    pass
+
+
+def snapshottable(tag):
+    def wrap(cls):
+        return cls
+
+    return wrap
+
+
+@snapshottable("fixture.pro001")
+class MissingStateDict(MergeableSketch):
+    def merge(self, other):
+        return None
+
+    def update_block(self, items, counts=None):
+        return None

@@ -1,0 +1,19 @@
+# Golden fixture: PRO002 — concrete sketch without @snapshottable.
+
+
+class MergeableSketch:
+    pass
+
+
+class Unregistered(MergeableSketch):
+    def merge(self, other):
+        return None
+
+    def update_block(self, items, counts=None):
+        return None
+
+    def state_dict(self):
+        return {}
+
+    def load_state_dict(self, state):
+        return None

@@ -1,0 +1,24 @@
+# Golden fixture: PRO003 — mergeable sketch without merge().
+
+
+class DistinctCountSketch:
+    pass
+
+
+def snapshottable(tag):
+    def wrap(cls):
+        return cls
+
+    return wrap
+
+
+@snapshottable("fixture.pro003")
+class NoMerge(DistinctCountSketch):
+    def update_block(self, items, counts=None):
+        return None
+
+    def state_dict(self):
+        return {}
+
+    def load_state_dict(self, state):
+        return None

@@ -1,0 +1,24 @@
+# Golden fixture: PRO004 — mergeable sketch without update_block().
+
+
+class PointQuerySketch:
+    pass
+
+
+def snapshottable(tag):
+    def wrap(cls):
+        return cls
+
+    return wrap
+
+
+@snapshottable("fixture.pro004")
+class SlowSketch(PointQuerySketch):
+    def merge(self, other):
+        return None
+
+    def state_dict(self):
+        return {}
+
+    def load_state_dict(self, state):
+        return None

@@ -1,0 +1,18 @@
+# Golden fixture: PRO005 — estimator subclass missing summary hooks.
+
+
+class ProjectedFrequencyEstimator:
+    pass
+
+
+def snapshottable(tag):
+    def wrap(cls):
+        return cls
+
+    return wrap
+
+
+@snapshottable("fixture.pro005")
+class PartialEstimator(ProjectedFrequencyEstimator):
+    def _summary_state(self):
+        return {}

@@ -1,0 +1,6 @@
+# Golden fixture: PRO006 — pickle used for worker payloads.
+import pickle
+
+
+def ship(payload):
+    return pickle.dumps(payload)

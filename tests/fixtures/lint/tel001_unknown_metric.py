@@ -1,0 +1,5 @@
+# Golden fixture: TEL001 — metric name outside the repro_* catalogue.
+
+
+def record(registry):
+    registry.counter("rows_total").inc()

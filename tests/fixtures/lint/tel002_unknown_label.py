@@ -1,0 +1,5 @@
+# Golden fixture: TEL002 — label not listed for the metric.
+
+
+def record(registry):
+    registry.counter("repro_merge_total").inc(shard="0")

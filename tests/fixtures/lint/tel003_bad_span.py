@@ -1,0 +1,6 @@
+# Golden fixture: TEL003 — span name breaking the component.op scheme.
+
+
+def trace(telemetry):
+    with telemetry.span("ingesting rows"):
+        return None

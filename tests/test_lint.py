@@ -1,0 +1,462 @@
+"""Tests for the repro.lint static-analysis subsystem.
+
+Covers the golden fixtures (each known-bad snippet triggers exactly its
+rule), the self-clean guarantee on ``src/repro``, ``# repro: noqa``
+suppressions, baseline round trips, the JSON report schema, the CLI
+exit-code contract (0 clean / 1 findings / 2 usage), and the seeded
+regressions the CI lint job must catch (a sketch losing ``update_block``,
+a metric renamed away from the catalogue).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.lint as lint
+from repro.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURE_DIR = REPO_ROOT / "tests" / "fixtures" / "lint"
+FIXTURES = sorted(FIXTURE_DIR.glob("*.py"))
+
+
+# ---------------------------------------------------------------------------
+# golden fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("fixture", FIXTURES, ids=lambda path: path.stem)
+def test_golden_fixture_triggers_exactly_its_rule(fixture):
+    """Every known-bad snippet fires its intended rule and nothing else."""
+    expected = fixture.stem.split("_", 1)[0].upper()
+    report = lint.run_lint([str(fixture)], root=REPO_ROOT)
+    fired = {finding.rule for finding in report.findings}
+    assert fired == {expected}, (
+        f"{fixture.name}: fired {sorted(fired)}, expected exactly {expected}"
+    )
+    assert report.files_checked == 1
+    assert all(finding.severity in lint.SEVERITIES for finding in report.findings)
+
+
+def test_fixture_coverage_spans_all_four_families():
+    """The fixture set exercises every core rule family plus LINT001."""
+    prefixes = {path.stem.split("_", 1)[0].upper()[:3] for path in FIXTURES}
+    assert {"DET", "KER", "PRO", "TEL", "LIN"} <= prefixes
+
+
+# ---------------------------------------------------------------------------
+# self-clean + catalogue sanity
+# ---------------------------------------------------------------------------
+
+
+def test_src_repro_is_lint_clean():
+    """The shipped tree has no active findings (suppressions are justified)."""
+    report = lint.run_lint(["src/repro"], root=REPO_ROOT)
+    assert report.files_checked > 50
+    assert report.findings == [], "\n".join(
+        str(finding) for finding in report.findings
+    )
+    # The deliberate suppressions (order-dependent sketches, exact float
+    # parameter dispatch) are present, not silently dropped.
+    suppressed_rules = {finding.rule for finding in report.suppressed}
+    assert "PRO004" in suppressed_rules
+    assert "KER002" in suppressed_rules
+
+
+def test_observability_catalogue_parses():
+    """The metric/span catalogue the TEL rules diff against is non-trivial."""
+    from repro.lint.context import ProjectContext
+
+    project = ProjectContext(REPO_ROOT)
+    assert "repro_ingest_rows_total" in project.metric_catalogue
+    assert project.metric_catalogue["repro_ingest_rows_total"] == {
+        "backend",
+        "policy",
+    }
+    assert project.metric_catalogue["repro_merge_total"] == frozenset()
+    assert "coordinator.ingest" in project.span_catalogue
+    assert "service.query" in project.span_catalogue
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+# ---------------------------------------------------------------------------
+
+
+def _lint_source(tmp_path, source, name="sample.py"):
+    path = tmp_path / name
+    path.write_text(source)
+    return lint.run_lint([str(path)], root=tmp_path)
+
+
+def test_noqa_with_rule_id_suppresses(tmp_path):
+    report = _lint_source(
+        tmp_path,
+        "import numpy as np\n"
+        "def make():\n"
+        "    return np.random.default_rng()  # repro: noqa[DET001]\n",
+    )
+    assert report.findings == []
+    assert [finding.rule for finding in report.suppressed] == ["DET001"]
+
+
+def test_bare_noqa_suppresses_every_rule_on_the_line(tmp_path):
+    report = _lint_source(
+        tmp_path,
+        "import numpy as np\n"
+        "def make():\n"
+        "    return np.random.default_rng()  # repro: noqa\n",
+    )
+    assert report.findings == []
+    assert len(report.suppressed) == 1
+
+
+def test_noqa_for_a_different_rule_does_not_suppress(tmp_path):
+    report = _lint_source(
+        tmp_path,
+        "import numpy as np\n"
+        "def make():\n"
+        "    return np.random.default_rng()  # repro: noqa[KER001]\n",
+    )
+    assert [finding.rule for finding in report.findings] == ["DET001"]
+    assert report.suppressed == []
+
+
+# ---------------------------------------------------------------------------
+# baselines
+# ---------------------------------------------------------------------------
+
+_BAD_SOURCE = (
+    "import numpy as np\n"
+    "def make():\n"
+    "    return np.random.default_rng()\n"
+)
+
+
+def test_baseline_round_trip(tmp_path):
+    """Findings written to a baseline are reported as baselined, exit 0."""
+    sample = tmp_path / "sample.py"
+    sample.write_text(_BAD_SOURCE)
+    first = lint.run_lint([str(sample)], root=tmp_path)
+    assert len(first.findings) == 1
+
+    baseline_path = tmp_path / "baseline.json"
+    lint.write_baseline(first.findings, baseline_path)
+    payload = json.loads(baseline_path.read_text())
+    assert payload["schema"] == lint.LINT_BASELINE_SCHEMA
+
+    second = lint.run_lint(
+        [str(sample)], root=tmp_path, baseline_path=baseline_path
+    )
+    assert second.findings == []
+    assert len(second.baselined) == 1
+    assert lint.exit_code(second) == 0
+
+
+def test_baseline_does_not_mask_new_findings(tmp_path):
+    sample = tmp_path / "sample.py"
+    sample.write_text(_BAD_SOURCE)
+    baseline_path = tmp_path / "baseline.json"
+    lint.write_baseline(
+        lint.run_lint([str(sample)], root=tmp_path).findings, baseline_path
+    )
+    # A second, different violation appears: the baseline keeps covering
+    # the old one but the new one stays active.
+    sample.write_text(_BAD_SOURCE + "def seed():\n    np.random.seed(3)\n")
+    report = lint.run_lint(
+        [str(sample)], root=tmp_path, baseline_path=baseline_path
+    )
+    assert [finding.rule for finding in report.findings] == ["DET002"]
+    assert [finding.rule for finding in report.baselined] == ["DET001"]
+    assert lint.exit_code(report) == 1
+
+
+def test_baseline_counts_duplicate_fingerprints(tmp_path):
+    """Two identical findings need a count of two in the baseline."""
+    doubled = (
+        "import numpy as np\n"
+        "def a():\n"
+        "    return np.random.default_rng()\n"
+        "def b():\n"
+        "    return np.random.default_rng()\n"
+    )
+    sample = tmp_path / "sample.py"
+    sample.write_text(doubled)
+    first = lint.run_lint([str(sample)], root=tmp_path)
+    assert len(first.findings) == 2
+    fingerprints = {finding.fingerprint for finding in first.findings}
+    assert len(fingerprints) == 1  # same rule, path and message
+
+    baseline_path = tmp_path / "baseline.json"
+    lint.write_baseline(first.findings[:1], baseline_path)  # count = 1
+    report = lint.run_lint(
+        [str(sample)], root=tmp_path, baseline_path=baseline_path
+    )
+    assert len(report.baselined) == 1
+    assert len(report.findings) == 1  # the second occurrence stays active
+
+
+def test_malformed_baseline_is_a_usage_error(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text('{"schema": "something-else"}')
+    with pytest.raises(lint.LintUsageError):
+        lint.load_baseline(bad)
+    with pytest.raises(lint.LintUsageError):
+        lint.load_baseline(tmp_path / "missing.json")
+
+
+# ---------------------------------------------------------------------------
+# report formats + engine API
+# ---------------------------------------------------------------------------
+
+
+def test_json_report_schema(tmp_path):
+    sample = tmp_path / "sample.py"
+    sample.write_text(_BAD_SOURCE)
+    report = lint.run_lint([str(sample)], root=tmp_path)
+    payload = json.loads(lint.render_findings(report, "json"))
+    assert payload["schema"] == lint.LINT_REPORT_SCHEMA
+    assert payload["files_checked"] == 1
+    assert payload["summary"] == {"DET001": 1}
+    (entry,) = payload["findings"]
+    assert entry["rule"] == "DET001"
+    assert entry["path"] == "sample.py"
+    assert entry["line"] == 3
+    restored = lint.Finding.from_dict(entry)
+    assert restored == report.findings[0]
+
+
+def test_pretty_rendering_mentions_counts(tmp_path):
+    sample = tmp_path / "sample.py"
+    sample.write_text(_BAD_SOURCE)
+    report = lint.run_lint([str(sample)], root=tmp_path)
+    text = lint.render_findings(report, "pretty")
+    assert "sample.py:3" in text
+    assert "DET001" in text
+    assert "1 finding(s) in 1 file" in text
+
+
+def test_unknown_select_is_a_usage_error(tmp_path):
+    sample = tmp_path / "clean.py"
+    sample.write_text("X = 1\n")
+    with pytest.raises(lint.LintUsageError):
+        lint.run_lint([str(sample)], root=tmp_path, select=["NOPE999"])
+
+
+def test_select_restricts_rules(tmp_path):
+    source = (
+        "import numpy as np\n"
+        "def make():\n"
+        "    np.random.seed(3)\n"
+        "    return np.random.default_rng()\n"
+    )
+    sample = tmp_path / "sample.py"
+    sample.write_text(source)
+    report = lint.run_lint([str(sample)], root=tmp_path, select=["DET002"])
+    assert [finding.rule for finding in report.findings] == ["DET002"]
+
+
+def test_missing_path_is_a_usage_error(tmp_path):
+    with pytest.raises(lint.LintUsageError):
+        lint.run_lint([str(tmp_path / "no-such-dir")], root=tmp_path)
+
+
+def test_changed_only_without_git_lints_everything(tmp_path):
+    """Outside a git work tree --changed-only degrades to a full lint."""
+    sample = tmp_path / "sample.py"
+    sample.write_text(_BAD_SOURCE)
+    report = lint.run_lint([str(sample)], root=tmp_path, changed_only=True)
+    assert [finding.rule for finding in report.findings] == ["DET001"]
+
+
+def test_rule_registry_contract():
+    """Every rule has a summary, rationale and valid severity; ids sort."""
+    rules = lint.all_rules()
+    assert len(rules) >= 20
+    for rule in rules:
+        assert rule.summary and rule.rationale
+        assert rule.severity in lint.SEVERITIES
+        assert rule.rule_id in rule.explain()
+    assert lint.rule_ids() == sorted(lint.rule_ids())
+    assert lint.get_rule("DET001").rule_id == "DET001"
+    with pytest.raises(KeyError):
+        lint.get_rule("NOPE999")
+
+
+# ---------------------------------------------------------------------------
+# CLI exit-code contract
+# ---------------------------------------------------------------------------
+
+
+def _run_cli(args, monkeypatch, capsys):
+    monkeypatch.chdir(REPO_ROOT)
+    code = cli_main(["lint", *args])
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_cli_clean_tree_exits_zero(monkeypatch, capsys):
+    code, out, _ = _run_cli(["src/repro"], monkeypatch, capsys)
+    assert code == 0
+    assert "0 finding(s)" in out
+
+
+def test_cli_findings_exit_one(monkeypatch, capsys):
+    fixture = FIXTURE_DIR / "det001_unseeded_rng.py"
+    code, out, _ = _run_cli([str(fixture)], monkeypatch, capsys)
+    assert code == 1
+    assert "DET001" in out
+
+
+def test_cli_json_format(monkeypatch, capsys):
+    fixture = FIXTURE_DIR / "det001_unseeded_rng.py"
+    code, out, _ = _run_cli(
+        [str(fixture), "--format", "json"], monkeypatch, capsys
+    )
+    assert code == 1
+    payload = json.loads(out)
+    assert payload["schema"] == lint.LINT_REPORT_SCHEMA
+    assert payload["summary"] == {"DET001": 1}
+
+
+def test_cli_list_rules(monkeypatch, capsys):
+    code, out, _ = _run_cli(["--list-rules"], monkeypatch, capsys)
+    assert code == 0
+    for rule_id in ("DET001", "KER001", "PRO001", "TEL001"):
+        assert rule_id in out
+
+
+def test_cli_explain(monkeypatch, capsys):
+    code, out, _ = _run_cli(["--explain", "PRO004"], monkeypatch, capsys)
+    assert code == 0
+    assert "PRO004" in out
+    assert "noqa[PRO004]" in out
+
+
+def test_cli_explain_unknown_rule_exits_two(monkeypatch, capsys):
+    code, _, err = _run_cli(["--explain", "NOPE999"], monkeypatch, capsys)
+    assert code == 2
+    assert "unknown rule" in err
+
+
+def test_cli_unknown_path_exits_two(monkeypatch, capsys):
+    code, _, err = _run_cli(["no/such/path"], monkeypatch, capsys)
+    assert code == 2
+    assert "no such file" in err
+
+
+def test_cli_unknown_select_exits_two(monkeypatch, capsys):
+    code, _, err = _run_cli(
+        ["src/repro", "--select", "NOPE999"], monkeypatch, capsys
+    )
+    assert code == 2
+    assert "unknown rule" in err
+
+
+def test_cli_write_baseline_round_trip(tmp_path, monkeypatch, capsys):
+    sample = tmp_path / "sample.py"
+    sample.write_text(_BAD_SOURCE)
+    baseline = tmp_path / "baseline.json"
+    code, out, _ = _run_cli(
+        [str(sample), "--write-baseline", str(baseline)], monkeypatch, capsys
+    )
+    assert code == 0
+    assert "wrote baseline" in out
+    code, out, _ = _run_cli(
+        [str(sample), "--baseline", str(baseline)], monkeypatch, capsys
+    )
+    assert code == 0
+    assert "1 baselined" in out
+
+
+def test_cli_changed_only_smoke(monkeypatch, capsys):
+    """--changed-only runs end to end inside the repo work tree."""
+    code, _, _ = _run_cli(["src/repro", "--changed-only"], monkeypatch, capsys)
+    assert code == 0
+
+
+# ---------------------------------------------------------------------------
+# seeded regressions: what the CI lint job must catch
+# ---------------------------------------------------------------------------
+
+
+def _strip_method(source: str, class_name: str, method_name: str) -> str:
+    """Remove one method from one class by line surgery on real source."""
+    tree = ast.parse(source)
+    lines = source.splitlines(keepends=True)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            for item in node.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name == method_name
+                ):
+                    start = min(
+                        [item.lineno]
+                        + [dec.lineno for dec in item.decorator_list]
+                    )
+                    return "".join(
+                        lines[: start - 1] + lines[item.end_lineno :]
+                    )
+    raise AssertionError(f"{class_name}.{method_name} not found")
+
+
+def test_regression_deleting_update_block_fails_lint(tmp_path):
+    """Deleting update_block from a real sketch re-introduces PRO004."""
+    source = (REPO_ROOT / "src/repro/sketches/countmin.py").read_text()
+    broken = _strip_method(source, "CountMinSketch", "update_block")
+    mutated = tmp_path / "countmin.py"
+    mutated.write_text(broken)
+    report = lint.run_lint([str(mutated)], root=REPO_ROOT)
+    assert "PRO004" in {finding.rule for finding in report.findings}
+    assert lint.exit_code(report) == 1
+
+
+def test_regression_renaming_a_metric_fails_lint(tmp_path):
+    """Renaming a catalogued metric re-introduces TEL001."""
+    source = (REPO_ROOT / "src/repro/engine/coordinator.py").read_text()
+    assert 'repro_merge_total' in source
+    mutated = tmp_path / "coordinator.py"
+    mutated.write_text(
+        source.replace("repro_merge_total", "repro_merges_total")
+    )
+    report = lint.run_lint([str(mutated)], root=REPO_ROOT)
+    assert "TEL001" in {finding.rule for finding in report.findings}
+    assert lint.exit_code(report) == 1
+
+
+def test_regression_unseeded_rng_fails_lint(tmp_path):
+    """Dropping the seed from a real RNG construction re-introduces DET001."""
+    source = (REPO_ROOT / "src/repro/sketches/stable_lp.py").read_text()
+    assert "np.random.default_rng(seed)" in source
+    mutated = tmp_path / "stable_lp.py"
+    mutated.write_text(
+        source.replace("np.random.default_rng(seed)", "np.random.default_rng()")
+    )
+    report = lint.run_lint([str(mutated)], root=REPO_ROOT)
+    assert "DET001" in {finding.rule for finding in report.findings}
+
+
+# ---------------------------------------------------------------------------
+# module CLI smoke (subprocess, as CI invokes it)
+# ---------------------------------------------------------------------------
+
+
+def test_module_invocation_matches_in_process_exit_code():
+    """``python -m repro lint src/repro`` exits 0 from a fresh process."""
+    env_path = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "src/repro"],
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

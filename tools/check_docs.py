@@ -1,115 +1,62 @@
 #!/usr/bin/env python3
-"""Docs gate: intra-repo Markdown link check + public docstring audit.
+"""Docs gate: thin wrapper over :mod:`repro.lint.docs_check`.
 
-Run from the repository root (CI runs it as ``python tools/check_docs.py``):
+The actual checks — the intra-repo Markdown link check (rule ``DOC001``)
+and the public docstring audit (rule ``DOC002``) — live in
+``repro.lint.docs_check`` and share the lint subsystem's finding format
+and exit-code convention.  This wrapper keeps the original
+string-returning API (``check_markdown_links`` / ``check_docstrings`` /
+``_missing_docstrings_in_file``) for ``tests/test_docs.py`` and the CI
+invocation ``python tools/check_docs.py``.
 
-1. **Link check** — every relative Markdown link in ``README.md``,
-   ``docs/*.md`` and ``CHANGES.md`` must resolve to an existing file
-   (fragments are stripped; ``http(s)://`` and ``mailto:`` links are
-   skipped).
-2. **Docstring audit** — every public module / class / function / method
-   in ``src/repro/engine/``, ``src/repro/experiments/`` and
-   ``src/repro/cli.py`` must carry a docstring (simple AST check; names
-   starting with ``_`` are exempt).
-
-Exit code 0 when clean, 1 with a problem listing otherwise.  The test
-suite runs the same checks via ``tests/test_docs.py``.
+Exit code 0 when clean, 1 with a problem listing otherwise.
 """
 
 from __future__ import annotations
 
-import ast
-import re
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
-#: Markdown files whose relative links must resolve.
-MARKDOWN_FILES = ("README.md", "CHANGES.md", "ROADMAP.md")
-MARKDOWN_GLOBS = ("docs/*.md",)
+try:
+    from repro.lint import docs_check as _docs_check
+except ImportError:  # pragma: no cover - direct invocation convenience
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.lint import docs_check as _docs_check
 
-#: Python trees whose public symbols must all carry docstrings.
-DOCSTRING_TREES = (
-    "src/repro/engine",
-    "src/repro/experiments",
-    "src/repro/telemetry",
-)
-DOCSTRING_FILES = ("src/repro/cli.py", "src/repro/__main__.py")
+#: Re-exported configuration (the checker owns the authoritative copies).
+MARKDOWN_FILES = _docs_check.MARKDOWN_FILES
+MARKDOWN_GLOBS = _docs_check.MARKDOWN_GLOBS
+DOCSTRING_TREES = _docs_check.DOCSTRING_TREES
+DOCSTRING_FILES = _docs_check.DOCSTRING_FILES
 
-_LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+def _as_problem(finding) -> str:
+    """The historical one-line problem format of this script."""
+    return f"{finding.path}:{finding.line}: {finding.message}"
 
 
 def iter_markdown_files(root: Path = REPO_ROOT) -> list[Path]:
     """The Markdown files the link check covers (existing ones only)."""
-    paths = [root / name for name in MARKDOWN_FILES if (root / name).exists()]
-    for pattern in MARKDOWN_GLOBS:
-        paths.extend(sorted(root.glob(pattern)))
-    return paths
+    return _docs_check.iter_markdown_files(root)
 
 
 def check_markdown_links(root: Path = REPO_ROOT) -> list[str]:
     """Return one problem string per broken relative link."""
-    problems = []
-    for md_path in iter_markdown_files(root):
-        for line_number, line in enumerate(
-            md_path.read_text().splitlines(), start=1
-        ):
-            for target in _LINK_PATTERN.findall(line):
-                if target.startswith(_EXTERNAL_PREFIXES):
-                    continue
-                path_part = target.split("#", 1)[0]
-                if not path_part:  # pure fragment link within the same file
-                    continue
-                resolved = (md_path.parent / path_part).resolve()
-                if not resolved.exists():
-                    problems.append(
-                        f"{md_path.relative_to(root)}:{line_number}: broken "
-                        f"link -> {target}"
-                    )
-    return problems
+    return [_as_problem(finding) for finding in _docs_check.check_markdown_links(root)]
 
 
 def _missing_docstrings_in_file(py_path: Path, root: Path) -> list[str]:
-    tree = ast.parse(py_path.read_text(), filename=str(py_path))
-    rel = py_path.relative_to(root)
-    problems = []
-    if ast.get_docstring(tree) is None:
-        problems.append(f"{rel}:1: module has no docstring")
-
-    def walk(node: ast.AST, owner: str) -> None:
-        for child in ast.iter_child_nodes(node):
-            if isinstance(
-                child, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
-            ):
-                if child.name.startswith("_"):
-                    continue
-                qualified = f"{owner}{child.name}"
-                if ast.get_docstring(child) is None:
-                    kind = "class" if isinstance(child, ast.ClassDef) else "function"
-                    problems.append(
-                        f"{rel}:{child.lineno}: public {kind} "
-                        f"{qualified!r} has no docstring"
-                    )
-                if isinstance(child, ast.ClassDef):
-                    walk(child, f"{qualified}.")
-
-    walk(tree, "")
-    return problems
+    return [
+        _as_problem(finding)
+        for finding in _docs_check.missing_docstrings_in_file(py_path, root)
+    ]
 
 
 def check_docstrings(root: Path = REPO_ROOT) -> list[str]:
     """Return one problem string per public symbol without a docstring."""
-    py_paths = []
-    for tree in DOCSTRING_TREES:
-        py_paths.extend(sorted((root / tree).glob("*.py")))
-    py_paths.extend(root / name for name in DOCSTRING_FILES)
-    problems = []
-    for py_path in py_paths:
-        if py_path.exists():
-            problems.extend(_missing_docstrings_in_file(py_path, root))
-    return problems
+    return [_as_problem(finding) for finding in _docs_check.check_docstrings(root)]
 
 
 def main() -> int:

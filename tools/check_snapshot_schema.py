@@ -1,148 +1,54 @@
 #!/usr/bin/env python3
-"""Snapshot/checkpoint schema gate for CI and local validation.
+"""Snapshot/checkpoint schema gate: thin wrapper over :mod:`repro.lint.artifacts`.
 
-Validates the persistence-layer artifacts against their declared wire
-formats (run from the repository root with ``PYTHONPATH=src``):
-
-1. **Snapshot / checkpoint files** (``*.ckpt`` or any path passed
-   explicitly) — the magic prefix, the zlib + JSON framing, the envelope
-   schema (``repro/estimator-snapshot@1`` or ``repro/engine-checkpoint@1``),
-   and that every type tag in the payload is registered with the live
-   snapshot registry.
-2. **Checkpoint bundle directories** (containing ``manifest.json``) — the
-   bundle manifest format tag and per-session entries, plus every session's
-   checkpoint file.
-
-Usage::
+The actual validation — snapshot/checkpoint envelope framing, registry
+tags and checkpoint bundle manifests (rule ``ART001``) — lives in
+``repro.lint.artifacts`` and shares the lint subsystem's finding format
+and exit-code convention.  This wrapper keeps the original command line::
 
     PYTHONPATH=src python tools/check_snapshot_schema.py PATH [PATH ...]
 
 Exit code 0 when every artifact is schema-valid, 1 with a problem listing
-otherwise.  CI runs it against the bundle produced by
+otherwise, 2 on usage errors.  CI runs it against the bundle produced by
 ``python -m repro checkpoint figure1 --quick``.
 """
 
 from __future__ import annotations
 
-import json
 import sys
 from pathlib import Path
 
 try:
-    from repro import persistence
+    from repro.lint import artifacts as _artifacts
 except ImportError:  # pragma: no cover - direct invocation convenience
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
-    from repro import persistence
-
-from repro.experiments.checkpointing import BUNDLE_FORMAT, MANIFEST_NAME
-
-
-def _referenced_tags(envelope: object) -> set[str]:
-    """Every snapshot type tag referenced anywhere in a decoded envelope."""
-    tags: set[str] = set()
-
-    def walk(value: object) -> None:
-        if isinstance(value, dict):
-            if value.get("__kind__") == "snapshot" and isinstance(
-                value.get("type"), str
-            ):
-                tags.add(value["type"])
-            for item in value.values():
-                walk(item)
-        elif isinstance(value, list):
-            for item in value:
-                walk(item)
-
-    walk(envelope)
-    if isinstance(envelope, dict) and isinstance(envelope.get("type"), str):
-        tags.add(envelope["type"])
-    return tags
+    from repro.lint import artifacts as _artifacts
 
 
 def check_snapshot_file(path: Path) -> list[str]:
     """Validate one snapshot/checkpoint file; returns problem strings."""
-    try:
-        envelope = persistence.load_envelope(path.read_bytes())
-    except Exception as error:  # noqa: BLE001 - report, don't crash the gate
-        return [f"{path}: {error}"]
-    problems = [
-        f"{path}: {problem}" for problem in persistence.validate_envelope(envelope)
-    ]
-    known = set(persistence.registered_tags())
-    for tag in sorted(_referenced_tags(envelope) - known):
-        problems.append(f"{path}: unregistered snapshot type tag {tag!r}")
-    return problems
+    return [str(finding) for finding in _artifacts.check_snapshot_file(path)]
 
 
 def check_bundle_dir(path: Path) -> list[str]:
     """Validate a checkpoint bundle directory (manifest + session files)."""
-    manifest_path = path / MANIFEST_NAME
-    if not manifest_path.exists():
-        return [f"{path}: not a checkpoint bundle (no {MANIFEST_NAME})"]
-    try:
-        manifest = json.loads(manifest_path.read_text())
-    except json.JSONDecodeError as error:
-        return [f"{manifest_path}: invalid JSON: {error}"]
-    problems = []
-    if manifest.get("format") != BUNDLE_FORMAT:
-        problems.append(
-            f"{manifest_path}: format must be {BUNDLE_FORMAT!r}, got "
-            f"{manifest.get('format')!r}"
-        )
-    if not isinstance(manifest.get("scenario"), str):
-        problems.append(f"{manifest_path}: 'scenario' must be a string")
-    sessions = manifest.get("sessions")
-    if not isinstance(sessions, list):
-        problems.append(f"{manifest_path}: 'sessions' must be a list")
-        return problems
-    for position, entry in enumerate(sessions):
-        if not isinstance(entry, dict):
-            problems.append(f"{manifest_path}: session #{position} must be an object")
-            continue
-        for key in ("key", "estimator", "file"):
-            if not isinstance(entry.get(key), str):
-                problems.append(
-                    f"{manifest_path}: session #{position} '{key}' must be a string"
-                )
-        for key in ("bytes_on_disk", "summary_bits"):
-            if not isinstance(entry.get(key), int):
-                problems.append(
-                    f"{manifest_path}: session #{position} '{key}' must be an integer"
-                )
-        session_file = path / str(entry.get("file", ""))
-        if not session_file.exists():
-            problems.append(f"{manifest_path}: missing session file {session_file}")
-        else:
-            problems.extend(check_snapshot_file(session_file))
-    return problems
+    return [str(finding) for finding in _artifacts.check_bundle_dir(path)]
 
 
 def check_path(path: Path) -> list[str]:
     """Dispatch one argument path to the right checker."""
-    if path.is_dir():
-        if (path / MANIFEST_NAME).exists():
-            return check_bundle_dir(path)
-        problems = []
-        for candidate in sorted(path.rglob("*.ckpt")):
-            if candidate.is_dir():
-                problems.extend(check_bundle_dir(candidate))
-            else:
-                problems.extend(check_snapshot_file(candidate))
-        if not problems and not list(path.rglob("*.ckpt")):
-            problems.append(f"{path}: no *.ckpt artifacts found")
-        return problems
-    if not path.exists():
-        return [f"{path}: does not exist"]
-    return check_snapshot_file(path)
+    return [str(finding) for finding in _artifacts.check_snapshot_path(path)]
 
 
 def main(argv: list[str] | None = None) -> int:
     """Check every argument path; print problems; return the exit code."""
+    from repro import persistence
+
     paths = [Path(arg) for arg in (argv if argv is not None else sys.argv[1:])]
     if not paths:
         print("usage: check_snapshot_schema.py PATH [PATH ...]", file=sys.stderr)
         return 2
-    problems = []
+    problems: list[str] = []
     checked = 0
     for path in paths:
         problems.extend(check_path(path))

@@ -1,21 +1,11 @@
 #!/usr/bin/env python3
-"""Telemetry schema gate for CI and local validation.
+"""Telemetry schema gate: thin wrapper over :mod:`repro.lint.artifacts`.
 
-Validates the observability artifacts against their declared formats (run
-from the repository root with ``PYTHONPATH=src``):
-
-1. **Trace files** (``--trace PATH``) — the ``repro/trace@1`` JSON written
-   by ``python -m repro run <scenario> --trace PATH``: schema tag, span
-   field types, span-id uniqueness, parent references, and parent/child
-   interval nesting.  ``--require-span NAME`` (repeatable) additionally
-   demands that the trace contains at least one span with that name — CI
-   uses it to prove an engine-scenario trace really covers the
-   ``coordinator.ingest`` / ``coordinator.merge`` / ``service.query`` path.
-2. **Result files** (``--result PATH``) — the ``telemetry`` section
-   (``repro/telemetry@1``) of an experiment result JSON written by
-   ``python -m repro run``.
-
-Usage::
+The actual validation — ``repro/trace@1`` trace files and the
+``repro/telemetry@1`` section of result JSONs (rule ``ART002``) — lives
+in ``repro.lint.artifacts`` and shares the lint subsystem's finding
+format and exit-code convention.  This wrapper keeps the original command
+line::
 
     PYTHONPATH=src python tools/check_telemetry_schema.py \\
         --trace trace.json --require-span coordinator.ingest \\
@@ -28,64 +18,33 @@ otherwise, 2 on usage errors.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
 try:
-    from repro import telemetry
+    from repro.lint import artifacts as _artifacts
 except ImportError:  # pragma: no cover - direct invocation convenience
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
-    from repro import telemetry
-
-
-def _load_json(path: Path) -> tuple[object | None, list[str]]:
-    if not path.exists():
-        return None, [f"{path}: does not exist"]
-    try:
-        return json.loads(path.read_text()), []
-    except json.JSONDecodeError as error:
-        return None, [f"{path}: invalid JSON: {error}"]
+    from repro.lint import artifacts as _artifacts
 
 
 def check_trace_file(path: Path, required_spans: list[str]) -> list[str]:
     """Validate one ``repro/trace@1`` file; returns problem strings."""
-    payload, problems = _load_json(path)
-    if payload is None:
-        return problems
-    problems = [
-        f"{path}: {problem}"
-        for problem in telemetry.validate_trace_payload(payload)
+    return [
+        str(finding)
+        for finding in _artifacts.check_trace_file(path, required_spans)
     ]
-    if problems:
-        return problems
-    present = {entry["name"] for entry in payload["spans"]}
-    for name in required_spans:
-        if name not in present:
-            problems.append(
-                f"{path}: required span {name!r} not present (trace has: "
-                f"{', '.join(sorted(present)) or 'no spans'})"
-            )
-    return problems
 
 
 def check_result_file(path: Path) -> list[str]:
     """Validate the ``telemetry`` section of one experiment result JSON."""
-    payload, problems = _load_json(path)
-    if payload is None:
-        return problems
-    if not isinstance(payload, dict):
-        return [f"{path}: result payload must be an object"]
-    return [
-        f"{path}: {problem}"
-        for problem in telemetry.validate_telemetry_section(
-            payload.get("telemetry")
-        )
-    ]
+    return [str(finding) for finding in _artifacts.check_result_file(path)]
 
 
 def main(argv: list[str] | None = None) -> int:
     """Check every argument artifact; print problems; return the exit code."""
+    from repro import telemetry
+
     parser = argparse.ArgumentParser(
         description="validate repro telemetry artifacts against their schemas"
     )
