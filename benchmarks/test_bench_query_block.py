@@ -1,0 +1,145 @@
+"""E15 — Batch query kernels: ``estimate_block`` vs the per-item loop.
+
+PR 5 vectorized the ingest half of the sketch pipeline; the query half
+still answered one item at a time — every point query re-keyed its pattern
+tuple through BLAKE2b and walked the table rows in python.  This benchmark
+measures the batch query tentpole on sketches built from a Zipf-distributed
+stream: the same Count-Min and Count-Sketch summaries (same seeds, same
+``update_block`` ingest) answering the same mixed batch of point queries
+and the same whole-table heavy-hitter candidate filter through
+
+* the per-item path — ``estimate(item)`` per query and the base
+  per-candidate ``heavy_hitters`` loop;
+* the block path — one ``estimate_block`` gather per sketch (the batch
+  serialises once, each row hashes it in one ``evaluate_block`` pass) and
+  the vectorized candidate filter built on top of it.
+
+Both paths are bit-identical here (Count-Min takes integer minima;
+Count-Sketch at odd depth takes an exact integer median), which is
+asserted — the ratio is a pure fast-path measurement.  The acceptance
+floor is a conservative >= 3x; results can be written to
+``BENCH_query_block.json`` at the repo root with ``--record-bench`` or
+``REPRO_RECORD_BENCH=1`` so the perf trajectory is recorded run over run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+from _bench_utils import emit, render_table
+from repro.sketches.base import PointQuerySketch
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.countsketch import CountSketch
+from repro.workloads.synthetic import zipfian_rows
+
+N_ROWS, N_COLUMNS = 50_000, 4
+ALPHABET_SIZE = 8
+DISTINCT_PATTERNS = 2_048
+N_QUERIES = 4_096
+THRESHOLD = N_ROWS * 0.005
+SPEEDUP_FLOOR = 3.0
+
+STREAM = zipfian_rows(
+    n_rows=N_ROWS,
+    n_columns=N_COLUMNS,
+    alphabet_size=ALPHABET_SIZE,
+    distinct_patterns=DISTINCT_PATTERNS,
+    exponent=1.1,
+    seed=33,
+).to_array()
+
+# A mixed batch: mostly catalogue patterns plus symbols one past the
+# alphabet, so never-observed items flow through the same kernels.
+QUERY_BLOCK = np.random.default_rng(91).integers(
+    0, ALPHABET_SIZE + 1, size=(N_QUERIES, N_COLUMNS), dtype=np.int64
+)
+QUERY_ITEMS = [tuple(row) for row in QUERY_BLOCK.tolist()]
+
+
+def _sketches() -> list[PointQuerySketch]:
+    countmin = CountMinSketch(width=272, depth=5, seed=7)
+    countsketch = CountSketch(width=256, depth=5, seed=7)
+    for sketch in (countmin, countsketch):
+        sketch.update_block(STREAM)
+    return [countmin, countsketch]
+
+
+def test_query_block_throughput(benchmark, record_bench, bench_metadata):
+    """Point queries/sec of block vs per-item answering; block must be >= 3x."""
+    sketches = _sketches()
+
+    def run_comparison():
+        started = time.perf_counter()
+        scalar_estimates = [
+            np.array([sketch.estimate(item) for item in QUERY_ITEMS])
+            for sketch in sketches
+        ]
+        scalar_reports = [
+            PointQuerySketch.heavy_hitters(sketch, QUERY_ITEMS, THRESHOLD)
+            for sketch in sketches
+        ]
+        scalar_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        block_estimates = [sketch.estimate_block(QUERY_BLOCK) for sketch in sketches]
+        block_reports = [
+            sketch.heavy_hitters(QUERY_BLOCK, THRESHOLD) for sketch in sketches
+        ]
+        block_seconds = time.perf_counter() - started
+
+        for scalar, block in zip(scalar_estimates, block_estimates):
+            assert np.array_equal(scalar, block)
+        for scalar, block in zip(scalar_reports, block_reports):
+            assert scalar == block
+            assert list(scalar) == list(block)  # candidate order too
+        return scalar_seconds, block_seconds, len(block_reports[0])
+
+    scalar_seconds, block_seconds, n_heavy = benchmark.pedantic(
+        run_comparison, rounds=1, iterations=1
+    )
+    # Each path answers the full batch twice per sketch: once as point
+    # queries, once inside the candidate filter.
+    n_answers = 2 * len(sketches) * N_QUERIES
+    speedup = scalar_seconds / block_seconds
+    emit(
+        f"Batch query of {N_QUERIES:,} patterns against CountMin+CountSketch "
+        f"built from {N_ROWS:,} Zipf rows "
+        f"(threshold={THRESHOLD:,.0f}, {n_heavy} heavy hitters)",
+        render_table(
+            ["path", "queries/sec", "speedup"],
+            [
+                ("per-item (estimate)", f"{n_answers / scalar_seconds:,.0f}", "1.0x"),
+                (
+                    "block (estimate_block)",
+                    f"{n_answers / block_seconds:,.0f}",
+                    f"{speedup:.1f}x",
+                ),
+            ],
+        ),
+    )
+
+    if record_bench:
+        record = {
+            "meta": bench_metadata,
+            "n_rows": N_ROWS,
+            "n_columns": N_COLUMNS,
+            "alphabet_size": ALPHABET_SIZE,
+            "distinct_patterns": DISTINCT_PATTERNS,
+            "n_queries": N_QUERIES,
+            "threshold": THRESHOLD,
+            "sketches": "countmin+countsketch",
+            "per_item_queries_per_sec": n_answers / scalar_seconds,
+            "block_queries_per_sec": n_answers / block_seconds,
+            "speedup": speedup,
+        }
+        out_path = Path(__file__).resolve().parent.parent / "BENCH_query_block.json"
+        out_path.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"recorded perf trajectory -> {out_path}")
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"batch queries only {speedup:.1f}x faster than per-item "
+        f"(floor is {SPEEDUP_FLOOR}x)"
+    )

@@ -62,6 +62,7 @@ from .core import (
 from .engine import (
     Coordinator,
     IngestReport,
+    QueryRequest,
     QueryService,
     Shard,
     StreamPartitioner,
@@ -128,6 +129,7 @@ __all__ = [
     "ProjectedFrequencyEstimator",
     "ProtocolError",
     "QueryError",
+    "QueryRequest",
     "QueryService",
     "ReproError",
     "RowStream",

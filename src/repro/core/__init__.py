@@ -2,7 +2,7 @@
 
 from .alpha_net import AlphaNetEstimator, SketchPlan, TheoremSixFiveGuarantee
 from .dataset import ColumnQuery, Dataset
-from .estimator import EstimatorRegistry, ProjectedFrequencyEstimator
+from .estimator import EstimatorRegistry, ProjectedFrequencyEstimator, pattern_words
 from .exhaustive import AllSubsetsBaseline, ExactBaseline
 from .frequency import FrequencyVector, exact_fp, exact_heavy_hitters
 from .problems import (
@@ -36,6 +36,7 @@ __all__ = [
     "UniformSampleEstimator",
     "exact_fp",
     "exact_heavy_hitters",
+    "pattern_words",
     "rounding_distortion",
     "sample_size_for",
 ]

@@ -24,6 +24,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from .. import telemetry
 from ..coding.words import Word, project_word
 from ..errors import EstimationError, InvalidParameterError, SnapshotError
@@ -38,7 +40,7 @@ from ..sketches.countmin import CountMinSketch
 from ..sketches.kmv import KMVSketch
 from ..sketches.stable_lp import StableLpSketch
 from .dataset import ColumnQuery
-from .estimator import ProjectedFrequencyEstimator
+from .estimator import ProjectedFrequencyEstimator, pattern_words
 from .rounding import AlphaNet, NeighbourRule
 
 __all__ = ["SketchPlan", "AlphaNetEstimator", "TheoremSixFiveGuarantee"]
@@ -433,6 +435,40 @@ class AlphaNetEstimator(ProjectedFrequencyEstimator):
         index, neighbour = self._resolve(query)
         translated = self._translate_pattern(pattern, query, neighbour)
         return float(self._point_sketches[index].estimate(translated))
+
+    def estimate_frequency_block(self, query: ColumnQuery, patterns) -> np.ndarray:
+        """Batch pattern frequencies through one vectorized sketch pass.
+
+        The query resolves to its net neighbour once, every pattern
+        translates onto the neighbour's columns in one ``(m, k)`` integer
+        block (the vectorized twin of :meth:`_translate_pattern`), and the
+        neighbour's point sketch answers the whole batch via its
+        ``estimate_block`` kernel.  Entry ``i`` is bit-identical to
+        ``estimate_frequency(query, patterns[i])`` wherever the sketch's
+        block kernel is bit-identical to its scalar path (see
+        ``docs/architecture.md``, *Batch query kernels*).
+        """
+        if self._point_sketches is None:
+            raise EstimationError("this estimator keeps no point-query sketches")
+        index, neighbour = self._resolve(query)
+        words = pattern_words(patterns)
+        if not words:
+            return np.zeros(0, dtype=np.float64)
+        for word in words:
+            if len(word) != len(query):
+                raise EstimationError(
+                    f"pattern length {len(word)} does not match query size "
+                    f"{len(query)}"
+                )
+        position = {column: i for i, column in enumerate(query.columns)}
+        translated = np.zeros((len(words), len(neighbour.columns)), dtype=np.int64)
+        for j, column in enumerate(neighbour.columns):
+            i = position.get(column)
+            if i is not None:
+                translated[:, j] = [word[i] for word in words]
+        return np.asarray(
+            self._point_sketches[index].estimate_block(translated), dtype=np.float64
+        )
 
     def _translate_pattern(
         self, pattern: Word, query: ColumnQuery, neighbour: ColumnQuery

@@ -23,7 +23,24 @@ from ..coding.words import Word
 from ..errors import EstimationError, InvalidParameterError, SnapshotError
 from .dataset import ColumnQuery, Dataset
 
-__all__ = ["ProjectedFrequencyEstimator", "EstimatorRegistry"]
+__all__ = ["ProjectedFrequencyEstimator", "EstimatorRegistry", "pattern_words"]
+
+
+def pattern_words(patterns: object) -> list[Word]:
+    """Normalise a batch of query patterns to a list of symbol tuples.
+
+    Accepts an ``(m, k)`` integer ndarray (each row one pattern) or any
+    iterable of words; the returned tuples are the canonical keys the
+    estimators' scalar query paths use, so block and scalar answers index
+    the same frequency entries.
+    """
+    if isinstance(patterns, np.ndarray):
+        if patterns.ndim != 2:
+            raise EstimationError(
+                f"a pattern block must be 2-D, got {patterns.ndim} dimension(s)"
+            )
+        return [tuple(row) for row in patterns.tolist()]
+    return [tuple(int(symbol) for symbol in pattern) for pattern in patterns]
 
 
 class ProjectedFrequencyEstimator(abc.ABC):
@@ -359,6 +376,22 @@ class ProjectedFrequencyEstimator(abc.ABC):
         """Estimate the frequency of ``pattern`` among the projected rows."""
         raise EstimationError(
             f"{type(self).__name__} does not support point frequency estimation"
+        )
+
+    def estimate_frequency_block(self, query: ColumnQuery, patterns) -> np.ndarray:
+        """Batch point-frequency queries over one column query.
+
+        Entry ``i`` of the returned float64 array equals
+        ``estimate_frequency(query, patterns[i])`` exactly; ``patterns`` is
+        an ``(m, k)`` integer ndarray or an iterable of words (see
+        :func:`pattern_words`).  The base implementation is that per-pattern
+        loop; estimators backed by vectorized sketch kernels override it to
+        answer the whole batch in one pass.
+        """
+        words = pattern_words(patterns)
+        return np.array(
+            [float(self.estimate_frequency(query, word)) for word in words],
+            dtype=np.float64,
         )
 
     def heavy_hitters(

@@ -28,7 +28,7 @@ from ..persistence import require_keys, snapshottable
 from ..sketches.base import DistinctCountSketch
 from ..sketches.kmv import KMVSketch
 from .dataset import ColumnQuery, Dataset
-from .estimator import ProjectedFrequencyEstimator
+from .estimator import ProjectedFrequencyEstimator, pattern_words
 from .frequency import FrequencyVector
 
 __all__ = ["ExactBaseline", "AllSubsetsBaseline"]
@@ -116,6 +116,24 @@ class ExactBaseline(ProjectedFrequencyEstimator):
 
     def estimate_frequency(self, query: ColumnQuery, pattern: Word) -> float:
         return float(self._frequencies(query).frequency(pattern))
+
+    def estimate_frequency_block(self, query: ColumnQuery, patterns) -> np.ndarray:
+        """Batch exact pattern frequencies from one projection pass.
+
+        The scalar path re-projects and re-counts all stored rows for every
+        pattern; the block path builds the projected frequency vector once
+        and answers every pattern from it — the same exact integer counts,
+        so entry ``i`` is bit-identical to
+        ``estimate_frequency(query, patterns[i])``.
+        """
+        words = pattern_words(patterns)
+        if not words:
+            return np.zeros(0, dtype=np.float64)
+        frequencies = self._frequencies(query)
+        return np.array(
+            [float(frequencies.frequency(word)) for word in words],
+            dtype=np.float64,
+        )
 
     def heavy_hitters(
         self, query: ColumnQuery, phi: float, p: float = 1.0

@@ -18,12 +18,14 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..coding.words import Word, project_word
 from ..errors import EstimationError, InvalidParameterError, SnapshotError
 from ..persistence import require_keys, snapshottable
 from ..sketches.reservoir import ReservoirSampler, WithReplacementSampler
 from .dataset import ColumnQuery
-from .estimator import ProjectedFrequencyEstimator
+from .estimator import ProjectedFrequencyEstimator, pattern_words
 from .frequency import FrequencyVector
 
 __all__ = ["UniformSampleEstimator", "sample_size_for"]
@@ -195,6 +197,31 @@ class UniformSampleEstimator(ProjectedFrequencyEstimator):
             )
         sample_count = self.sample_frequencies(query).frequency(pattern)
         return sample_count * self._scale_factor()
+
+    def estimate_frequency_block(self, query: ColumnQuery, patterns) -> np.ndarray:
+        """Batch pattern frequencies from one projected-sample pass.
+
+        The sample projects onto ``query`` once (instead of once per
+        pattern, the scalar path's cost) and every pattern looks its count
+        up in the resulting frequency vector.  Entry ``i`` is bit-identical
+        to ``estimate_frequency(query, patterns[i])``: the same integer
+        sample count times the same ``n / t`` scale factor.
+        """
+        words = pattern_words(patterns)
+        for word in words:
+            if len(word) != len(query):
+                raise EstimationError(
+                    f"pattern length {len(word)} does not match query size "
+                    f"{len(query)}"
+                )
+        if not words:
+            return np.zeros(0, dtype=np.float64)
+        frequencies = self.sample_frequencies(query)
+        scale = self._scale_factor()
+        return np.array(
+            [frequencies.frequency(word) * scale for word in words],
+            dtype=np.float64,
+        )
 
     def heavy_hitters(
         self, query: ColumnQuery, phi: float, p: float = 1.0

@@ -18,7 +18,7 @@ from .checkpoint import (
 )
 from .coordinator import INGEST_BACKENDS, Coordinator, IngestReport
 from .partition import PARTITION_POLICIES, StreamPartitioner
-from .service import CacheInfo, QueryService
+from .service import CacheInfo, QueryRequest, QueryService
 from .shard import Shard
 from .stats import LatencyRecorder, LatencySummary
 
@@ -31,6 +31,7 @@ __all__ = [
     "LatencyRecorder",
     "LatencySummary",
     "PARTITION_POLICIES",
+    "QueryRequest",
     "QueryService",
     "Shard",
     "StreamPartitioner",

@@ -29,7 +29,47 @@ from ..core.estimator import ProjectedFrequencyEstimator
 from ..errors import InvalidParameterError
 from .stats import LatencyRecorder, LatencySummary
 
-__all__ = ["CacheInfo", "QueryService"]
+__all__ = ["CacheInfo", "QueryRequest", "QueryService"]
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One entry of a heterogeneous :meth:`QueryService.answer_block` batch.
+
+    ``kind`` selects the query method (``"fp"``, ``"frequency"`` or
+    ``"heavy_hitters"``) and the matching parameter fields must be set; the
+    classmethod constructors below build well-formed requests and normalise
+    the parameters exactly as the scalar entry points do, so a request and
+    its scalar twin share one cache entry.
+    """
+
+    kind: str
+    query: ColumnQuery
+    p: float | None = None
+    pattern: Word | None = None
+    phi: float | None = None
+
+    @classmethod
+    def fp(cls, query: ColumnQuery, p: float) -> "QueryRequest":
+        """An ``F_p`` moment request, twin of :meth:`QueryService.estimate_fp`."""
+        return cls(kind="fp", query=query, p=float(p))
+
+    @classmethod
+    def frequency(cls, query: ColumnQuery, pattern: Word) -> "QueryRequest":
+        """A point-frequency request, twin of
+        :meth:`QueryService.estimate_frequency`."""
+        return cls(
+            kind="frequency",
+            query=query,
+            pattern=tuple(int(symbol) for symbol in pattern),
+        )
+
+    @classmethod
+    def heavy_hitters(
+        cls, query: ColumnQuery, phi: float, p: float = 1.0
+    ) -> "QueryRequest":
+        """A heavy-hitter request, twin of :meth:`QueryService.heavy_hitters`."""
+        return cls(kind="heavy_hitters", query=query, phi=float(phi), p=float(p))
 
 
 @dataclass(frozen=True)
@@ -155,11 +195,14 @@ class QueryService:
 
     # -- cache plumbing ----------------------------------------------------------
 
-    def _serve(self, kind: str, key: Hashable, compute: Callable[[], object]) -> object:
+    def _flush_if_stale(self) -> None:
+        """Drop the cache if the summary mutated since it was filled.
+
+        Rows observed or a batch merged in bump the estimator version, so
+        every cached answer computed at an older version is stale.
+        """
         current_version = self._estimator.version
         if current_version != self._cache_version:
-            # The summary mutated (rows observed or a batch merged in) after
-            # the cache was filled: every cached answer is stale.
             self._cache.clear()
             self._cache_version = current_version
             self._invalidations += 1
@@ -168,20 +211,19 @@ class QueryService:
                     "repro_query_cache_invalidations_total",
                     "Cache flushes (manual or stale summary version).",
                 ).inc(reason="stale")
-        cache_key = (kind, key)
-        if self._cache_size and cache_key in self._cache:
-            self._hits += 1
-            self._cache.move_to_end(cache_key)
-            if telemetry.enabled():
-                telemetry.get_registry().counter(
-                    "repro_query_cache_hits_total",
-                    "Queries answered from the result cache.",
-                ).inc(kind=kind)
-            return self._cache[cache_key]
-        with telemetry.span("service.query", kind=kind):
-            started = time.perf_counter()
-            value = compute()
-            elapsed = time.perf_counter() - started
+
+    def _record_hit(self, kind: str) -> None:
+        self._hits += 1
+        if telemetry.enabled():
+            telemetry.get_registry().counter(
+                "repro_query_cache_hits_total",
+                "Queries answered from the result cache.",
+            ).inc(kind=kind)
+
+    def _finish_miss(
+        self, kind: str, cache_key: Hashable, value: object, elapsed: float
+    ) -> None:
+        """Account for one computed answer and insert it into the cache."""
         self._misses += 1
         self._recorders.setdefault(kind, LatencyRecorder()).record(elapsed)
         if telemetry.enabled():
@@ -198,6 +240,19 @@ class QueryService:
             self._cache[cache_key] = value
             while len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)
+
+    def _serve(self, kind: str, key: Hashable, compute: Callable[[], object]) -> object:
+        self._flush_if_stale()
+        cache_key = (kind, key)
+        if self._cache_size and cache_key in self._cache:
+            self._record_hit(kind)
+            self._cache.move_to_end(cache_key)
+            return self._cache[cache_key]
+        with telemetry.span("service.query", kind=kind):
+            started = time.perf_counter()
+            value = compute()
+            elapsed = time.perf_counter() - started
+        self._finish_miss(kind, cache_key, value, elapsed)
         return value
 
     def invalidate(self) -> None:
@@ -274,6 +329,134 @@ class QueryService:
         return dict(report)  # type: ignore[arg-type]
 
     # -- batch queries -----------------------------------------------------------
+
+    def _request_key(self, request: QueryRequest) -> tuple:
+        """The ``(kind, key)`` cache key of ``request`` — identical to the
+        key its scalar twin uses, validated upfront."""
+        if request.kind == "fp":
+            if request.p is None:
+                raise InvalidParameterError("an 'fp' request must set p")
+            return ("fp", (request.query.columns, float(request.p)))
+        if request.kind == "frequency":
+            if request.pattern is None:
+                raise InvalidParameterError(
+                    "a 'frequency' request must set a pattern"
+                )
+            return (
+                "frequency",
+                (request.query.columns, tuple(request.pattern)),
+            )
+        if request.kind == "heavy_hitters":
+            if request.phi is None:
+                raise InvalidParameterError(
+                    "a 'heavy_hitters' request must set phi"
+                )
+            p = 1.0 if request.p is None else float(request.p)
+            return (
+                "heavy_hitters",
+                (request.query.columns, float(request.phi), p),
+            )
+        raise InvalidParameterError(
+            f"unknown query kind {request.kind!r}; expected 'fp', 'frequency' "
+            f"or 'heavy_hitters'"
+        )
+
+    def answer_block(self, requests: Iterable[QueryRequest]) -> list:
+        """Answer a heterogeneous batch of queries in one call.
+
+        Entry ``i`` of the returned list equals what ``requests[i]``'s scalar
+        twin (:meth:`estimate_fp` / :meth:`estimate_frequency` /
+        :meth:`heavy_hitters`) would return, with the same per-entry cache
+        semantics: every entry whose key is already cached counts a hit,
+        duplicates of an earlier entry in the same batch count hits exactly
+        as a scalar replay would (when caching is enabled), and every first
+        occurrence counts a miss, feeds the latency recorders, and lands in
+        the cache under the key the scalar path uses.  Point-frequency
+        misses sharing one column query answer through a single vectorized
+        :meth:`~repro.core.estimator.ProjectedFrequencyEstimator.
+        estimate_frequency_block` pass (their recorded latency is the pass
+        split evenly across them); ``fp`` and heavy-hitter misses compute
+        individually.  One documented divergence from a scalar replay: the
+        grouped computes insert into the LRU in group order rather than
+        request order, so *which* entries survive a capacity overflow within
+        one batch can differ — never whether an answer is correct or fresh.
+        """
+        batch = list(requests)
+        keys = [self._request_key(request) for request in batch]
+        self._flush_if_stale()
+        if telemetry.enabled():
+            registry = telemetry.get_registry()
+            registry.counter(
+                "repro_query_batch_total",
+                "Heterogeneous query batches answered via answer_block.",
+            ).inc()
+            registry.histogram(
+                "repro_query_batch_size",
+                "Requests per answer_block batch.",
+                buckets=telemetry.SIZE_BUCKETS,
+            ).observe(len(batch))
+        with telemetry.span("service.answer_block", size=len(batch)):
+            values = self._answer_batch(batch, keys)
+        # Hand out per-entry copies of heavy-hitter reports so callers
+        # cannot mutate cached (or batch-shared) values.
+        return [
+            dict(value) if request.kind == "heavy_hitters" else value
+            for request, value in zip(batch, values)
+        ]
+
+    def _answer_batch(self, batch: list[QueryRequest], keys: list[tuple]) -> list:
+        values: list = [None] * len(batch)
+        first_miss: dict[tuple, int] = {}
+        duplicates: list[tuple[int, int]] = []
+        misses: list[int] = []
+        for index, (request, key) in enumerate(zip(batch, keys)):
+            if self._cache_size and key in self._cache:
+                self._record_hit(request.kind)
+                self._cache.move_to_end(key)
+                values[index] = self._cache[key]
+            elif self._cache_size and key in first_miss:
+                # Duplicate of an earlier miss in this batch: one compute,
+                # one cache fill, so a scalar replay would hit here too.
+                self._record_hit(request.kind)
+                duplicates.append((index, first_miss[key]))
+            else:
+                first_miss.setdefault(key, index)
+                misses.append(index)
+        frequency_groups: OrderedDict[tuple, list[int]] = OrderedDict()
+        for index in misses:
+            request = batch[index]
+            if request.kind == "frequency":
+                frequency_groups.setdefault(request.query.columns, []).append(index)
+                continue
+            with telemetry.span("service.query", kind=request.kind):
+                started = time.perf_counter()
+                if request.kind == "fp":
+                    value: object = float(
+                        self._estimator.estimate_fp(request.query, request.p)
+                    )
+                else:
+                    p = 1.0 if request.p is None else float(request.p)
+                    value = dict(
+                        self._estimator.heavy_hitters(request.query, request.phi, p)
+                    )
+                elapsed = time.perf_counter() - started
+            self._finish_miss(request.kind, keys[index], value, elapsed)
+            values[index] = value
+        for indices in frequency_groups.values():
+            query = batch[indices[0]].query
+            patterns = [batch[index].pattern for index in indices]
+            with telemetry.span("service.query", kind="frequency"):
+                started = time.perf_counter()
+                estimates = self._estimator.estimate_frequency_block(query, patterns)
+                elapsed = time.perf_counter() - started
+            per_entry = elapsed / len(indices)
+            for index, estimate in zip(indices, estimates):
+                value = float(estimate)
+                self._finish_miss("frequency", keys[index], value, per_entry)
+                values[index] = value
+        for index, source in duplicates:
+            values[index] = values[source]
+        return values
 
     def batch_estimate_fp(
         self, queries: Sequence[ColumnQuery], p: float

@@ -1,4 +1,4 @@
-"""Protocol-completeness rules (PRO001–PRO006).
+"""Protocol-completeness rules (PRO001–PRO007).
 
 The engine composes sketches and estimators through duck-typed protocols:
 checkpointing calls ``state_dict``/``load_state_dict`` and looks the class
@@ -225,6 +225,59 @@ def check_update_block(
                 f"class {node.name} derives a mergeable sketch base but does "
                 "not define update_block(); ingest falls back to the "
                 "per-item loop"
+            )
+
+
+def _estimate_takes_item(node: ast.ClassDef) -> bool:
+    """Whether the class defines an ``estimate(self, item, ...)`` method.
+
+    Distinguishes point-query sketches from moment sketches, whose
+    ``estimate(self)`` takes no item and has no per-item batch twin.
+    """
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if item.name != "estimate":
+            continue
+        positional = len(item.args.posonlyargs) + len(item.args.args)
+        return positional >= 2
+    return False
+
+
+@rule(
+    "PRO007",
+    severity="error",
+    summary="point-query sketch missing estimate_block",
+    rationale=(
+        "The vectorized query path answers batches through\n"
+        "`estimate_block(items)`, the query-side twin of `update_block`.\n"
+        "The base-class fallback is a per-item Python loop, so a sketch\n"
+        "that defines `estimate(item)` without its own `estimate_block`\n"
+        "silently forfeits the batch-kernel speedup the query benchmark\n"
+        "gates on.  Sketches whose per-item estimate is already a cheap\n"
+        "dictionary lookup may keep the fallback deliberately — suppress\n"
+        "with `# repro: noqa[PRO007]` and document why in the class\n"
+        "docstring."
+    ),
+    example=(
+        "class SlowQueries(PointQuerySketch):\n"
+        "    def estimate(self, item): ...  # no estimate_block"
+    ),
+)
+def check_estimate_block(
+    module: ModuleContext, project: ProjectContext
+) -> Iterator[tuple]:
+    """Flag item-estimating sketch subclasses without ``estimate_block``."""
+    for node, bases, _ in _protocol_classes(module):
+        if not (bases & _SKETCH_BASES):
+            continue
+        if not _estimate_takes_item(node):
+            continue
+        if "estimate_block" not in _defined_methods(node):
+            yield module, node, (
+                f"class {node.name} defines estimate(item) but not "
+                "estimate_block(); batch queries fall back to the per-item "
+                "loop"
             )
 
 

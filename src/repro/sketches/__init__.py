@@ -16,6 +16,7 @@ from .base import (
     PointQuerySketch,
     Sketch,
     as_item_block,
+    as_query_block,
     collapse_block,
     validate_counts,
 )
@@ -70,6 +71,7 @@ __all__ = [
     "TrackedCount",
     "WithReplacementSampler",
     "as_item_block",
+    "as_query_block",
     "collapse_block",
     "hash_to_unit_interval",
     "kmv_size_for_epsilon",

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..errors import InvalidParameterError
 from ..persistence import require_keys, snapshottable
-from .base import FrequencyMomentSketch, as_item_block, collapse_block
+from .base import FrequencyMomentSketch, as_item_block, as_query_block, collapse_block
 from .hashing import HashFamily, encode_pattern_block
 
 __all__ = ["AMSSketch"]
@@ -170,6 +170,54 @@ class AMSSketch(FrequencyMomentSketch[Hashable]):
         squared = self._counters.astype(np.float64) ** 2
         row_means = np.mean(squared, axis=1)
         return float(statistics.median(row_means.tolist()))
+
+    def estimate_point(self, item: Hashable) -> float:
+        """Unbiased point-frequency estimate of ``item``.
+
+        Each counter is the inner product of the frequency vector with the
+        row's sign vector, so ``sign(item) * counter`` is an unbiased
+        frequency estimate; averaging within a row and taking the median
+        across rows tightens it exactly as for ``F_2``.
+        """
+        row_estimates = []
+        for row in range(self._depth):
+            row_hashes = self._sign_hashes[row]
+            total = sum(
+                row_hashes[column].sign(item) * int(self._counters[row, column])
+                for column in range(self._width)
+            )
+            row_estimates.append(total / self._width)
+        return float(statistics.median(row_estimates))
+
+    def estimate_block(self, items) -> np.ndarray:
+        """Batch point queries matching per-item :meth:`estimate_point` calls.
+
+        Per row the batch evaluates every sign hash in one ``sign_block``
+        pass and reduces via an integer matrix product with the row's
+        counters, then ``np.median`` combines the rows.  Bit-identical to the
+        scalar path while the signed row totals stay within ``int64`` and the
+        division results within float64's exact-integer range (|total| <
+        2^53) — always true for the counter magnitudes these sketches hold in
+        practice.
+        """
+        sequence, block = as_query_block(items)
+        if block is None:
+            return np.array(
+                [self.estimate_point(item) for item in sequence], dtype=np.float64
+            )
+        if block.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        encoded = encode_pattern_block(block)
+        row_estimates = np.empty((self._depth, block.shape[0]), dtype=np.float64)
+        for row in range(self._depth):
+            row_hashes = self._sign_hashes[row]
+            signs = np.empty((self._width, block.shape[0]), dtype=np.int64)
+            for column in range(self._width):
+                sign_hash = row_hashes[column]
+                signs[column] = sign_hash.sign_block(encoded.hash64(sign_hash.seed))
+            totals = self._counters[row] @ signs
+            row_estimates[row] = totals / self._width
+        return np.median(row_estimates, axis=0)
 
     def size_in_bits(self) -> int:
         return 64 * self._width * self._depth + 4 * 64 * self._width * self._depth

@@ -36,6 +36,7 @@ __all__ = [
     "FrequencyMomentSketch",
     "PointQuerySketch",
     "as_item_block",
+    "as_query_block",
     "validate_counts",
     "collapse_block",
 ]
@@ -43,25 +44,26 @@ __all__ = [
 ItemT = TypeVar("ItemT", bound=Hashable)
 
 
-def as_item_block(items: object) -> np.ndarray | None:
-    """Normalise ``items`` for the vectorized ``update_block`` kernels.
+def as_item_block(items: object, caller: str = "update_block") -> np.ndarray | None:
+    """Normalise ``items`` for the vectorized block kernels.
 
     Returns an ``(m, w)`` ``int64`` view when ``items`` is a 2-D integer
     ndarray (each row standing for the tuple of its entries), or ``None``
     when ``items`` is not an ndarray at all — the caller then takes the
     generic per-item path.  An ndarray of the wrong shape or dtype raises
     immediately rather than degrading to the slow path silently.
+    ``caller`` only names the entry point in error messages.
     """
     if not isinstance(items, np.ndarray):
         return None
     if items.ndim != 2:
         raise InvalidParameterError(
-            f"update_block expects a 2-D (rows, width) block, got "
+            f"{caller} expects a 2-D (rows, width) block, got "
             f"{items.ndim} dimension(s)"
         )
     if not np.issubdtype(items.dtype, np.integer):
         raise InvalidParameterError(
-            f"update_block expects an integer block, got dtype {items.dtype}"
+            f"{caller} expects an integer block, got dtype {items.dtype}"
         )
     if (
         items.dtype == np.uint64
@@ -71,10 +73,46 @@ def as_item_block(items: object) -> np.ndarray | None:
         # astype(int64) would wrap these silently and the hashed patterns
         # would no longer match the scalar update path.
         raise InvalidParameterError(
-            "update_block cannot represent uint64 values above the int64 "
+            f"{caller} cannot represent uint64 values above the int64 "
             "range; pass the items as Python-int tuples instead"
         )
     return items.astype(np.int64, copy=False)
+
+
+def as_query_block(items: object) -> tuple[list, np.ndarray | None]:
+    """Normalise a query batch for the vectorized ``estimate_block`` kernels.
+
+    Returns ``(sequence, block)``: ``sequence`` is the list of hashable
+    items the batch stands for (an ndarray row stands for the tuple of its
+    entries, exactly as in :func:`as_item_block`), and ``block`` is the
+    ``(m, w)`` ``int64`` pattern block the hashing kernels consume — or
+    ``None`` when the items cannot be packed into one (non-tuple items,
+    ragged widths, values outside the int64 range), in which case the
+    caller answers through the per-item scalar path.  Query results keyed
+    by item therefore always use the ``sequence`` entries, so block and
+    tuple-sequence inputs report identical keys.
+    """
+    block = as_item_block(items, caller="estimate_block")
+    if block is not None:
+        return [tuple(row) for row in block.tolist()], block
+    sequence = list(items)  # type: ignore[arg-type]
+    if not sequence:
+        return sequence, np.empty((0, 0), dtype=np.int64)
+    width = None
+    for item in sequence:
+        if not isinstance(item, tuple) or not all(
+            isinstance(symbol, (int, np.integer)) for symbol in item
+        ):
+            return sequence, None
+        if width is None:
+            width = len(item)
+        elif len(item) != width:
+            return sequence, None
+    try:
+        packed = np.array(sequence, dtype=np.int64)
+    except OverflowError:
+        return sequence, None
+    return sequence, packed.reshape(len(sequence), width or 0)
 
 
 def validate_counts(n_items: int, counts: object) -> np.ndarray:
@@ -280,6 +318,22 @@ class PointQuerySketch(MergeableSketch[ItemT]):
     @abc.abstractmethod
     def estimate(self, item: ItemT) -> float:
         """Return an estimate of the frequency of ``item``."""
+
+    def estimate_block(self, items) -> np.ndarray:
+        """Batch point queries: entry ``i`` estimates the ``i``-th item.
+
+        ``items`` is either a 2-D integer ndarray — each row standing for
+        the tuple of its entries, the wire format of the batch query path —
+        or any iterable of hashable items.  The contract mirrors
+        :meth:`Sketch.update_block`: the returned ``float64`` array equals
+        ``[estimate(item) for item in items]`` entry for entry.  This base
+        implementation *is* that loop; hash-based sketches override it with
+        vectorized gather kernels.
+        """
+        sequence, _ = as_query_block(items)
+        return np.array(
+            [float(self.estimate(item)) for item in sequence], dtype=np.float64
+        )
 
     def heavy_hitters(
         self, candidates: Iterable[ItemT], threshold: float

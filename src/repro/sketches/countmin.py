@@ -22,7 +22,7 @@ import numpy as np
 
 from ..errors import InvalidParameterError
 from ..persistence import require_keys, snapshottable
-from .base import PointQuerySketch, as_item_block, collapse_block
+from .base import PointQuerySketch, as_item_block, as_query_block, collapse_block
 from .hashing import HashFamily, encode_pattern_block
 
 __all__ = ["CountMinSketch"]
@@ -173,13 +173,44 @@ class CountMinSketch(PointQuerySketch[Hashable]):
             )
         )
 
+    def estimate_block(self, items) -> np.ndarray:
+        """Batch point queries, bit-identical to per-item :meth:`estimate` calls.
+
+        The whole batch serialises once (:func:`~repro.sketches.hashing.
+        encode_pattern_block`), each sketch row hashes it in one
+        ``evaluate_block`` pass, and the counters gather into a
+        ``(depth, m)`` slab reduced by ``np.min`` — the same integer minima
+        the scalar path takes one item at a time.
+        """
+        sequence, block = as_query_block(items)
+        if block is None:
+            return super().estimate_block(sequence)
+        if block.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        encoded = encode_pattern_block(block)
+        slab = np.empty((self._depth, block.shape[0]), dtype=np.int64)
+        for row, hash_function in enumerate(self._hashes):
+            buckets = hash_function.evaluate_block(encoded.hash64(hash_function.seed))
+            slab[row] = self._table[row, buckets.astype(np.intp)]
+        return slab.min(axis=0).astype(np.float64)
+
     def heavy_hitters(
         self, candidates: Iterable[Hashable], threshold: float
     ) -> dict[Hashable, float]:
-        """Return candidates whose estimated frequency reaches ``threshold``."""
+        """Return candidates whose estimated frequency reaches ``threshold``.
+
+        Whole-table candidate filter: the candidate set answers through one
+        :meth:`estimate_block` pass and a threshold mask, reporting exactly
+        the (key, estimate) pairs — in candidate order — that the scalar
+        per-candidate loop would.  Candidates that cannot pack into a
+        pattern block fall back to that loop.
+        """
+        sequence, block = as_query_block(candidates)
+        if block is None:
+            return super().heavy_hitters(sequence, threshold)
         report: dict[Hashable, float] = {}
-        for candidate in candidates:
-            estimate = self.estimate(candidate)
+        estimates = self.estimate_block(block)
+        for candidate, estimate in zip(sequence, estimates.tolist()):
             if estimate >= threshold:
                 report[candidate] = estimate
         return report

@@ -14,9 +14,11 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, NamedTuple
 
+import numpy as np
+
 from ..errors import InvalidParameterError
 from ..persistence import require_keys, snapshottable
-from .base import PointQuerySketch
+from .base import PointQuerySketch, as_query_block
 
 __all__ = ["SpaceSaving", "TrackedCount"]
 
@@ -145,6 +147,19 @@ class SpaceSaving(PointQuerySketch[Hashable]):  # repro: noqa[PRO004]
     def estimate(self, item: Hashable) -> float:
         """Return the (over-)estimate of the frequency of ``item``."""
         return float(self._counts.get(item, 0))
+
+    def estimate_block(self, items) -> np.ndarray:
+        """Batch point queries, bit-identical to per-item :meth:`estimate`.
+
+        The summary is a plain counter dictionary, so the batch path is the
+        same exact lookups; :func:`~repro.sketches.base.as_query_block` only
+        normalises ndarray batches to the tuple keys the counters use.
+        """
+        sequence, _ = as_query_block(items)
+        return np.array(
+            [float(self._counts.get(item, 0)) for item in sequence],
+            dtype=np.float64,
+        )
 
     def guaranteed_frequency(self, item: Hashable) -> float:
         """Return a lower bound on the frequency of ``item``."""

@@ -1,0 +1,30 @@
+# Golden fixture: PRO007 — point-query sketch without estimate_block().
+
+
+class PointQuerySketch:
+    pass
+
+
+def snapshottable(tag):
+    def wrap(cls):
+        return cls
+
+    return wrap
+
+
+@snapshottable("fixture.pro007")
+class SlowQueries(PointQuerySketch):
+    def merge(self, other):
+        return None
+
+    def update_block(self, items, counts=None):
+        return None
+
+    def state_dict(self):
+        return {}
+
+    def load_state_dict(self, state):
+        return None
+
+    def estimate(self, item):
+        return 0.0

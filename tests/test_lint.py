@@ -418,6 +418,17 @@ def test_regression_deleting_update_block_fails_lint(tmp_path):
     assert lint.exit_code(report) == 1
 
 
+def test_regression_deleting_estimate_block_fails_lint(tmp_path):
+    """Deleting estimate_block from a real sketch re-introduces PRO007."""
+    source = (REPO_ROOT / "src/repro/sketches/countmin.py").read_text()
+    broken = _strip_method(source, "CountMinSketch", "estimate_block")
+    mutated = tmp_path / "countmin.py"
+    mutated.write_text(broken)
+    report = lint.run_lint([str(mutated)], root=REPO_ROOT)
+    assert "PRO007" in {finding.rule for finding in report.findings}
+    assert lint.exit_code(report) == 1
+
+
 def test_regression_renaming_a_metric_fails_lint(tmp_path):
     """Renaming a catalogued metric re-introduces TEL001."""
     source = (REPO_ROOT / "src/repro/engine/coordinator.py").read_text()

@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import InvalidParameterError
 from repro.sketches.hashing import (
+    MERSENNE_PRIME_61,
     HashFamily,
     MultiplyShiftHash,
     PolynomialHash,
@@ -13,6 +17,7 @@ from repro.sketches.hashing import (
     hash_to_unit_interval,
     pairwise_collision_rate,
     stable_hash64,
+    stable_hash64_patterns,
 )
 
 
@@ -108,3 +113,171 @@ class TestHashFamily:
         assert len(seeds) == len(set(seeds)) == 5
         with pytest.raises(InvalidParameterError):
             family.draw_seeds(-1)
+
+
+# --------------------------------------------------------------------------
+# uint64-boundary fuzzing of the block kernels
+#
+# The scalar ``__call__`` paths first key items through BLAKE2b
+# (``stable_hash64``), so boundary *keys* cannot be reached from items.
+# These tests inject raw uint64 keys straight into ``evaluate_block`` /
+# ``sign_block`` / ``field_value_block`` and compare against unbounded
+# python-int reference arithmetic rebuilt from each instance's parameters.
+# Any uint64 wraparound, signed-cast, or Mersenne-fold bug in the numpy
+# kernels shows up as a mismatch at these keys.
+# --------------------------------------------------------------------------
+
+_MASK64 = (1 << 64) - 1
+
+BOUNDARY_KEYS = [
+    0,
+    1,
+    2,
+    2**61 - 2,
+    2**61 - 1,  # the Mersenne prime itself: folds to 0 in GF(2^61 - 1)
+    2**61,
+    2**62,
+    2**63 - 1,  # int64 max: one past it flips the sign bit
+    2**63,
+    2**63 + 1,
+    2**64 - 2,
+    2**64 - 1,
+]
+
+HASH_SEEDS = [0, 1, 7, 1234]
+
+
+def _multiply_shift_reference(h: MultiplyShiftHash, key: int) -> int:
+    return ((h._a * key + h._b) & _MASK64) >> (64 - h.output_bits)
+
+
+def _field_value_reference(h: PolynomialHash, key: int) -> int:
+    key %= MERSENNE_PRIME_61
+    value = 0
+    for coefficient in h._coefficients:
+        value = (value * key + coefficient) % MERSENNE_PRIME_61
+    return value
+
+
+def _tabulation_reference(h: TabulationHash, key: int) -> int:
+    value = 0
+    for byte_index in range(8):
+        value ^= int(h._tables[byte_index, (key >> (8 * byte_index)) & 0xFF])
+    return value >> (64 - h.output_bits)
+
+
+def _keys_array(keys) -> np.ndarray:
+    return np.array(list(keys), dtype=np.uint64)
+
+
+class TestBoundaryKeys:
+    @pytest.mark.parametrize("seed", HASH_SEEDS)
+    @pytest.mark.parametrize("output_bits", [1, 10, 63, 64])
+    def test_multiply_shift_block_at_boundaries(self, seed, output_bits):
+        h = MultiplyShiftHash(output_bits=output_bits, seed=seed)
+        block = h.evaluate_block(_keys_array(BOUNDARY_KEYS))
+        expected = [_multiply_shift_reference(h, key) for key in BOUNDARY_KEYS]
+        assert block.tolist() == expected
+
+    @pytest.mark.parametrize("seed", HASH_SEEDS)
+    @pytest.mark.parametrize("independence", [2, 4])
+    def test_polynomial_field_value_block_at_boundaries(self, seed, independence):
+        h = PolynomialHash(independence=independence, seed=seed)
+        block = h.field_value_block(_keys_array(BOUNDARY_KEYS))
+        expected = [_field_value_reference(h, key) for key in BOUNDARY_KEYS]
+        assert block.tolist() == expected
+
+    @pytest.mark.parametrize("seed", HASH_SEEDS)
+    @pytest.mark.parametrize("range_size", [2, 97, 2**31])
+    def test_polynomial_evaluate_block_at_boundaries(self, seed, range_size):
+        h = PolynomialHash(independence=3, range_size=range_size, seed=seed)
+        block = h.evaluate_block(_keys_array(BOUNDARY_KEYS))
+        expected = [
+            _field_value_reference(h, key) % range_size for key in BOUNDARY_KEYS
+        ]
+        assert block.tolist() == expected
+
+    @pytest.mark.parametrize("seed", HASH_SEEDS)
+    def test_polynomial_sign_block_at_boundaries(self, seed):
+        h = PolynomialHash(independence=4, seed=seed)
+        block = h.sign_block(_keys_array(BOUNDARY_KEYS))
+        expected = [
+            1 if _field_value_reference(h, key) & 1 else -1 for key in BOUNDARY_KEYS
+        ]
+        assert block.dtype == np.int64
+        assert block.tolist() == expected
+
+    def test_mersenne_multiples_fold_to_zero(self):
+        # Keys that are multiples of 2^61 - 1 reduce to the zero element,
+        # so the polynomial collapses to its constant coefficient.
+        h = PolynomialHash(independence=5, seed=3)
+        multiples = [0, MERSENNE_PRIME_61, 2 * MERSENNE_PRIME_61, 8 * MERSENNE_PRIME_61]
+        block = h.field_value_block(_keys_array(multiples))
+        assert block.tolist() == [h._coefficients[-1]] * len(multiples)
+
+    @pytest.mark.parametrize("seed", HASH_SEEDS)
+    @pytest.mark.parametrize("output_bits", [1, 16, 64])
+    def test_tabulation_block_at_boundaries(self, seed, output_bits):
+        h = TabulationHash(output_bits=output_bits, seed=seed)
+        block = h.evaluate_block(_keys_array(BOUNDARY_KEYS))
+        expected = [_tabulation_reference(h, key) for key in BOUNDARY_KEYS]
+        assert block.tolist() == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=2**64 - 1), min_size=1),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_multiply_shift_fuzz(self, keys, seed):
+        h = MultiplyShiftHash(output_bits=32, seed=seed)
+        block = h.evaluate_block(_keys_array(keys))
+        assert block.tolist() == [_multiply_shift_reference(h, key) for key in keys]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=2**64 - 1), min_size=1),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_polynomial_fuzz(self, keys, seed):
+        h = PolynomialHash(independence=3, range_size=101, seed=seed)
+        array = _keys_array(keys)
+        values = [_field_value_reference(h, key) for key in keys]
+        assert h.field_value_block(array).tolist() == values
+        assert h.evaluate_block(array).tolist() == [v % 101 for v in values]
+        assert h.sign_block(array).tolist() == [1 if v & 1 else -1 for v in values]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=2**64 - 1), min_size=1),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_tabulation_fuzz(self, keys, seed):
+        h = TabulationHash(output_bits=24, seed=seed)
+        block = h.evaluate_block(_keys_array(keys))
+        assert block.tolist() == [_tabulation_reference(h, key) for key in keys]
+
+    @pytest.mark.parametrize("seed", HASH_SEEDS)
+    def test_item_level_block_matches_scalar_calls(self, seed):
+        # End to end: packing items into a block, keying it through
+        # stable_hash64_patterns, and evaluating the block kernels must
+        # reproduce the scalar __call__/sign results item by item.
+        rng = np.random.default_rng(seed)
+        block = rng.integers(0, 50, size=(64, 3), dtype=np.int64)
+        items = [tuple(row) for row in block.tolist()]
+        ms = MultiplyShiftHash(output_bits=20, seed=seed)
+        poly = PolynomialHash(independence=4, range_size=127, seed=seed + 1)
+        tab = TabulationHash(output_bits=20, seed=seed + 2)
+        for h in (ms, poly, tab):
+            keys = stable_hash64_patterns(block, h.seed)
+            assert h.evaluate_block(keys).tolist() == [h(item) for item in items]
+        poly_keys = stable_hash64_patterns(block, poly.seed)
+        assert poly.sign_block(poly_keys).tolist() == [
+            poly.sign(item) for item in items
+        ]
+
+    def test_block_kernels_reject_bad_key_arrays(self):
+        h = MultiplyShiftHash(output_bits=8, seed=0)
+        with pytest.raises(InvalidParameterError, match="1-D"):
+            h.evaluate_block(np.zeros((2, 2), dtype=np.uint64))
+        with pytest.raises(InvalidParameterError, match="uint64"):
+            h.evaluate_block(np.zeros(4, dtype=np.int64))
