@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import platform
 import socket
 import sys
@@ -25,7 +26,8 @@ def run_metadata() -> dict:
 
     Answers "what machine and toolchain produced these numbers" when the
     perf trajectory is compared run over run: an ISO-8601 UTC timestamp,
-    the interpreter and numpy versions, the hostname and the platform.
+    the interpreter and numpy versions, the hostname, the platform and the
+    core count (parallel-backend speedups are meaningless without it).
     """
     return {
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -34,4 +36,5 @@ def run_metadata() -> dict:
         "implementation": sys.implementation.name,
         "hostname": socket.gethostname(),
         "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
     }

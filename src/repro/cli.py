@@ -1,14 +1,16 @@
-"""``python -m repro``: list, run, checkpoint, report, stats, lint.
+"""``python -m repro``: list, run, checkpoint, report, stats, lint, worker.
 
-Six subcommands — five over the scenario registry of
-:mod:`repro.experiments`, plus the static analyzer of :mod:`repro.lint`:
+Seven subcommands — five over the scenario registry of
+:mod:`repro.experiments`, the static analyzer of :mod:`repro.lint`, and
+the transport layer's shard-server entry point:
 
 * ``python -m repro list`` — name, paper reference and title of every
   registered scenario;
 * ``python -m repro run <scenario>`` — execute one scenario through the
   engine and write ``<out>/<scenario>.json`` (machine-readable) plus
   ``<out>/<scenario>.md`` (rendered report), honouring ``--seed``,
-  ``--shards``, ``--batch-size`` and ``--quick``; with
+  ``--shards``, ``--batch-size``, ``--backend``, ``--worker`` and
+  ``--quick``; with
   ``--from-checkpoint <bundle>`` the ingest phase is skipped and every
   engine session is restored from the bundle instead — the paper's
   "query arbitrarily later" phase, standalone; ``--trace``,
@@ -28,7 +30,11 @@ Six subcommands — five over the scenario registry of
   protocol-completeness and telemetry-convention rules; see
   ``docs/static-analysis.md``), with ``--list-rules``, ``--explain RULE``,
   ``--changed-only``, ``--baseline``/``--write-baseline`` and
-  pretty/JSON output.
+  pretty/JSON output;
+* ``python -m repro worker`` — serve one resident shard estimator over
+  TCP for the ``sockets`` ingest backend (the ``repro/transport@1``
+  protocol; point a run at it with ``--backend sockets --worker
+  host:port``, one ``--worker`` per shard).
 
 Example::
 
@@ -60,6 +66,7 @@ from .experiments import (
     scenario_names,
     write_result,
 )
+from .engine.coordinator import INGEST_BACKENDS
 from .experiments.runner import RESULT_SCHEMA
 
 __all__ = ["build_parser", "main"]
@@ -97,6 +104,27 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=None,
             help="override the engine ingest block size (0 forces the per-row path)",
+        )
+        subparser.add_argument(
+            "--backend",
+            choices=INGEST_BACKENDS,
+            default=None,
+            help=(
+                "override the engine ingest backend (resident = persistent "
+                "worker pool with shared-memory handoff; sockets = remote "
+                "workers named by --worker)"
+            ),
+        )
+        subparser.add_argument(
+            "--worker",
+            action="append",
+            default=None,
+            metavar="HOST:PORT",
+            dest="workers",
+            help=(
+                "address of a `python -m repro worker` shard server for the "
+                "sockets backend (repeat once per shard)"
+            ),
         )
         subparser.add_argument(
             "--quick",
@@ -225,6 +253,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="RULE",
         help="print one rule's rationale, example and suppression syntax",
     )
+
+    worker = commands.add_parser(
+        "worker",
+        help=(
+            "serve one shard estimator over TCP for the sockets ingest "
+            "backend (repro/transport@1)"
+        ),
+    )
+    worker.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    worker.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to bind (default: 0 = pick an ephemeral port)",
+    )
     return parser
 
 
@@ -287,6 +334,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         quick=args.quick,
         n_shards=args.shards,
         batch_size=args.batch_size,
+        backend=args.backend,
+        worker_addresses=tuple(args.workers) if args.workers else None,
         from_checkpoint=getattr(args, "from_checkpoint", None),
     )
     result = _run_capturing_telemetry(spec, params, args)
@@ -305,6 +354,8 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
         quick=args.quick,
         n_shards=args.shards,
         batch_size=args.batch_size,
+        backend=args.backend,
+        worker_addresses=tuple(args.workers) if args.workers else None,
         checkpoint_to=str(bundle_dir),
     )
     result = _run_capturing_telemetry(spec, params, args)
@@ -334,6 +385,10 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
         replay.append(f"--shards {args.shards}")
     if args.batch_size is not None:
         replay.append(f"--batch-size {args.batch_size}")
+    if args.backend is not None:
+        replay.append(f"--backend {args.backend}")
+    for address in args.workers or ():
+        replay.append(f"--worker {address}")
     if args.out != DEFAULT_OUT_DIR:
         replay.append(f"--out {args.out}")
     replay.append(f"--from-checkpoint {bundle_dir}")
@@ -400,6 +455,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         section = payload["telemetry"]
         phases = section["phases"]
         cache = section["cache"]
+        # Tolerant read: results recorded before the transport layer carry
+        # no transport section.
+        transport = section.get("transport", {})
         rows.append(
             (
                 payload["scenario"],
@@ -412,6 +470,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 section["queries"]["count"],
                 f"{cache['hits']}/{cache['misses']}"
                 f" ({cache['hit_rate']:.0%})",
+                f"{transport.get('bytes_shipped', 0):,}",
                 f"{section['peak_summary_bits']:,}",
             )
         )
@@ -433,6 +492,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 "query s",
                 "queries",
                 "cache h/m",
+                "shipped B",
                 "peak bits",
             ],
             rows,
@@ -485,6 +545,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_pkg.exit_code(report)
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .engine.transport import run_worker
+
+    def on_ready(port: int) -> None:
+        # Flush immediately so wrappers reading our stdout learn the bound
+        # (possibly ephemeral) port without waiting for a full buffer.
+        print(f"serving shard worker on {args.host}:{port} "
+              "(repro/transport@1); stop with a server-scoped shutdown "
+              "frame or SIGINT", flush=True)
+
+    try:
+        run_worker(args.host, args.port, on_ready)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
@@ -492,6 +569,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "list":
             return _cmd_list()
+        if args.command == "worker":
+            return _cmd_worker(args)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "checkpoint":

@@ -87,6 +87,11 @@ def save_checkpoint(coordinator: "Coordinator", path: str | Path) -> CheckpointI
                 "backend": coordinator.backend,
                 "hash_seed": coordinator._partitioner.hash_seed,  # noqa: SLF001
                 "batch_size": coordinator.batch_size,
+                "worker_addresses": (
+                    None
+                    if coordinator.worker_addresses is None
+                    else list(coordinator.worker_addresses)
+                ),
             },
             "merged": None if merged is None else persistence.encode_state(merged),
             "shards": [
@@ -183,6 +188,9 @@ def load_checkpoint(
             backend=str(config["backend"]),
             hash_seed=int(config["hash_seed"]),
             batch_size=config["batch_size"],
+            # Tolerant read: checkpoints predating the transport layer
+            # carry no worker_addresses key.
+            worker_addresses=config.get("worker_addresses"),
         )
         shards = []
         for entry in envelope["shards"]:

@@ -6,10 +6,12 @@ a sharded one:
 1. a :class:`~repro.engine.partition.StreamPartitioner` assigns every row of
    the input stream to one of ``n_shards`` shards;
 2. each :class:`~repro.engine.shard.Shard` feeds its rows to a fresh
-   estimator replica — serially, or in parallel worker processes (each
-   shard ships only its estimator's *compact snapshot state* — the
-   :mod:`repro.persistence` wire format, no shard bookkeeping, no timing
-   fields — which the worker restores, updates, and ships back);
+   estimator replica — serially, in per-call worker processes, in a
+   *resident* worker pool fed through shared memory, or on remote socket
+   workers (in every parallel mode only the estimator's *compact snapshot
+   state* — the :mod:`repro.persistence` wire format, no shard
+   bookkeeping, no timing fields — crosses the process boundary; see
+   :mod:`repro.engine.transport`);
 3. the per-shard summaries are folded together through the estimator-level
    ``merge()`` protocol, yielding one summary of the whole stream.
 
@@ -25,26 +27,40 @@ from __future__ import annotations
 import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
 from .. import persistence, telemetry
 from ..coding.words import Word
 from ..core.estimator import ProjectedFrequencyEstimator
-from ..errors import EstimationError, InvalidParameterError, SnapshotError
+from ..errors import (
+    EstimationError,
+    InvalidParameterError,
+    SnapshotError,
+    TransportError,
+)
 from ..streaming.stream import RowStream
 from . import checkpoint as checkpoint_io
 from .partition import StreamPartitioner
 from .service import QueryService
 from .shard import Shard
+from .transport import (
+    DEFAULT_TRANSPORT_BLOCK_ROWS,
+    ResidentWorkerPool,
+    SocketWorkerPool,
+)
 
 __all__ = ["Coordinator", "IngestReport", "INGEST_BACKENDS"]
 
-#: Supported ingest execution backends.
-INGEST_BACKENDS = ("serial", "processes")
+#: Supported ingest execution backends.  ``serial`` and ``processes`` are
+#: the original pair; ``resident`` runs a persistent worker pool with
+#: shared-memory block handoff and ``sockets`` drives remote shard servers
+#: over the framed ``repro/transport@1`` protocol.
+INGEST_BACKENDS = ("serial", "processes", "resident", "sockets")
 
 
 def _ingest_estimator_state(
@@ -108,6 +124,13 @@ class IngestReport:
     wall_seconds: float
     shard_seconds: tuple[float, ...]
     merge_seconds: float
+    #: Transport bytes that crossed the process boundary per shard (frames
+    #: out plus snapshot bytes back).  Zeros under the serial backend (and
+    #: whenever ``n_shards == 1`` short-circuits to it); an estimate of the
+    #: pickled payload sizes under ``processes``; exact frame accounting
+    #: under ``resident`` and ``sockets``.  Empty for reports predating the
+    #: transport layer.
+    bytes_shipped_per_shard: tuple[int, ...] = ()
 
     @property
     def rows_per_second(self) -> float:
@@ -133,13 +156,29 @@ class Coordinator:
         Shard assignment policy, see
         :data:`~repro.engine.partition.PARTITION_POLICIES`.
     backend:
-        ``"processes"`` ingests shards in parallel worker processes;
-        ``"serial"`` ingests them one after another in-process (useful as a
-        baseline and wherever multiprocessing is unavailable).
+        ``"processes"`` ingests shards in per-call parallel worker
+        processes; ``"resident"`` keeps one worker process per shard alive
+        across ``ingest()`` calls, hands it row blocks through shared
+        memory, and ships estimator snapshot bytes only at merge time;
+        ``"sockets"`` drives remote shard servers (``python -m repro
+        worker``) at ``worker_addresses`` over the framed
+        ``repro/transport@1`` protocol; ``"serial"`` ingests shards one
+        after another in-process (useful as a baseline and wherever
+        multiprocessing is unavailable).  The transport backends replay the
+        serial backend's exact per-batch ``observe_rows`` sequence, so
+        their merged summaries are bit-identical to a serial ingest of the
+        same stream.
     hash_seed:
         Seed for the ``"hash"`` partition policy.
     max_workers:
-        Cap on concurrent worker processes; defaults to ``n_shards``.
+        Cap on concurrent worker processes under the ``"processes"``
+        backend; defaults to ``n_shards``.  The transport backends always
+        run one resident worker per shard.
+    worker_addresses:
+        ``"host:port"`` strings, one per shard, naming the remote shard
+        servers of the ``"sockets"`` backend; unused otherwise.  Checked at
+        ingest time so checkpoint restores can rebuild a sockets
+        coordinator before the serving tier knows its worker fleet.
     batch_size:
         When set, rows travel the engine as ``(m, d)`` ndarray blocks of at
         most this many rows: the stream is chunked with
@@ -180,6 +219,7 @@ class Coordinator:
         hash_seed: int = 0,
         max_workers: int | None = None,
         batch_size: int | None = None,
+        worker_addresses: Sequence[str] | None = None,
     ) -> None:
         if backend not in INGEST_BACKENDS:
             raise InvalidParameterError(
@@ -199,6 +239,13 @@ class Coordinator:
         self._backend = backend
         self._max_workers = max_workers
         self._batch_size = batch_size
+        self._worker_addresses = (
+            tuple(str(address) for address in worker_addresses)
+            if worker_addresses
+            else None
+        )
+        self._resident_pool: ResidentWorkerPool | None = None
+        self._socket_pool: SocketWorkerPool | None = None
         self._shards: list[Shard] = []
         self._merged: ProjectedFrequencyEstimator | None = None
 
@@ -218,6 +265,11 @@ class Coordinator:
     def batch_size(self) -> int | None:
         """Block size of the batch ingest path (``None`` = row at a time)."""
         return self._batch_size
+
+    @property
+    def worker_addresses(self) -> tuple[str, ...] | None:
+        """Remote shard-server addresses of the ``"sockets"`` backend."""
+        return self._worker_addresses
 
     @property
     def shards(self) -> list[Shard]:
@@ -263,6 +315,7 @@ class Coordinator:
             policy=self._partitioner.policy,
             n_shards=self.n_shards,
         ) as ingest_span:
+            bytes_shipped: tuple[int, ...] = tuple(0 for _ in shards)
             if self._backend == "serial" or self.n_shards == 1:
                 if self._batch_size is not None:
                     for start, block in stream.iter_batches(self._batch_size):
@@ -274,12 +327,14 @@ class Coordinator:
                 else:
                     for index, row in enumerate(stream):
                         shards[self._partitioner.assign(index, row)].ingest_row(row)
+            elif self._backend in ("resident", "sockets"):
+                shards, bytes_shipped = self._ingest_transport(shards, stream)
             elif self._batch_size is not None:
                 buckets = self._partitioner.split_blocks(stream, self._batch_size)
-                shards = self._ingest_in_processes(shards, buckets)
+                shards, bytes_shipped = self._ingest_in_processes(shards, buckets)
             else:
                 buckets = self._partitioner.split(stream)
-                shards = self._ingest_in_processes(shards, buckets)
+                shards, bytes_shipped = self._ingest_in_processes(shards, buckets)
             with telemetry.span("coordinator.merge", n_shards=self.n_shards):
                 merge_started = time.perf_counter()
                 merged = shards[0].snapshot()
@@ -303,6 +358,7 @@ class Coordinator:
                 wall_seconds=time.perf_counter() - started,
                 shard_seconds=tuple(shard.ingest_seconds for shard in shards),
                 merge_seconds=merge_seconds,
+                bytes_shipped_per_shard=bytes_shipped,
             )
         if telemetry.enabled():
             self._record_ingest_metrics(report)
@@ -350,17 +406,151 @@ class Coordinator:
                 estimator=type(self._merged).__name__,
             )
 
+    def _ingest_transport(
+        self, shards: list[Shard], stream: RowStream
+    ) -> tuple[list[Shard], tuple[int, ...]]:
+        """Stream row blocks to resident or remote shard workers.
+
+        Unlike :meth:`_ingest_in_processes`, which materialises every
+        shard's rows up front, the transport backends walk the stream once
+        in :data:`~repro.engine.transport.resident.DEFAULT_TRANSPORT_BLOCK_ROWS`
+        blocks (or ``batch_size`` blocks when set) and ship each shard's
+        per-batch sub-block as its own ``ingest_block`` frame.  Workers
+        therefore replay the serial backend's exact ``observe_rows`` call
+        sequence, which is what makes the merged summary bit-identical to a
+        serial ingest.  Snapshot bytes cross the boundary only once, at the
+        collect barrier.
+        """
+        for shard in shards:
+            if not shard.estimator.is_snapshottable:
+                raise EstimationError(
+                    f"{type(shard.estimator).__name__} is not snapshottable; "
+                    f"the '{self._backend}' backend ships estimator snapshot "
+                    "bytes only (see repro.engine.transport)"
+                )
+        block_rows = self._batch_size or DEFAULT_TRANSPORT_BLOCK_ROWS
+        started = time.perf_counter()
+        with telemetry.span(
+            "transport.roundtrip",
+            backend=self._backend,
+            n_shards=self.n_shards,
+        ) as roundtrip_span:
+            try:
+                pool = self._transport_pool(shards)
+                for start, block in stream.iter_batches(block_rows):
+                    assignment = self._partitioner.assign_block(start, block)
+                    for shard_index in range(self.n_shards):
+                        rows = block[assignment == shard_index]
+                        if rows.shape[0]:
+                            pool.send_block(shard_index, rows)
+                results = pool.collect()
+            except EstimationError:
+                # The pool closed itself on the way out; drop our handle so
+                # the next ingest() spawns or reconnects a healthy one.
+                self._resident_pool = None
+                self._socket_pool = None
+                raise
+            except (TransportError, ConnectionError, OSError) as error:
+                self.close()
+                raise EstimationError(
+                    f"transport failure under the '{self._backend}' backend "
+                    f"({type(error).__name__}: {error}); workers were shut "
+                    "down and will be re-established on the next ingest() call"
+                ) from error
+            registry = telemetry.get_registry()
+            bytes_shipped = []
+            bytes_out = bytes_in = blocks = 0
+            for shard, result in zip(shards, results):
+                estimator = persistence.from_bytes(bytes(result["payload"]))
+                if not isinstance(estimator, ProjectedFrequencyEstimator):
+                    raise EstimationError(
+                        "worker returned a non-estimator payload of type "
+                        f"{type(estimator).__name__}"
+                    )
+                shard.adopt(estimator, result["rows"], result["seconds"])
+                if result["metrics"] is not None and telemetry.enabled():
+                    registry.merge_state(result["metrics"])
+                bytes_shipped.append(
+                    int(result["bytes_sent"]) + int(result["bytes_received"])
+                )
+                bytes_out += int(result["bytes_sent"])
+                bytes_in += int(result["bytes_received"])
+                blocks += int(result["blocks"])
+            roundtrip_span.set(
+                bytes_sent=bytes_out, bytes_received=bytes_in, blocks=blocks
+            )
+        if telemetry.enabled():
+            self._record_transport_metrics(
+                bytes_out, bytes_in, blocks, time.perf_counter() - started
+            )
+        return shards, tuple(bytes_shipped)
+
+    def _transport_pool(self, shards: list[Shard]):
+        """The live worker pool for this backend, spawning/connecting lazily.
+
+        Pools persist across ``ingest()`` calls — that amortised spawn is
+        the point of the resident backend — and are (re)built here from the
+        current shards' pristine snapshot bytes when absent, including
+        after a worker death tore the previous pool down.
+        """
+        if self._backend == "resident":
+            if self._resident_pool is None:
+                self._resident_pool = ResidentWorkerPool(
+                    [shard.estimator.to_bytes() for shard in shards]
+                )
+            return self._resident_pool
+        addresses = self._worker_addresses
+        if not addresses:
+            raise InvalidParameterError(
+                "backend 'sockets' needs worker_addresses (one 'host:port' "
+                "per shard); start workers with `python -m repro worker`"
+            )
+        if len(addresses) != self.n_shards:
+            raise InvalidParameterError(
+                f"backend 'sockets' needs one worker address per shard: got "
+                f"{len(addresses)} address(es) for {self.n_shards} shard(s)"
+            )
+        if self._socket_pool is None:
+            self._socket_pool = SocketWorkerPool(
+                addresses, [shard.estimator.to_bytes() for shard in shards]
+            )
+        return self._socket_pool
+
+    def _record_transport_metrics(
+        self, bytes_out: int, bytes_in: int, blocks: int, seconds: float
+    ) -> None:
+        """Account one transport exchange in the process-global registry."""
+        registry = telemetry.get_registry()
+        byte_counter = registry.counter(
+            "repro_transport_bytes_total",
+            "bytes crossing the coordinator/worker transport boundary",
+        )
+        byte_counter.inc(bytes_out, backend=self._backend, direction="to_worker")
+        byte_counter.inc(
+            bytes_in, backend=self._backend, direction="to_coordinator"
+        )
+        registry.counter(
+            "repro_transport_blocks_total",
+            "row blocks shipped to shard workers",
+        ).inc(blocks, backend=self._backend)
+        registry.histogram(
+            "repro_transport_roundtrip_seconds",
+            "wall seconds of one transport exchange (blocks out, snapshots back)",
+        ).observe(seconds, backend=self._backend)
+
     def _ingest_in_processes(
         self, shards: list[Shard], buckets: list
-    ) -> list[Shard]:
-        """Feed every (shard, bucket) pair to a worker-process pool.
+    ) -> tuple[list[Shard], tuple[int, ...]]:
+        """Feed every (shard, bucket) pair to a per-call worker-process pool.
 
-        Workers receive only each shard's compact estimator state (the
-        :mod:`repro.persistence` snapshot bytes — never a pickled
-        :class:`Shard` with its timing fields) plus the rows, and hand the
-        updated state back; the shards adopt the results in the parent.
-        Estimators without the ``state_dict`` contract fall back to
-        travelling as plain pickled estimator objects.
+        Workers receive only each shard's compact estimator state via
+        :meth:`_shippable_state` (the :mod:`repro.persistence` snapshot
+        bytes — never a pickled :class:`Shard` with its timing fields) plus
+        the rows, and hand the updated state back; the shards adopt the
+        results in the parent.  Estimators without the ``state_dict``
+        contract fall back to travelling as plain pickled estimator
+        objects.  Also returns the approximate per-shard payload bytes that
+        crossed the pool boundary (state out, rows out, state back).
         """
         # Fork (where available) shares the parent's loaded modules and is
         # dramatically cheaper to start than spawn.
@@ -372,11 +562,28 @@ class Coordinator:
         payloads: list[bytes | ProjectedFrequencyEstimator] = [
             self._shippable_state(shard.estimator) for shard in shards
         ]
+        started = time.perf_counter()
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            results = list(pool.map(_ingest_estimator_state, payloads, buckets))
+            futures = [
+                pool.submit(_ingest_estimator_state, payload, bucket)
+                for payload, bucket in zip(payloads, buckets)
+            ]
+            results = []
+            for shard_index, future in enumerate(futures):
+                try:
+                    results.append(future.result())
+                except BrokenProcessPool as error:
+                    raise EstimationError(
+                        f"shard {shard_index} worker died mid-ingest under "
+                        f"the '{self._backend}' backend (BrokenProcessPool); "
+                        "the pool was abandoned and the next ingest() call "
+                        "starts a fresh one"
+                    ) from error
         registry = telemetry.get_registry()
-        for shard, (ingested, elapsed, payload, metrics_state) in zip(
-            shards, results
+        bytes_shipped = []
+        bytes_out = bytes_in = blocks = 0
+        for shard, sent, bucket, (ingested, elapsed, payload, metrics_state) in zip(
+            shards, payloads, buckets, results
         ):
             estimator = (
                 persistence.from_bytes(bytes(payload))
@@ -394,7 +601,35 @@ class Coordinator:
                 # back next to the estimator state; fold it in so block and
                 # kernel metrics survive the process boundary.
                 registry.merge_state(metrics_state)
-        return shards
+            shipped_out = self._approximate_payload_bytes(sent)
+            shipped_out += self._approximate_payload_bytes(bucket)
+            shipped_in = self._approximate_payload_bytes(payload)
+            bytes_shipped.append(shipped_out + shipped_in)
+            bytes_out += shipped_out
+            bytes_in += shipped_in
+            blocks += 1
+        if telemetry.enabled():
+            self._record_transport_metrics(
+                bytes_out, bytes_in, blocks, time.perf_counter() - started
+            )
+        return shards, tuple(bytes_shipped)
+
+    @staticmethod
+    def _approximate_payload_bytes(payload) -> int:
+        """Size estimate for one pickled pool payload (state, rows, or state).
+
+        Snapshot bytes and ndarray blocks are counted exactly; row-tuple
+        lists are estimated at eight bytes per value; estimator objects
+        travelling as pickles are counted as zero (unknown until pickled —
+        the accounting is best-effort for the legacy fallback).
+        """
+        if isinstance(payload, (bytes, bytearray)):
+            return len(payload)
+        if isinstance(payload, np.ndarray):
+            return int(payload.nbytes)
+        if isinstance(payload, (list, tuple)):
+            return sum(len(row) for row in payload) * 8
+        return 0
 
     @staticmethod
     def _shippable_state(
@@ -414,6 +649,23 @@ class Coordinator:
             return estimator.to_bytes()
         except SnapshotError:
             return estimator
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down resident workers and socket connections, if any.
+
+        Idempotent and safe on every backend; the serial and per-call
+        process backends hold no persistent resources.  A closed
+        coordinator remains fully usable — the next :meth:`ingest` call
+        simply spawns or reconnects a fresh worker pool.
+        """
+        if self._resident_pool is not None:
+            self._resident_pool.close()
+            self._resident_pool = None
+        if self._socket_pool is not None:
+            self._socket_pool.close()
+            self._socket_pool = None
 
     # -- persistence -------------------------------------------------------------
 

@@ -1,0 +1,48 @@
+"""Resident worker transport: persistent pools, shm handoff, socket shards.
+
+The scale-out transport layer behind ``Coordinator(backend="resident")``
+and ``backend="sockets"``.  Three pieces:
+
+* :mod:`~repro.engine.transport.frames` — the ``repro/transport@1`` frame
+  codec every coordinator/worker exchange uses (nothing is pickled);
+* :mod:`~repro.engine.transport.resident` — a pool of resident worker
+  processes, spawned once per coordinator lifetime, fed row blocks through
+  per-worker shared-memory rings (:mod:`~repro.engine.transport.shm`);
+* :mod:`~repro.engine.transport.sockets` — the same worker behind a TCP
+  server (``python -m repro worker``) plus the coordinator-side client.
+
+Both backends replay the serial backend's exact per-batch ``observe_rows``
+call sequence, so merged summaries are bit-identical to a serial ingest.
+"""
+
+from .frames import MESSAGE_TYPES, TRANSPORT_SCHEMA, decode_frame, encode_frame
+from .resident import DEFAULT_TRANSPORT_BLOCK_ROWS, ResidentWorkerPool
+from .shm import RING_SLOTS, ShmReader, ShmRing
+from .sockets import (
+    ShardServer,
+    SocketShardClient,
+    SocketWorkerPool,
+    parse_address,
+    run_worker,
+    spawn_local_servers,
+)
+from .worker import ShardWorkerState
+
+__all__ = [
+    "DEFAULT_TRANSPORT_BLOCK_ROWS",
+    "MESSAGE_TYPES",
+    "RING_SLOTS",
+    "ResidentWorkerPool",
+    "ShardServer",
+    "ShardWorkerState",
+    "ShmReader",
+    "ShmRing",
+    "SocketShardClient",
+    "SocketWorkerPool",
+    "TRANSPORT_SCHEMA",
+    "decode_frame",
+    "encode_frame",
+    "parse_address",
+    "run_worker",
+    "spawn_local_servers",
+]

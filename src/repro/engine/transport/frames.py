@@ -1,0 +1,121 @@
+"""The ``repro/transport@1`` frame codec.
+
+Every message between a coordinator and a shard worker — over a
+:mod:`multiprocessing` pipe or a TCP socket — is one *frame*::
+
+    u32 header_len | header JSON (UTF-8) | payload bytes
+
+The header is a small JSON object carrying the message ``type`` (one of
+:data:`MESSAGE_TYPES`), the protocol version tag ``v`` and per-message
+fields (shard index, block geometry, a shared-memory descriptor, worker
+accounting).  The payload is raw bytes: estimator snapshot bytes for
+``load`` / ``snapshot_state``, row-block bytes for an inline
+``ingest_block``, empty otherwise.
+
+Nothing in a frame is ever pickled.  Pipes move frames with
+``Connection.send_bytes`` / ``recv_bytes`` (never ``send``/``recv``, whose
+payloads are pickles — lint rule PRO008 enforces this), sockets add an
+outer ``u32`` frame-length prefix via :func:`frame_length_prefix` /
+:func:`split_length_prefix`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from ...errors import TransportError
+
+__all__ = [
+    "TRANSPORT_SCHEMA",
+    "MESSAGE_TYPES",
+    "encode_frame",
+    "decode_frame",
+    "frame_length_prefix",
+    "split_length_prefix",
+]
+
+#: Version tag carried by every frame header; bumped on incompatible change.
+TRANSPORT_SCHEMA = "repro/transport@1"
+
+#: The protocol vocabulary.  Requests: ``hello`` (handshake), ``load``
+#: (install pristine estimator snapshot bytes), ``ingest_block`` (one row
+#: block), ``snapshot`` (ship summary state back + reset to pristine),
+#: ``metrics`` (peek at the worker's telemetry registry), ``shutdown``.
+#: Replies: ``hello``, ``ok``, ``block_ack``, ``snapshot_state``,
+#: ``metrics_state``, ``error``.
+MESSAGE_TYPES = (
+    "hello",
+    "load",
+    "ingest_block",
+    "block_ack",
+    "snapshot",
+    "snapshot_state",
+    "metrics",
+    "metrics_state",
+    "shutdown",
+    "ok",
+    "error",
+)
+
+_HEADER_LEN = struct.Struct("!I")
+
+
+def encode_frame(header: dict, payload: bytes = b"") -> bytes:
+    """Serialize one message as ``u32 header_len | header JSON | payload``.
+
+    The version tag and a validated ``type`` are stamped into the header
+    here, so every frame on the wire is well-formed by construction.
+    """
+    message_type = header.get("type")
+    if message_type not in MESSAGE_TYPES:
+        raise TransportError(
+            f"unknown transport message type {message_type!r}; expected one "
+            f"of {MESSAGE_TYPES}"
+        )
+    tagged = dict(header)
+    tagged["v"] = TRANSPORT_SCHEMA
+    encoded = json.dumps(tagged, sort_keys=True).encode("utf-8")
+    return _HEADER_LEN.pack(len(encoded)) + encoded + bytes(payload)
+
+
+def decode_frame(frame: bytes) -> tuple[dict, bytes]:
+    """Split one frame back into ``(header, payload)``, checking the version."""
+    if len(frame) < _HEADER_LEN.size:
+        raise TransportError(
+            f"truncated transport frame: {len(frame)} byte(s), need at least "
+            f"{_HEADER_LEN.size}"
+        )
+    (header_len,) = _HEADER_LEN.unpack_from(frame)
+    end = _HEADER_LEN.size + header_len
+    if len(frame) < end:
+        raise TransportError(
+            f"truncated transport frame: header claims {header_len} bytes "
+            f"but only {len(frame) - _HEADER_LEN.size} follow"
+        )
+    try:
+        header = json.loads(frame[_HEADER_LEN.size:end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise TransportError(f"unreadable transport frame header: {error}")
+    version = header.get("v")
+    if version != TRANSPORT_SCHEMA:
+        raise TransportError(
+            f"transport version mismatch: peer speaks {version!r}, this "
+            f"process speaks {TRANSPORT_SCHEMA!r}"
+        )
+    if header.get("type") not in MESSAGE_TYPES:
+        raise TransportError(
+            f"unknown transport message type {header.get('type')!r}"
+        )
+    return header, frame[end:]
+
+
+def frame_length_prefix(frame: bytes) -> bytes:
+    """The outer ``u32`` length prefix socket streams add before a frame."""
+    return _HEADER_LEN.pack(len(frame))
+
+
+def split_length_prefix(prefix: bytes) -> int:
+    """Decode the outer ``u32`` frame length read from a socket stream."""
+    (length,) = _HEADER_LEN.unpack(prefix)
+    return length

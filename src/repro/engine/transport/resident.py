@@ -1,0 +1,286 @@
+"""The resident worker pool: spawn once, ingest many, snapshot on demand.
+
+The per-call ``processes`` backend pays three taxes on every
+``Coordinator.ingest`` call: a fresh :class:`~concurrent.futures.ProcessPoolExecutor`
+spawn, a pickled row payload per shard, and a snapshot round trip *in both
+directions*.  A :class:`ResidentWorkerPool` amortises all three: workers
+are spawned once per coordinator lifetime, hold their shard's estimator
+in-process (loaded once from pristine snapshot bytes), receive row blocks
+through a shared-memory ring (descriptors only — no row serialization),
+and ship snapshot bytes back only when the coordinator asks for a merge.
+After every ``snapshot`` the worker resets itself to the cached pristine
+payload, so each ingest call still starts from a fresh replica exactly
+like the serial and per-call backends.
+
+A worker that dies mid-ingest surfaces as
+:class:`~repro.errors.EstimationError` naming the shard index and backend;
+the pool tears itself down so the owning coordinator can respawn a healthy
+one on its next ingest call.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+
+from ...errors import EstimationError, TransportError
+from .frames import decode_frame, encode_frame
+from .shm import RING_SLOTS, ShmRing
+from .worker import ShardWorkerState
+
+__all__ = ["DEFAULT_TRANSPORT_BLOCK_ROWS", "ResidentWorkerPool"]
+
+#: Transport block size used when the coordinator has no ``batch_size``.
+DEFAULT_TRANSPORT_BLOCK_ROWS = 4096
+
+#: Connection failures that mean "the worker process is gone".
+_DEAD_WORKER_ERRORS = (BrokenPipeError, ConnectionResetError, EOFError, OSError)
+
+
+def _resident_worker_main(conn) -> None:
+    """Child-process entry: answer frames on ``conn`` until EOF/shutdown."""
+    state = ShardWorkerState()
+    try:
+        while True:
+            try:
+                frame = conn.recv_bytes()
+            except _DEAD_WORKER_ERRORS:
+                break
+            header, payload = decode_frame(frame)
+            reply = state.handle(header, payload)
+            if reply is not None:
+                conn.send_bytes(encode_frame(reply[0], reply[1]))
+            if header.get("type") == "shutdown":
+                break
+    finally:
+        state.close()
+        conn.close()
+
+
+class _Worker:
+    """Pool-side bookkeeping for one resident worker process."""
+
+    __slots__ = (
+        "process",
+        "conn",
+        "ring",
+        "seq",
+        "pending",
+        "blocks",
+        "bytes_sent",
+        "bytes_received",
+    )
+
+    def __init__(self, process, conn, ring: ShmRing | None) -> None:
+        self.process = process
+        self.conn = conn
+        self.ring = ring
+        self.seq = 0
+        self.pending: list[int] = []
+        self.blocks = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+
+class ResidentWorkerPool:
+    """One resident worker process (plus shm ring) per shard.
+
+    Parameters
+    ----------
+    pristine_payloads:
+        One persistence snapshot payload per shard — the fresh replica each
+        worker is loaded with once, and resets itself to after every
+        snapshot.
+    use_shm:
+        Ship row blocks through a shared-memory ring (the default).  With
+        ``False`` blocks travel inline in their frames — the portable
+        fallback, still unpickled.
+    """
+
+    backend_name = "resident"
+
+    def __init__(
+        self, pristine_payloads: list[bytes], use_shm: bool = True
+    ) -> None:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0]
+        )
+        self._use_shm = use_shm
+        self._workers: list[_Worker] = []
+        self._closed = False
+        try:
+            for index, payload in enumerate(pristine_payloads):
+                # Create the ring *before* forking its worker: the first
+                # segment starts the parent's resource tracker, and a child
+                # forked afterwards inherits that tracker instead of
+                # spawning its own (whose exit would unlink live segments).
+                ring = ShmRing() if use_shm else None
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_resident_worker_main,
+                    args=(child_conn,),
+                    daemon=True,
+                    name=f"repro-shard-{index}",
+                )
+                process.start()
+                child_conn.close()
+                self._workers.append(_Worker(process, parent_conn, ring))
+                self._request(
+                    index, {"type": "load", "shard": index}, bytes(payload)
+                )
+        except Exception:
+            self.close()
+            raise
+
+    # -- plumbing ----------------------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        """Number of resident workers (one per shard)."""
+        return len(self._workers)
+
+    @property
+    def processes(self) -> list:
+        """The live worker processes (fault-injection tests kill these)."""
+        return [worker.process for worker in self._workers]
+
+    def _fail(self, shard_index: int, error: BaseException) -> None:
+        """Tear the pool down and surface a dead worker as EstimationError."""
+        self.close()
+        raise EstimationError(
+            f"shard {shard_index} worker died mid-ingest under the "
+            f"'{self.backend_name}' backend ({type(error).__name__}); the "
+            "worker pool was shut down and the coordinator will respawn it "
+            "on the next ingest() call"
+        ) from error
+
+    def _send(self, shard_index: int, frame: bytes) -> None:
+        worker = self._workers[shard_index]
+        try:
+            worker.conn.send_bytes(frame)
+        except _DEAD_WORKER_ERRORS as error:
+            self._fail(shard_index, error)
+        worker.bytes_sent += len(frame)
+
+    def _recv(self, shard_index: int) -> tuple[dict, bytes]:
+        worker = self._workers[shard_index]
+        try:
+            frame = worker.conn.recv_bytes()
+        except _DEAD_WORKER_ERRORS as error:
+            self._fail(shard_index, error)
+        worker.bytes_received += len(frame)
+        header, payload = decode_frame(frame)
+        if header.get("type") == "error":
+            # The worker survives but its shard state is suspect; rebuild.
+            self.close()
+            raise EstimationError(
+                f"shard {shard_index} worker failed under the "
+                f"'{self.backend_name}' backend: {header.get('message')}"
+            )
+        return header, payload
+
+    def _request(
+        self, shard_index: int, header: dict, payload: bytes = b""
+    ) -> tuple[dict, bytes]:
+        self._send(shard_index, encode_frame(header, payload))
+        return self._recv(shard_index)
+
+    def _drain_acks(self, shard_index: int, max_pending: int) -> None:
+        worker = self._workers[shard_index]
+        while len(worker.pending) > max_pending:
+            header, _ = self._recv(shard_index)
+            if header.get("type") != "block_ack":
+                raise TransportError(
+                    f"shard {shard_index} worker answered "
+                    f"{header.get('type')!r} while a block_ack was pending"
+                )
+            worker.pending.remove(int(header.get("seq")))
+
+    # -- the ingest protocol -----------------------------------------------------
+
+    def send_block(self, shard_index: int, block: np.ndarray) -> None:
+        """Hand one row block to ``shard_index``'s worker (ack-paced)."""
+        worker = self._workers[shard_index]
+        contiguous = np.ascontiguousarray(block)
+        header = {
+            "type": "ingest_block",
+            "shard": shard_index,
+            "seq": worker.seq,
+            "ack": True,
+        }
+        if worker.ring is not None:
+            if worker.ring.needs_regrow(contiguous):
+                self._drain_acks(shard_index, 0)
+                worker.ring.regrow(int(contiguous.nbytes))
+            self._drain_acks(shard_index, worker.ring.slots - 1)
+            header["shm"] = worker.ring.place(contiguous)
+            frame = encode_frame(header)
+        else:
+            self._drain_acks(shard_index, RING_SLOTS - 1)
+            header["shm"] = None
+            header["shape"] = list(contiguous.shape)
+            header["dtype"] = np.dtype(contiguous.dtype).str
+            frame = encode_frame(header, contiguous.tobytes())
+        self._send(shard_index, frame)
+        worker.pending.append(worker.seq)
+        worker.seq += 1
+        worker.blocks += 1
+
+    def collect(self) -> list[dict]:
+        """Snapshot every worker; returns one result dict per shard.
+
+        Each entry carries ``rows``, ``seconds``, the summary's snapshot
+        ``payload`` bytes, the worker's ``metrics`` registry state (or
+        ``None``), and the ``bytes_sent`` / ``bytes_received`` / ``blocks``
+        transport accounting since the previous collect.  Workers reset to
+        their pristine replica as a side effect, ready for the next ingest.
+        """
+        for index in range(len(self._workers)):
+            self._drain_acks(index, 0)
+            self._send(index, encode_frame({"type": "snapshot"}))
+        results = []
+        for index, worker in enumerate(self._workers):
+            header, payload = self._recv(index)
+            if header.get("type") != "snapshot_state":
+                raise TransportError(
+                    f"shard {index} worker answered {header.get('type')!r} "
+                    "to a snapshot request"
+                )
+            results.append(
+                {
+                    "rows": int(header.get("rows", 0)),
+                    "seconds": float(header.get("seconds", 0.0)),
+                    "payload": payload,
+                    "metrics": header.get("metrics"),
+                    "blocks": worker.blocks,
+                    "bytes_sent": worker.bytes_sent,
+                    "bytes_received": worker.bytes_received,
+                }
+            )
+            worker.blocks = 0
+            worker.bytes_sent = 0
+            worker.bytes_received = 0
+        return results
+
+    def close(self) -> None:
+        """Shut every worker down and release rings; safe to call twice."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.send_bytes(encode_frame({"type": "shutdown"}))
+            except _DEAD_WORKER_ERRORS:
+                pass
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            if worker.ring is not None:
+                worker.ring.close(unlink=True)

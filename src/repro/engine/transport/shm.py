@@ -1,0 +1,182 @@
+"""Shared-memory block handoff: a reusable ring of row-block slots.
+
+The resident backend's local fast path.  Instead of serializing every row
+block into its ``ingest_block`` frame, the coordinator owns one
+:class:`ShmRing` per worker: each block is memcpy'd into the next slot of a
+``multiprocessing.shared_memory`` segment and the frame carries only a
+*descriptor* — ``(name, offset, shape, dtype)`` — that the worker resolves
+with an :class:`ShmReader`.  Slot reuse is ack-paced: the ring has
+:data:`RING_SLOTS` slots, the pool keeps at most that many blocks in
+flight per worker, and a slot is rewritten only after the worker has
+acknowledged ingesting the block that previously occupied it.
+
+A block larger than the current slot size triggers a *regrow*: the pool
+drains every outstanding ack, the old segment is unlinked, and a fresh,
+larger segment (with a fresh name — descriptors are never ambiguous)
+replaces it.  Workers notice the name change and re-attach.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ...errors import TransportError
+
+__all__ = ["RING_SLOTS", "DEFAULT_SLOT_BYTES", "ShmReader", "ShmRing"]
+
+#: Slots per ring — in-flight blocks per worker before ack backpressure.
+RING_SLOTS = 2
+
+#: Initial slot size; regrown to the next power of two when a block exceeds it.
+DEFAULT_SLOT_BYTES = 1 << 20
+
+
+class ShmRing:
+    """Coordinator-side: a ring of block slots inside one shm segment.
+
+    Example::
+
+        >>> import numpy as np
+        >>> ring = ShmRing()
+        >>> descriptor = ring.place(np.arange(6, dtype=np.int64).reshape(2, 3))
+        >>> sorted(descriptor)
+        ['dtype', 'name', 'nbytes', 'offset', 'shape', 'slot']
+        >>> ring.close(unlink=True)
+    """
+
+    def __init__(
+        self, slots: int = RING_SLOTS, slot_bytes: int = DEFAULT_SLOT_BYTES
+    ) -> None:
+        self._slots = int(slots)
+        self._slot_bytes = int(slot_bytes)
+        self._segment = shared_memory.SharedMemory(
+            create=True, size=self._slots * self._slot_bytes
+        )
+        self._cursor = 0
+
+    @property
+    def slots(self) -> int:
+        """Number of slots — the ack-pacing depth of the pool."""
+        return self._slots
+
+    @property
+    def name(self) -> str:
+        """Name of the current segment (changes on regrow)."""
+        return self._segment.name
+
+    def needs_regrow(self, block: np.ndarray) -> bool:
+        """Whether ``block`` exceeds the current slot size."""
+        return int(block.nbytes) > self._slot_bytes
+
+    def regrow(self, n_bytes: int) -> None:
+        """Replace the segment with one whose slots hold ``n_bytes`` blocks.
+
+        The caller must have drained every outstanding ack first — the old
+        segment is unlinked here and any undelivered descriptor into it
+        would dangle.
+        """
+        new_slot = self._slot_bytes
+        while new_slot < n_bytes:
+            new_slot *= 2
+        self._segment.close()
+        self._segment.unlink()
+        self._slot_bytes = new_slot
+        self._segment = shared_memory.SharedMemory(
+            create=True, size=self._slots * self._slot_bytes
+        )
+        self._cursor = 0
+
+    def place(self, block: np.ndarray) -> dict:
+        """Memcpy ``block`` into the next slot; returns its descriptor.
+
+        The caller is responsible for ack pacing: at most :attr:`slots`
+        un-acked descriptors may be outstanding, which is exactly what
+        guarantees the slot this call overwrites is no longer being read.
+        """
+        contiguous = np.ascontiguousarray(block)
+        if self.needs_regrow(contiguous):
+            raise TransportError(
+                f"block of {contiguous.nbytes} bytes exceeds the "
+                f"{self._slot_bytes}-byte slot; call regrow() first"
+            )
+        slot = self._cursor % self._slots
+        offset = slot * self._slot_bytes
+        view = np.ndarray(
+            contiguous.shape,
+            dtype=contiguous.dtype,
+            buffer=self._segment.buf,
+            offset=offset,
+        )
+        view[...] = contiguous
+        self._cursor += 1
+        return {
+            "name": self._segment.name,
+            "slot": slot,
+            "offset": offset,
+            "nbytes": int(contiguous.nbytes),
+            "shape": list(contiguous.shape),
+            "dtype": np.dtype(contiguous.dtype).str,
+        }
+
+    def close(self, unlink: bool = False) -> None:
+        """Release the mapping; ``unlink=True`` destroys the segment (owner only)."""
+        try:
+            self._segment.close()
+            if unlink:
+                self._segment.unlink()
+        except (OSError, ValueError):  # pragma: no cover - already gone
+            pass
+
+
+class ShmReader:
+    """Worker-side: resolve block descriptors, re-attaching on regrow.
+
+    :meth:`read` returns a *copy* of the slot contents — estimators are free
+    to retain the rows they ingest (the exact baseline does), and a view
+    into a reusable slot would be corrupted by the next block.  The saving
+    over inline frames is serialization, not the memcpy.
+    """
+
+    def __init__(self) -> None:
+        self._segment: shared_memory.SharedMemory | None = None
+        self._name: str | None = None
+
+    def read(self, descriptor: dict) -> np.ndarray:
+        """The block a :meth:`ShmRing.place` descriptor points at (copied)."""
+        name = descriptor["name"]
+        if name != self._name:
+            self.close()
+            try:
+                # Attaching re-registers the name with the resource tracker,
+                # which is harmless here: resident workers are multiprocessing
+                # children sharing the coordinator's tracker, so the
+                # registration set already holds the name and only the ring
+                # owner's unlink() ever removes it.
+                segment = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                raise TransportError(
+                    f"shared-memory segment {name!r} has vanished; the "
+                    "coordinator closed the ring mid-ingest"
+                )
+            self._segment = segment
+            self._name = name
+        assert self._segment is not None
+        view = np.ndarray(
+            tuple(descriptor["shape"]),
+            dtype=np.dtype(descriptor["dtype"]),
+            buffer=self._segment.buf,
+            offset=int(descriptor["offset"]),
+        )
+        return np.array(view, copy=True)
+
+    def close(self) -> None:
+        """Detach from the current segment, if any."""
+        if self._segment is not None:
+            try:
+                self._segment.close()
+            except (OSError, ValueError):  # pragma: no cover - already gone
+                pass
+            self._segment = None
+            self._name = None

@@ -1,0 +1,382 @@
+"""The socket shard protocol: remote workers behind ``repro/transport@1``.
+
+The topology-agnostic half of the transport layer.  A :class:`ShardServer`
+(``python -m repro worker``) is an :mod:`asyncio` TCP server that answers
+framed transport messages with a resident :class:`~repro.engine.transport.worker.ShardWorkerState`
+per connection; a :class:`SocketShardClient` is the coordinator-side peer
+that drives one remote shard.  On the wire each frame gains an outer
+``u32`` length prefix; row blocks travel inline as ndarray bytes (shared
+memory does not cross machines), pipelined without per-block acks — the
+``snapshot`` reply is the barrier.  Workers return persistence snapshot
+bytes for merging, never pickled objects.
+
+:func:`spawn_local_servers` forks loopback servers on ephemeral ports —
+the harness behind the socket-loopback differential tests and the
+``bench_transport`` benchmark arm.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import socket
+import struct
+
+import numpy as np
+
+from ...errors import EstimationError, TransportError
+from .frames import (
+    decode_frame,
+    encode_frame,
+    frame_length_prefix,
+    split_length_prefix,
+)
+from .worker import ShardWorkerState
+
+__all__ = [
+    "ShardServer",
+    "SocketShardClient",
+    "SocketWorkerPool",
+    "parse_address",
+    "run_worker",
+    "spawn_local_servers",
+]
+
+#: Failures that mean "this shard's worker (or its link) is gone".
+_CLIENT_ERRORS = (TransportError, ConnectionError, EOFError, OSError)
+
+
+def parse_address(address) -> tuple[str, int]:
+    """Normalise ``"host:port"`` strings or ``(host, port)`` pairs."""
+    if isinstance(address, str):
+        host, separator, port_text = address.rpartition(":")
+        if not separator or not host:
+            raise TransportError(
+                f"worker address {address!r} is not of the form host:port"
+            )
+        try:
+            return host, int(port_text)
+        except ValueError:
+            raise TransportError(
+                f"worker address {address!r} has a non-numeric port"
+            )
+    host, port = address
+    return str(host), int(port)
+
+
+# -- server ----------------------------------------------------------------------
+
+
+class ShardServer:
+    """An asyncio TCP shard server speaking ``repro/transport@1``.
+
+    Each connection gets its own :class:`ShardWorkerState`, so one server
+    process serves one shard per coordinator session (connections are
+    handled concurrently but a coordinator opens exactly one per shard).
+    A ``shutdown`` frame with ``scope="server"`` stops the whole server —
+    how CI tears its loopback workers down.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._host = host
+        self._port = port
+        self._stop: asyncio.Event | None = None
+        self._bound_port: int | None = None
+
+    @property
+    def port(self) -> int | None:
+        """The actual bound port (useful when constructed with port 0)."""
+        return self._bound_port
+
+    async def _handle_connection(self, reader, writer) -> None:
+        state = ShardWorkerState()
+        try:
+            while True:
+                try:
+                    prefix = await reader.readexactly(4)
+                    frame = await reader.readexactly(split_length_prefix(prefix))
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                header, payload = decode_frame(frame)
+                reply = state.handle(header, payload)
+                if reply is not None:
+                    out = encode_frame(reply[0], reply[1])
+                    writer.write(frame_length_prefix(out) + out)
+                    await writer.drain()
+                if header.get("type") == "shutdown":
+                    if header.get("scope") == "server" and self._stop is not None:
+                        self._stop.set()
+                    break
+        finally:
+            state.close()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def serve(self, on_ready=None) -> None:
+        """Bind, serve until a server-scoped shutdown frame arrives.
+
+        ``on_ready(port)`` is called once the socket is bound — how forked
+        loopback servers report their ephemeral port to the parent.
+        """
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        self._bound_port = server.sockets[0].getsockname()[1]
+        if on_ready is not None:
+            on_ready(self._bound_port)
+        async with server:
+            await self._stop.wait()
+
+
+def run_worker(host: str = "127.0.0.1", port: int = 0, on_ready=None) -> None:
+    """Run one shard server until shut down (the ``repro worker`` entry)."""
+    asyncio.run(ShardServer(host, port).serve(on_ready))
+
+
+def _server_process_main(host: str, conn) -> None:
+    """Child entry for :func:`spawn_local_servers`: serve, report the port."""
+
+    def on_ready(port: int) -> None:
+        conn.send_bytes(struct.pack("!I", port))
+        conn.close()
+
+    run_worker(host, 0, on_ready)
+
+
+def spawn_local_servers(count: int, host: str = "127.0.0.1"):
+    """Fork ``count`` loopback shard servers on ephemeral ports.
+
+    Returns ``(addresses, processes)`` where ``addresses`` are
+    ``"host:port"`` strings ready for ``Coordinator(worker_addresses=...)``.
+    Stop them with :meth:`SocketShardClient.shutdown_server` per address
+    (or terminate the processes).
+    """
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0]
+    )
+    addresses: list[str] = []
+    processes = []
+    for _ in range(count):
+        parent_conn, child_conn = context.Pipe()
+        process = context.Process(
+            target=_server_process_main,
+            args=(host, child_conn),
+            daemon=True,
+            name="repro-shard-server",
+        )
+        process.start()
+        child_conn.close()
+        (port,) = struct.unpack("!I", parent_conn.recv_bytes())
+        parent_conn.close()
+        addresses.append(f"{host}:{port}")
+        processes.append(process)
+    return addresses, processes
+
+
+# -- client ----------------------------------------------------------------------
+
+
+class SocketShardClient:
+    """Coordinator-side peer driving one remote shard over TCP.
+
+    Blocks are pipelined (``ack=False``) — TCP provides the flow control a
+    local shm ring needs acks for — and :meth:`snapshot` is the barrier
+    that proves every block was ingested.  All traffic is framed; nothing
+    is pickled.
+    """
+
+    backend_name = "sockets"
+
+    def __init__(self, address, timeout: float = 60.0) -> None:
+        host, port = parse_address(address)
+        self.address = f"{host}:{port}"
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._seq = 0
+        self.blocks = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        header, _ = self._request({"type": "hello"})
+        if header.get("type") != "hello":
+            raise TransportError(
+                f"worker at {self.address} answered {header.get('type')!r} "
+                "to the hello handshake"
+            )
+
+    def _send_frame(self, frame: bytes) -> None:
+        self._sock.sendall(frame_length_prefix(frame) + frame)
+        self.bytes_sent += len(frame) + 4
+
+    def _recv_exact(self, n_bytes: int) -> bytes:
+        chunks = []
+        remaining = n_bytes
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ConnectionResetError(
+                    f"worker at {self.address} closed the connection"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _recv_frame(self) -> tuple[dict, bytes]:
+        length = split_length_prefix(self._recv_exact(4))
+        frame = self._recv_exact(length)
+        self.bytes_received += length + 4
+        header, payload = decode_frame(frame)
+        if header.get("type") == "error":
+            raise TransportError(
+                f"worker at {self.address} reported: {header.get('message')}"
+            )
+        return header, payload
+
+    def _request(self, header: dict, payload: bytes = b"") -> tuple[dict, bytes]:
+        self._send_frame(encode_frame(header, payload))
+        return self._recv_frame()
+
+    def load(self, shard_index: int, pristine_payload: bytes) -> None:
+        """Install the shard's pristine estimator snapshot on the worker."""
+        header, _ = self._request(
+            {"type": "load", "shard": shard_index}, bytes(pristine_payload)
+        )
+        if header.get("type") != "ok":
+            raise TransportError(
+                f"worker at {self.address} answered {header.get('type')!r} "
+                "to a load request"
+            )
+
+    def send_block(self, shard_index: int, block: np.ndarray) -> None:
+        """Ship one row block inline (pipelined, no per-block ack)."""
+        contiguous = np.ascontiguousarray(block)
+        header = {
+            "type": "ingest_block",
+            "shard": shard_index,
+            "seq": self._seq,
+            "ack": False,
+            "shm": None,
+            "shape": list(contiguous.shape),
+            "dtype": np.dtype(contiguous.dtype).str,
+        }
+        self._send_frame(encode_frame(header, contiguous.tobytes()))
+        self._seq += 1
+        self.blocks += 1
+
+    def snapshot(self) -> dict:
+        """Barrier + merge: the worker's summary snapshot and accounting.
+
+        Returns the same result-dict shape as
+        :meth:`~repro.engine.transport.resident.ResidentWorkerPool.collect`
+        entries; transport counters reset afterwards.
+        """
+        header, payload = self._request({"type": "snapshot"})
+        if header.get("type") != "snapshot_state":
+            raise TransportError(
+                f"worker at {self.address} answered {header.get('type')!r} "
+                "to a snapshot request"
+            )
+        result = {
+            "rows": int(header.get("rows", 0)),
+            "seconds": float(header.get("seconds", 0.0)),
+            "payload": payload,
+            "metrics": header.get("metrics"),
+            "blocks": self.blocks,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+        }
+        self.blocks = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        return result
+
+    def shutdown_server(self) -> None:
+        """Stop the *whole server* behind this connection (CI teardown)."""
+        try:
+            self._request({"type": "shutdown", "scope": "server"})
+        except (TransportError, ConnectionError, OSError):
+            pass
+        self.close()
+
+    def close(self) -> None:
+        """Close this connection, ending the worker-side session."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+class SocketWorkerPool:
+    """One persistent :class:`SocketShardClient` per shard.
+
+    The coordinator-facing surface mirrors
+    :class:`~repro.engine.transport.resident.ResidentWorkerPool` —
+    ``send_block`` / ``collect`` / ``close`` — so ``Coordinator.ingest``
+    drives local and remote workers through the same protocol.  A failed
+    worker or dropped connection surfaces as
+    :class:`~repro.errors.EstimationError` naming the shard index and
+    backend, after which the pool has closed every connection so the owning
+    coordinator can reconnect on its next ingest call.
+    """
+
+    backend_name = "sockets"
+
+    def __init__(self, addresses, pristine_payloads: list[bytes]) -> None:
+        if len(addresses) != len(pristine_payloads):
+            raise TransportError(
+                f"{len(addresses)} worker address(es) for "
+                f"{len(pristine_payloads)} shard(s); need exactly one each"
+            )
+        self._clients: list[SocketShardClient] = []
+        self._closed = False
+        for index, (address, payload) in enumerate(
+            zip(addresses, pristine_payloads)
+        ):
+            try:
+                client = SocketShardClient(address)
+                self._clients.append(client)
+                client.load(index, payload)
+            except _CLIENT_ERRORS as error:
+                self._fail(index, error)
+
+    @property
+    def n_workers(self) -> int:
+        """Number of connected shard workers."""
+        return len(self._clients)
+
+    def _fail(self, shard_index: int, error: BaseException) -> None:
+        self.close()
+        raise EstimationError(
+            f"shard {shard_index} worker failed mid-ingest under the "
+            f"'{self.backend_name}' backend ({type(error).__name__}: {error});"
+            " the connections were closed and will be re-established on the "
+            "next ingest() call"
+        ) from error
+
+    def send_block(self, shard_index: int, block: np.ndarray) -> None:
+        """Ship one row block to ``shard_index``'s remote worker."""
+        try:
+            self._clients[shard_index].send_block(shard_index, block)
+        except _CLIENT_ERRORS as error:
+            self._fail(shard_index, error)
+
+    def collect(self) -> list[dict]:
+        """Snapshot every worker; one result dict per shard (see client)."""
+        results = []
+        for index, client in enumerate(self._clients):
+            try:
+                results.append(client.snapshot())
+            except _CLIENT_ERRORS as error:
+                self._fail(index, error)
+        return results
+
+    def close(self) -> None:
+        """Close every connection (servers stay up); safe to call twice."""
+        if self._closed:
+            return
+        self._closed = True
+        for client in self._clients:
+            client.close()

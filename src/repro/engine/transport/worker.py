@@ -1,0 +1,174 @@
+"""The shard worker: one resident estimator behind a frame-message loop.
+
+:class:`ShardWorkerState` is the *transport-agnostic* half of a worker —
+the same handler object answers frames whether they arrived over a
+resident pool's pipe (:mod:`repro.engine.transport.resident`) or a TCP
+socket (:mod:`repro.engine.transport.sockets`).  Its contract is the
+snapshot-bytes-only protocol:
+
+* ``load`` installs the shard's estimator from persistence snapshot bytes
+  (:func:`repro.persistence.from_bytes`) and caches the *pristine* payload;
+* ``ingest_block`` feeds one row block — resolved from a shared-memory
+  descriptor or inline frame bytes — through ``observe_rows``;
+* ``snapshot`` ships the updated summary back as snapshot bytes (plus row
+  count, ingest seconds and the worker's telemetry registry state) and
+  resets the estimator to the cached pristine payload, giving every
+  coordinator ``ingest()`` call a fresh replica without re-shipping one.
+
+No estimator, shard or row list is ever pickled across the boundary.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ... import persistence, telemetry
+from ...errors import TransportError
+from .shm import ShmReader
+
+__all__ = ["ShardWorkerState"]
+
+
+class ShardWorkerState:
+    """One shard's resident estimator plus the frame-message handler.
+
+    Example::
+
+        >>> from repro import ExactBaseline
+        >>> from repro.engine.transport.frames import decode_frame, encode_frame
+        >>> state = ShardWorkerState()
+        >>> header, _ = state.handle({"type": "hello"}, b"")
+        >>> header["type"]
+        'hello'
+    """
+
+    def __init__(self) -> None:
+        self._estimator = None
+        self._pristine: bytes | None = None
+        self._shard_index: int | None = None
+        self._rows = 0
+        self._seconds = 0.0
+        self._shm = ShmReader()
+        self._registry_scope = None
+        self._registry = None
+        self._rescope_registry()
+
+    def _rescope_registry(self) -> None:
+        """Swap in a fresh scoped registry so each ingest ships only its own.
+
+        A forked worker inherits the parent's process-global registry;
+        recording into a scope of our own (and re-scoping after every
+        snapshot) is what keeps the coordinator's ``merge_state`` from
+        double-counting history.
+        """
+        if self._registry_scope is not None:
+            self._registry_scope.__exit__(None, None, None)
+            self._registry_scope = None
+            self._registry = None
+        if telemetry.enabled():
+            self._registry_scope = telemetry.scoped_registry()
+            self._registry = self._registry_scope.__enter__()
+
+    # -- message handlers --------------------------------------------------------
+
+    def handle(self, header: dict, payload: bytes) -> tuple[dict, bytes] | None:
+        """Answer one decoded frame; returns ``(reply_header, reply_payload)``.
+
+        ``ingest_block`` frames with ``ack=False`` return ``None`` (the
+        pipelined socket path treats the eventual ``snapshot`` reply as the
+        barrier); every other message produces a reply.  Handler failures
+        are reported as ``error`` frames rather than killing the loop.
+        """
+        message_type = header.get("type")
+        try:
+            if message_type == "hello":
+                return {"type": "hello"}, b""
+            if message_type == "load":
+                return self._handle_load(header, payload)
+            if message_type == "ingest_block":
+                return self._handle_block(header, payload)
+            if message_type == "snapshot":
+                return self._handle_snapshot()
+            if message_type == "metrics":
+                state = (
+                    self._registry.state_dict()
+                    if self._registry is not None
+                    else None
+                )
+                return {"type": "metrics_state", "metrics": state}, b""
+            if message_type == "shutdown":
+                self.close()
+                return {"type": "ok"}, b""
+            raise TransportError(
+                f"worker cannot handle message type {message_type!r}"
+            )
+        except TransportError:
+            raise
+        except Exception as error:  # estimator failures travel as frames
+            return {
+                "type": "error",
+                "message": f"{type(error).__name__}: {error}",
+            }, b""
+
+    def _handle_load(self, header: dict, payload: bytes) -> tuple[dict, bytes]:
+        self._pristine = bytes(payload)
+        self._estimator = persistence.from_bytes(self._pristine)
+        self._shard_index = header.get("shard")
+        self._rows = 0
+        self._seconds = 0.0
+        self._rescope_registry()
+        return {"type": "ok", "shard": self._shard_index}, b""
+
+    def _handle_block(
+        self, header: dict, payload: bytes
+    ) -> tuple[dict, bytes] | None:
+        if self._estimator is None:
+            raise TransportError("ingest_block before load: no estimator loaded")
+        descriptor = header.get("shm")
+        if descriptor is not None:
+            block = self._shm.read(descriptor)
+        else:
+            block = np.frombuffer(
+                payload, dtype=np.dtype(header["dtype"])
+            ).reshape(tuple(header["shape"]))
+            # frombuffer views are read-only; estimators may retain rows.
+            block = np.array(block, copy=True)
+        started = time.perf_counter()
+        self._estimator.observe_rows(block)
+        self._seconds += time.perf_counter() - started
+        self._rows += int(block.shape[0])
+        if header.get("ack", True):
+            return {"type": "block_ack", "seq": header.get("seq")}, b""
+        return None
+
+    def _handle_snapshot(self) -> tuple[dict, bytes]:
+        if self._estimator is None or self._pristine is None:
+            raise TransportError("snapshot before load: no estimator loaded")
+        summary = self._estimator.to_bytes()
+        metrics_state = (
+            self._registry.state_dict() if self._registry is not None else None
+        )
+        reply = {
+            "type": "snapshot_state",
+            "shard": self._shard_index,
+            "rows": self._rows,
+            "seconds": self._seconds,
+            "metrics": metrics_state,
+        }
+        # Reset to the pristine replica locally: the next coordinator
+        # ingest() starts from a fresh estimator without re-shipping one.
+        self._estimator = persistence.from_bytes(self._pristine)
+        self._rows = 0
+        self._seconds = 0.0
+        self._rescope_registry()
+        return reply, summary
+
+    def close(self) -> None:
+        """Release shm attachments and the scoped registry."""
+        self._shm.close()
+        if self._registry_scope is not None:
+            self._registry_scope.__exit__(None, None, None)
+            self._registry_scope = None
+            self._registry = None

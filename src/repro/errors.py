@@ -57,6 +57,17 @@ class ProtocolError(ReproError, RuntimeError):
     """A communication-game simulation was driven in an invalid order."""
 
 
+class TransportError(ReproError, RuntimeError):
+    """A transport frame or handshake violated the ``repro/transport@1`` protocol.
+
+    Raised by :mod:`repro.engine.transport` when a frame is malformed, carries
+    an unknown version tag, or a worker reports a remote failure.  Worker
+    *crashes* (a dead process or dropped connection) surface as
+    :class:`EstimationError` from the coordinator instead, naming the shard
+    index and backend.
+    """
+
+
 class SnapshotError(ReproError, RuntimeError):
     """A serialized summary could not be written or restored.
 

@@ -55,6 +55,7 @@ def _report_to_dict(report: IngestReport) -> dict:
     payload = asdict(report)
     payload["rows_per_shard"] = list(report.rows_per_shard)
     payload["shard_seconds"] = list(report.shard_seconds)
+    payload["bytes_shipped_per_shard"] = list(report.bytes_shipped_per_shard)
     return payload
 
 
@@ -69,6 +70,11 @@ def _report_from_dict(payload: dict) -> IngestReport:
         wall_seconds=float(payload["wall_seconds"]),
         shard_seconds=tuple(float(v) for v in payload["shard_seconds"]),
         merge_seconds=float(payload["merge_seconds"]),
+        # Tolerant read: bundles written before the transport layer carry
+        # no bytes_shipped_per_shard key.
+        bytes_shipped_per_shard=tuple(
+            int(v) for v in payload.get("bytes_shipped_per_shard", ())
+        ),
     )
 
 

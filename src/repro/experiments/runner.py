@@ -155,8 +155,14 @@ class RunContext:
             batch_size=self.engine.batch_size
             if batch_size is _UNSET
             else batch_size,  # type: ignore[arg-type]
+            worker_addresses=self.engine.worker_addresses,
         )
         report = coordinator.ingest(RowStream(dataset))
+        # Release resident workers / socket connections now: serving needs
+        # only the merged summary, and sweep scenarios would otherwise pile
+        # up one worker pool per grid point.  A body that ingests again
+        # through the same coordinator just pays one respawn.
+        coordinator.close()
         service = coordinator.query_service(cache_size=self.engine.cache_size)
         if self.checkpoints is not None:
             self.checkpoints.record(key, estimator.name, coordinator, report)
@@ -268,6 +274,15 @@ def _telemetry_section(context: RunContext) -> dict:
         "queries": {
             "count": sum(kinds.values()),
             "kinds": dict(sorted(kinds.items())),
+        },
+        "transport": {
+            "bytes_shipped": int(
+                sum(
+                    sum(report.bytes_shipped_per_shard)
+                    for report in reports
+                )
+            ),
+            "backends": sorted({report.backend for report in reports}),
         },
         "peak_summary_bits": peak_summary_bits,
     }

@@ -66,6 +66,13 @@ class RunParams:
     batch_size:
         When set, overrides the scenario's engine ingest block size
         (``0`` means "force the per-row path", i.e. ``batch_size=None``).
+    backend:
+        When set, overrides the scenario's ingest backend (one of
+        :data:`~repro.engine.coordinator.INGEST_BACKENDS` — the CLI's
+        ``--backend`` flag).
+    worker_addresses:
+        ``"host:port"`` strings naming remote shard servers; required by
+        (and only meaningful for) the ``sockets`` backend.
     checkpoint_to:
         When set, every engine session the scenario runs is saved into a
         checkpoint bundle at this directory (the build phase of
@@ -86,6 +93,8 @@ class RunParams:
     quick: bool = False
     n_shards: int | None = None
     batch_size: int | None = None
+    backend: str | None = None
+    worker_addresses: tuple[str, ...] | None = None
     checkpoint_to: str | None = None
     from_checkpoint: str | None = None
 
@@ -101,6 +110,11 @@ class RunParams:
             raise InvalidParameterError(
                 f"batch_size must be >= 0, got {self.batch_size}"
             )
+        if self.backend is not None and self.backend not in INGEST_BACKENDS:
+            raise InvalidParameterError(
+                f"unknown ingest backend {self.backend!r}; expected one of "
+                f"{INGEST_BACKENDS}"
+            )
         if self.checkpoint_to is not None and self.from_checkpoint is not None:
             raise InvalidParameterError(
                 "checkpoint_to and from_checkpoint are mutually exclusive; "
@@ -115,6 +129,12 @@ class RunParams:
             "quick": self.quick,
             "n_shards": self.n_shards,
             "batch_size": self.batch_size,
+            "backend": self.backend,
+            "worker_addresses": (
+                None
+                if self.worker_addresses is None
+                else list(self.worker_addresses)
+            ),
             "checkpoint_to": self.checkpoint_to,
             "from_checkpoint": self.from_checkpoint,
         }
@@ -139,6 +159,7 @@ class EngineConfig:
     backend: str = "serial"
     batch_size: int | None = None
     cache_size: int = 1024
+    worker_addresses: tuple[str, ...] | None = None
 
     def validate(self) -> "EngineConfig":
         """Check the configuration against the engine's accepted values."""
@@ -167,13 +188,19 @@ class EngineConfig:
         return self
 
     def with_overrides(self, params: RunParams) -> "EngineConfig":
-        """Apply CLI overrides (``--shards`` / ``--batch-size``) to a copy."""
+        """Apply CLI overrides (``--shards``/``--batch-size``/``--backend``)."""
         config = self
         if params.n_shards is not None:
             config = replace(config, n_shards=params.n_shards)
         if params.batch_size is not None:
             config = replace(
                 config, batch_size=params.batch_size if params.batch_size else None
+            )
+        if params.backend is not None:
+            config = replace(config, backend=params.backend)
+        if params.worker_addresses is not None:
+            config = replace(
+                config, worker_addresses=tuple(params.worker_addresses)
             )
         return config.validate()
 
@@ -185,6 +212,11 @@ class EngineConfig:
             "backend": self.backend,
             "batch_size": self.batch_size,
             "cache_size": self.cache_size,
+            "worker_addresses": (
+                None
+                if self.worker_addresses is None
+                else list(self.worker_addresses)
+            ),
         }
 
 

@@ -1,4 +1,4 @@
-"""Protocol-completeness rules (PRO001–PRO007).
+"""Protocol-completeness rules (PRO001–PRO008).
 
 The engine composes sketches and estimators through duck-typed protocols:
 checkpointing calls ``state_dict``/``load_state_dict`` and looks the class
@@ -378,3 +378,78 @@ def check_worker_payloads(
         } | {sub.id for sub in ast.walk(node) if isinstance(sub, ast.Name)}
         if needle not in mentioned:
             yield module, node, f"{node.name}() drifted: {message}"
+
+
+#: Modules whose import anywhere in the transport layer re-introduces an
+#: object serialiser on the wire (PRO008).  ``pickle`` is absent on
+#: purpose: PRO006 already flags it across all of ``engine/`` (transport
+#: included), and one finding per defect keeps the fixtures exact.
+_SERIALIZER_MODULES = {"marshal"}
+
+
+def _receiver_name(node: ast.AST) -> str | None:
+    """Terminal identifier of a call receiver: ``worker.conn`` → ``conn``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@rule(
+    "PRO008",
+    severity="error",
+    summary="transport module reintroduces object serialisation on the wire",
+    rationale=(
+        "The transport layer's wire contract is *snapshot bytes only*:\n"
+        "row blocks cross as raw buffers and estimator state crosses as\n"
+        "persistence-layer `to_bytes()` payloads inside `repro/transport@1`\n"
+        "frames.  Importing `pickle` or `marshal`, or calling the\n"
+        "pickle-based `Connection.send()` / `Connection.recv()` instead of\n"
+        "`send_bytes()` / `recv_bytes()`, silently couples the wire format\n"
+        "to Python object layout and breaks cross-version shard workers.\n"
+        "Transport code must frame bytes explicitly."
+    ),
+    example=(
+        "conn.send(estimator)  # inside src/repro/engine/transport/\n"
+        "state = conn.recv()"
+    ),
+)
+def check_transport_wire_contract(
+    module: ModuleContext, project: ProjectContext
+) -> Iterator[tuple]:
+    """Flag serialiser imports and pickled Connection traffic in transport."""
+    library = module.library_rel
+    in_transport = library is None or library.startswith("engine/transport")
+    if not in_transport:
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                root = name.name.split(".", 1)[0]
+                if root in _SERIALIZER_MODULES:
+                    yield module, node, (
+                        f"{root} imported in transport code; the wire "
+                        "carries snapshot bytes and raw buffers only"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".", 1)[0]
+            if root in _SERIALIZER_MODULES:
+                yield module, node, (
+                    f"{root} imported in transport code; the wire carries "
+                    "snapshot bytes and raw buffers only"
+                )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr not in ("send", "recv"):
+                continue
+            receiver = _receiver_name(node.func.value)
+            # Scoped to pipe Connections by naming convention (`conn`,
+            # `self._conn`, ...): raw sockets legitimately call
+            # ``sock.send`` / ``sock.recv`` on plain bytes.
+            if receiver is None or "conn" not in receiver.lower():
+                continue
+            yield module, node, (
+                f"Connection.{node.func.attr}() pickles its argument; "
+                "transport code must frame bytes explicitly via "
+                f"{node.func.attr}_bytes()"
+            )

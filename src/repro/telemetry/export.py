@@ -303,6 +303,25 @@ def validate_telemetry_section(section: object) -> list[str]:
             problems.append(
                 "'telemetry.queries.kinds' must map kind names to integers"
             )
+    transport = section.get("transport")
+    if transport is not None:  # optional: sections predate the transport layer
+        if not isinstance(transport, dict):
+            problems.append("'telemetry.transport' must be an object")
+        else:
+            bytes_shipped = transport.get("bytes_shipped")
+            if not isinstance(bytes_shipped, int) or bytes_shipped < 0:
+                problems.append(
+                    "'telemetry.transport.bytes_shipped' must be an "
+                    "integer >= 0"
+                )
+            backends = transport.get("backends")
+            if not isinstance(backends, list) or not all(
+                isinstance(backend, str) for backend in backends
+            ):
+                problems.append(
+                    "'telemetry.transport.backends' must be a list of "
+                    "backend names"
+                )
     if not isinstance(section.get("peak_summary_bits"), int):
         problems.append("'telemetry.peak_summary_bits' must be an integer")
     return problems

@@ -1,0 +1,12 @@
+# Golden fixture: PRO008 — pickled Connection traffic in transport code.
+import marshal
+
+
+def ship(conn, estimator):
+    conn.send(estimator)
+    payload = marshal.dumps(estimator)
+    return payload
+
+
+def collect(conn):
+    return conn.recv()

@@ -1,0 +1,380 @@
+"""Tests for the transport layer: frames, shared memory, resident + socket pools.
+
+The load-bearing property is the transport contract of the resident and
+socket backends: they replay exactly the ``observe_rows`` call sequence of
+the serial backend, so the merged summary comes back **byte-identical**
+(``to_bytes()``-equal) to serial ingestion of the same stream — across
+estimator families, repeated ingests and checkpoint/restore mid-stream.
+The fault half pins the failure contract: a dead worker surfaces as
+:class:`~repro.errors.EstimationError` naming the shard and backend, and
+the coordinator stays usable afterwards.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro import (
+    AlphaNetEstimator,
+    ColumnQuery,
+    Coordinator,
+    Dataset,
+    EstimationError,
+    ExactBaseline,
+    InvalidParameterError,
+    RowStream,
+    SketchPlan,
+    UniformSampleEstimator,
+)
+from repro.engine.transport import (
+    RING_SLOTS,
+    ShmReader,
+    ShmRing,
+    SocketShardClient,
+    decode_frame,
+    encode_frame,
+    spawn_local_servers,
+)
+from repro.errors import TransportError
+
+D = 6
+DATA = Dataset.random(n_rows=500, n_columns=D, seed=11)
+MORE = Dataset.random(n_rows=300, n_columns=D, seed=12)
+QUERY = ColumnQuery.of([0, 2, 4], D)
+
+
+def _exact_factory() -> ExactBaseline:
+    return ExactBaseline(n_columns=D)
+
+
+def _usample_factory() -> UniformSampleEstimator:
+    return UniformSampleEstimator(n_columns=D, sample_size=64, seed=7)
+
+
+def _alpha_factory() -> AlphaNetEstimator:
+    return AlphaNetEstimator(
+        n_columns=D, alpha=0.4, plan=SketchPlan.default_f0(epsilon=0.4, seed=3)
+    )
+
+
+FAMILIES = {
+    "exact": _exact_factory,
+    "usample": _usample_factory,
+    "alpha": _alpha_factory,
+}
+
+
+@pytest.fixture(scope="module")
+def loopback_workers():
+    """Two forked loopback shard servers, shut down after the module."""
+    addresses, processes = spawn_local_servers(2)
+    yield addresses
+    for address in addresses:
+        try:
+            SocketShardClient(address).shutdown_server()
+        except (TransportError, ConnectionError, OSError):
+            pass
+    for process in processes:
+        process.join(timeout=5)
+        if process.is_alive():  # pragma: no cover - teardown hardening
+            process.terminate()
+
+
+def _merged_bytes(factory, backend: str, streams, addresses=None, **kwargs) -> bytes:
+    coordinator = Coordinator(
+        factory,
+        n_shards=2,
+        backend=backend,
+        worker_addresses=addresses,
+        # Pin the serial arm to the same blocking as the transport arms:
+        # the estimator `version` counter counts observe *calls*, so
+        # bit-identity is defined at equal batch_size.
+        batch_size=kwargs.pop("batch_size", 256),
+        **kwargs,
+    )
+    try:
+        for stream in streams:
+            coordinator.ingest(stream)
+        return coordinator.merged_estimator.to_bytes()
+    finally:
+        coordinator.close()
+
+
+# -- frame codec ----------------------------------------------------------------
+
+
+def test_frame_roundtrip_preserves_header_and_payload() -> None:
+    frame = encode_frame({"type": "load", "shard": 3}, b"\x00snapshot\xff")
+    header, payload = decode_frame(frame)
+    assert header["type"] == "load"
+    assert header["shard"] == 3
+    assert header["v"] == "repro/transport@1"
+    assert payload == b"\x00snapshot\xff"
+
+
+def test_frame_rejects_unknown_type_and_bad_version() -> None:
+    with pytest.raises(TransportError, match="unknown transport message type"):
+        encode_frame({"type": "teleport"})
+    frame = bytearray(encode_frame({"type": "ok"}))
+    # Forge a frame claiming a different protocol version.
+    forged = frame.replace(b"repro/transport@1", b"repro/transport@9")
+    with pytest.raises(TransportError, match="version mismatch"):
+        decode_frame(bytes(forged))
+
+
+def test_frame_rejects_truncation() -> None:
+    frame = encode_frame({"type": "snapshot"})
+    with pytest.raises(TransportError, match="truncated"):
+        decode_frame(frame[:2])
+    with pytest.raises(TransportError, match="truncated"):
+        decode_frame(frame[:-3])
+
+
+# -- shared-memory ring ---------------------------------------------------------
+
+
+def test_shm_ring_place_and_read_roundtrip() -> None:
+    ring = ShmRing(slots=RING_SLOTS, slot_bytes=1 << 12)
+    reader = ShmReader()
+    try:
+        blocks = [
+            np.arange(12, dtype=np.int64).reshape(3, 4),
+            np.ones((2, 4), dtype=np.int64) * 7,
+            np.zeros((1, 4), dtype=np.int64),
+        ]
+        for index, block in enumerate(blocks):
+            descriptor = ring.place(block)
+            assert descriptor["slot"] == index % RING_SLOTS
+            out = reader.read(descriptor)
+            np.testing.assert_array_equal(out, block)
+            # The reader hands back an independent copy, not a live view.
+            out[0, 0] = -1
+            np.testing.assert_array_equal(reader.read(descriptor), block)
+    finally:
+        reader.close()
+        ring.close(unlink=True)
+
+
+def test_shm_ring_regrows_for_oversized_blocks() -> None:
+    ring = ShmRing(slots=RING_SLOTS, slot_bytes=1 << 10)
+    reader = ShmReader()
+    try:
+        big = np.arange(4096, dtype=np.int64).reshape(512, 8)  # 32 KiB
+        assert ring.needs_regrow(big)
+        old_name = ring.name
+        ring.regrow(big.nbytes)
+        assert ring.name != old_name
+        assert not ring.needs_regrow(big)
+        np.testing.assert_array_equal(reader.read(ring.place(big)), big)
+    finally:
+        reader.close()
+        ring.close(unlink=True)
+
+
+def test_shm_reader_reports_vanished_segment() -> None:
+    reader = ShmReader()
+    descriptor = {
+        "name": "repro-never-created",
+        "slot": 0,
+        "offset": 0,
+        "nbytes": 8,
+        "shape": [1, 1],
+        "dtype": "<i8",
+    }
+    with pytest.raises(TransportError, match="vanished"):
+        reader.read(descriptor)
+
+
+# -- differential harness: resident ---------------------------------------------
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_resident_backend_is_bit_identical_to_serial(family: str) -> None:
+    factory = FAMILIES[family]
+    serial = _merged_bytes(factory, "serial", [RowStream(DATA)])
+    resident = _merged_bytes(factory, "resident", [RowStream(DATA)])
+    assert resident == serial
+
+
+def test_resident_repeated_ingest_matches_serial() -> None:
+    streams = [RowStream(DATA), RowStream(MORE)]
+    serial = _merged_bytes(_alpha_factory, "serial", streams)
+    resident = _merged_bytes(_alpha_factory, "resident", streams)
+    assert resident == serial
+
+
+def test_resident_checkpoint_restore_mid_stream_matches_serial(tmp_path) -> None:
+    """Ingest, checkpoint, restore, continue ingesting — still bit-identical."""
+    serial = _merged_bytes(_usample_factory, "serial", [RowStream(DATA), RowStream(MORE)])
+    coordinator = Coordinator(
+        _usample_factory, n_shards=2, backend="resident", batch_size=256
+    )
+    try:
+        coordinator.ingest(RowStream(DATA))
+        path = tmp_path / "mid.ckpt"
+        coordinator.save_checkpoint(path)
+    finally:
+        coordinator.close()
+    restored = Coordinator.load_checkpoint(path, _usample_factory)
+    try:
+        assert restored.backend == "resident"
+        restored.ingest(RowStream(MORE))
+        assert restored.merged_estimator.to_bytes() == serial
+    finally:
+        restored.close()
+
+
+def test_resident_bytes_shipped_accounting() -> None:
+    coordinator = Coordinator(_exact_factory, n_shards=2, backend="resident")
+    try:
+        report = coordinator.ingest(RowStream(DATA))
+    finally:
+        coordinator.close()
+    assert len(report.bytes_shipped_per_shard) == 2
+    assert all(shipped > 0 for shipped in report.bytes_shipped_per_shard)
+    serial_report = Coordinator(_exact_factory, n_shards=2, backend="serial").ingest(
+        RowStream(DATA)
+    )
+    assert serial_report.bytes_shipped_per_shard == (0, 0)
+
+
+def test_resident_pool_persists_across_ingests() -> None:
+    coordinator = Coordinator(_exact_factory, n_shards=2, backend="resident")
+    try:
+        coordinator.ingest(RowStream(DATA))
+        pool = coordinator._resident_pool
+        assert pool is not None
+        pids = [process.pid for process in pool.processes]
+        coordinator.ingest(RowStream(MORE))
+        assert coordinator._resident_pool is pool
+        assert [process.pid for process in pool.processes] == pids
+    finally:
+        coordinator.close()
+    assert coordinator._resident_pool is None
+
+
+# -- differential harness: sockets ----------------------------------------------
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_socket_backend_is_bit_identical_to_serial(
+    family: str, loopback_workers
+) -> None:
+    factory = FAMILIES[family]
+    serial = _merged_bytes(factory, "serial", [RowStream(DATA)])
+    remote = _merged_bytes(
+        factory, "sockets", [RowStream(DATA)], addresses=loopback_workers
+    )
+    assert remote == serial
+
+
+def test_socket_repeated_ingest_matches_serial(loopback_workers) -> None:
+    streams = [RowStream(DATA), RowStream(MORE)]
+    serial = _merged_bytes(_alpha_factory, "serial", streams)
+    remote = _merged_bytes(
+        _alpha_factory, "sockets", streams, addresses=loopback_workers
+    )
+    assert remote == serial
+
+
+def test_socket_bytes_shipped_accounting(loopback_workers) -> None:
+    coordinator = Coordinator(
+        _exact_factory,
+        n_shards=2,
+        backend="sockets",
+        worker_addresses=loopback_workers,
+    )
+    try:
+        report = coordinator.ingest(RowStream(DATA))
+    finally:
+        coordinator.close()
+    assert len(report.bytes_shipped_per_shard) == 2
+    # Socket blocks travel inline, so the framed bytes dominate the row
+    # bytes (each shard ships about half the int64 table).
+    row_bytes_per_shard = DATA.n_rows * D * 8 // 2
+    assert all(
+        shipped > row_bytes_per_shard // 2
+        for shipped in report.bytes_shipped_per_shard
+    )
+
+
+def test_socket_backend_requires_matching_addresses() -> None:
+    with pytest.raises(InvalidParameterError, match="worker_addresses"):
+        Coordinator(_exact_factory, n_shards=2, backend="sockets").ingest(
+            RowStream(DATA)
+        )
+    coordinator = Coordinator(
+        _exact_factory,
+        n_shards=2,
+        backend="sockets",
+        worker_addresses=("127.0.0.1:1",),
+    )
+    with pytest.raises(InvalidParameterError, match="one worker address per shard"):
+        coordinator.ingest(RowStream(DATA))
+
+
+# -- fault injection ------------------------------------------------------------
+
+
+def test_resident_worker_crash_surfaces_and_coordinator_recovers() -> None:
+    coordinator = Coordinator(
+        _exact_factory, n_shards=2, backend="resident", batch_size=256
+    )
+    try:
+        coordinator.ingest(RowStream(DATA))
+        victim = coordinator._resident_pool.processes[1]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=5)
+        with pytest.raises(
+            EstimationError, match=r"shard 1 .*'resident'"
+        ) as excinfo:
+            coordinator.ingest(RowStream(MORE))
+        assert not isinstance(excinfo.value, TransportError)
+        # The broken pool was torn down; the next ingest respawns workers.
+        assert coordinator._resident_pool is None
+        coordinator.ingest(RowStream(MORE))
+        expected = _merged_bytes(
+            _exact_factory, "serial", [RowStream(DATA), RowStream(MORE)]
+        )
+        assert coordinator.merged_estimator.to_bytes() == expected
+    finally:
+        coordinator.close()
+
+
+def _exit_mid_ingest(payload, bucket):  # pragma: no cover - runs in a worker
+    os._exit(3)
+
+
+def test_process_backend_wraps_broken_pool(monkeypatch) -> None:
+    from repro.engine import coordinator as coordinator_module
+
+    monkeypatch.setattr(
+        coordinator_module, "_ingest_estimator_state", _exit_mid_ingest
+    )
+    coordinator = Coordinator(_exact_factory, n_shards=2, backend="processes")
+    with pytest.raises(EstimationError, match=r"'processes' backend"):
+        coordinator.ingest(RowStream(DATA))
+
+
+def test_transport_rejects_unsnapshottable_estimators() -> None:
+    from repro.core.estimator import ProjectedFrequencyEstimator
+
+    class Opaque(ProjectedFrequencyEstimator):
+        def _observe(self, row) -> None:
+            pass
+
+        def size_in_bits(self) -> int:
+            return 0
+
+        def _merge_summaries(self, other) -> None:
+            pass
+
+    coordinator = Coordinator(
+        lambda: Opaque(n_columns=D), n_shards=2, backend="resident"
+    )
+    with pytest.raises(EstimationError, match="snapshot bytes"):
+        coordinator.ingest(RowStream(DATA))
