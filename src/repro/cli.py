@@ -127,6 +127,33 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
         subparser.add_argument(
+            "--retry",
+            default=None,
+            metavar="SPEC",
+            help=(
+                "transport retry policy, e.g. '5' or "
+                "'attempts=5,base=0.1,jitter=0,seed=7' (see docs/robustness.md)"
+            ),
+        )
+        subparser.add_argument(
+            "--rpc-timeout",
+            default=None,
+            metavar="SPEC",
+            help=(
+                "per-RPC deadlines in seconds, e.g. '30' for all RPCs or "
+                "'connect=5,ingest=60,snapshot=120'"
+            ),
+        )
+        subparser.add_argument(
+            "--recovery",
+            default=None,
+            metavar="SPEC",
+            help=(
+                "worker recovery policy: respawn | reassign | fail-fast, "
+                "e.g. 'reassign,max=3,on_exhausted=degrade'"
+            ),
+        )
+        subparser.add_argument(
             "--quick",
             action="store_true",
             help="CI-smoke scale: smaller datasets and sweep grids, same metrics",
@@ -337,6 +364,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         backend=args.backend,
         worker_addresses=tuple(args.workers) if args.workers else None,
         from_checkpoint=getattr(args, "from_checkpoint", None),
+        retry=args.retry,
+        rpc_timeout=args.rpc_timeout,
+        recovery=args.recovery,
     )
     result = _run_capturing_telemetry(spec, params, args)
     json_path, md_path = write_result(result, args.out)
@@ -357,6 +387,9 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
         backend=args.backend,
         worker_addresses=tuple(args.workers) if args.workers else None,
         checkpoint_to=str(bundle_dir),
+        retry=args.retry,
+        rpc_timeout=args.rpc_timeout,
+        recovery=args.recovery,
     )
     result = _run_capturing_telemetry(spec, params, args)
     json_path, md_path = write_result(result, args.out)
@@ -389,6 +422,12 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
         replay.append(f"--backend {args.backend}")
     for address in args.workers or ():
         replay.append(f"--worker {address}")
+    if args.retry is not None:
+        replay.append(f"--retry {args.retry}")
+    if args.rpc_timeout is not None:
+        replay.append(f"--rpc-timeout {args.rpc_timeout}")
+    if args.recovery is not None:
+        replay.append(f"--recovery {args.recovery}")
     if args.out != DEFAULT_OUT_DIR:
         replay.append(f"--out {args.out}")
     replay.append(f"--from-checkpoint {bundle_dir}")

@@ -8,6 +8,11 @@ summary with caching and latency accounting (:mod:`~repro.engine.service`,
 :mod:`~repro.engine.stats`), and persist/restore whole engine states as
 versioned checkpoint files (:mod:`~repro.engine.checkpoint`) so the build
 and query phases can live in different processes.
+
+Failure handling lives in :mod:`~repro.engine.resilience`: retry/backoff
+and deadline policies, supervised worker recovery with bit-identical
+replay, graceful degradation with coverage-annotated answers, and a
+deterministic fault-injection harness.
 """
 
 from .checkpoint import (
@@ -18,6 +23,15 @@ from .checkpoint import (
 )
 from .coordinator import INGEST_BACKENDS, Coordinator, IngestReport
 from .partition import PARTITION_POLICIES, StreamPartitioner
+from .resilience import (
+    DeadlinePolicy,
+    DegradedAnswer,
+    FaultPlan,
+    FaultRule,
+    RecoveryPolicy,
+    ResilienceConfig,
+    RetryPolicy,
+)
 from .service import CacheInfo, QueryRequest, QueryService
 from .shard import Shard
 from .stats import LatencyRecorder, LatencySummary
@@ -26,6 +40,10 @@ __all__ = [
     "CacheInfo",
     "CheckpointInfo",
     "Coordinator",
+    "DeadlinePolicy",
+    "DegradedAnswer",
+    "FaultPlan",
+    "FaultRule",
     "INGEST_BACKENDS",
     "IngestReport",
     "LatencyRecorder",
@@ -33,6 +51,9 @@ __all__ = [
     "PARTITION_POLICIES",
     "QueryRequest",
     "QueryService",
+    "RecoveryPolicy",
+    "ResilienceConfig",
+    "RetryPolicy",
     "Shard",
     "StreamPartitioner",
     "load_checkpoint",

@@ -92,6 +92,10 @@ def save_checkpoint(coordinator: "Coordinator", path: str | Path) -> CheckpointI
                     if coordinator.worker_addresses is None
                     else list(coordinator.worker_addresses)
                 ),
+                "resilience": coordinator.resilience.to_dict(),
+                "coverage": coordinator.coverage,
+                "rows_covered": coordinator._rows_covered,  # noqa: SLF001
+                "rows_lost": coordinator._rows_lost,  # noqa: SLF001
             },
             "merged": None if merged is None else persistence.encode_state(merged),
             "shards": [
@@ -188,10 +192,16 @@ def load_checkpoint(
             backend=str(config["backend"]),
             hash_seed=int(config["hash_seed"]),
             batch_size=config["batch_size"],
-            # Tolerant read: checkpoints predating the transport layer
-            # carry no worker_addresses key.
+            # Tolerant reads: checkpoints predating the transport layer
+            # carry no worker_addresses key, and ones predating the
+            # resilience layer no resilience/coverage keys.
             worker_addresses=config.get("worker_addresses"),
+            resilience=config.get("resilience"),
         )
+        coordinator._rows_covered = int(  # noqa: SLF001
+            config.get("rows_covered", 0)
+        )
+        coordinator._rows_lost = int(config.get("rows_lost", 0))  # noqa: SLF001
         shards = []
         for entry in envelope["shards"]:
             estimator = persistence.decode_state(entry["estimator"])

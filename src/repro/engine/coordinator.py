@@ -24,8 +24,10 @@ for sampling-based ones).
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import time
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -46,6 +48,7 @@ from ..errors import (
 from ..streaming.stream import RowStream
 from . import checkpoint as checkpoint_io
 from .partition import StreamPartitioner
+from .resilience import ResilienceConfig
 from .service import QueryService
 from .shard import Shard
 from .transport import (
@@ -61,6 +64,23 @@ __all__ = ["Coordinator", "IngestReport", "INGEST_BACKENDS"]
 #: shared-memory block handoff and ``sockets`` drives remote shard servers
 #: over the framed ``repro/transport@1`` protocol.
 INGEST_BACKENDS = ("serial", "processes", "resident", "sockets")
+
+#: Coordinators holding (or able to hold) persistent worker pools.  The
+#: atexit hook below closes whatever is still alive at interpreter exit,
+#: so a script that forgets ``close()`` (or the ``with`` form) does not
+#: leak resident worker processes or shm rings.
+_LIVE_COORDINATORS: "weakref.WeakSet[Coordinator]" = weakref.WeakSet()
+
+
+def _close_live_coordinators() -> None:  # pragma: no cover - exit hook
+    for coordinator in list(_LIVE_COORDINATORS):
+        try:
+            coordinator.close()
+        except Exception:
+            pass
+
+
+atexit.register(_close_live_coordinators)
 
 
 def _ingest_estimator_state(
@@ -131,6 +151,20 @@ class IngestReport:
     #: under ``resident`` and ``sockets``.  Empty for reports predating the
     #: transport layer.
     bytes_shipped_per_shard: tuple[int, ...] = ()
+    #: Shards given up on after recovery exhaustion (``on_exhausted:
+    #: degrade``), as of this ingest.  Empty on healthy runs and on
+    #: backends without supervised workers.
+    shards_lost: tuple[int, ...] = ()
+    #: Rows routed to lost shards this ingest — shipped before the loss or
+    #: dropped after it — that the merged summary does not cover.
+    rows_dropped: int = 0
+    #: Fraction of this ingest's routed rows the merged summary covers
+    #: (``1.0`` on healthy runs).
+    coverage: float = 1.0
+    #: Transport RPC retries charged during this ingest.
+    retries: int = 0
+    #: Worker recoveries (respawn/reconnect/reassign) during this ingest.
+    recoveries: int = 0
 
     @property
     def rows_per_second(self) -> float:
@@ -195,6 +229,17 @@ class Coordinator:
         order-dependent Misra-Gries/SpaceSaving trackers may answer
         differently (with the same guarantees) because counted batches
         change the arrival order; see docs/architecture.md.
+    resilience:
+        A :class:`~repro.engine.resilience.ResilienceConfig` (or its
+        ``to_dict`` form) governing transport retries, per-RPC deadlines
+        and worker recovery under the ``resident`` and ``sockets``
+        backends; defaults to bounded respawn/reconnect recovery.  See
+        docs/robustness.md.
+
+    Coordinators holding persistent pools support the context-manager
+    protocol (``with Coordinator(...) as engine:``), and whatever is left
+    open is closed by an atexit hook — but explicit :meth:`close` remains
+    the tidy form.
 
     Example::
 
@@ -220,6 +265,7 @@ class Coordinator:
         max_workers: int | None = None,
         batch_size: int | None = None,
         worker_addresses: Sequence[str] | None = None,
+        resilience: ResilienceConfig | dict | None = None,
     ) -> None:
         if backend not in INGEST_BACKENDS:
             raise InvalidParameterError(
@@ -244,10 +290,20 @@ class Coordinator:
             if worker_addresses
             else None
         )
+        if resilience is None:
+            self._resilience = ResilienceConfig()
+        elif isinstance(resilience, ResilienceConfig):
+            self._resilience = resilience
+        else:
+            self._resilience = ResilienceConfig.from_dict(resilience)
+        self._resilience.validate()
         self._resident_pool: ResidentWorkerPool | None = None
         self._socket_pool: SocketWorkerPool | None = None
         self._shards: list[Shard] = []
         self._merged: ProjectedFrequencyEstimator | None = None
+        self._rows_covered = 0
+        self._rows_lost = 0
+        _LIVE_COORDINATORS.add(self)
 
     # -- structure ---------------------------------------------------------------
 
@@ -270,6 +326,23 @@ class Coordinator:
     def worker_addresses(self) -> tuple[str, ...] | None:
         """Remote shard-server addresses of the ``"sockets"`` backend."""
         return self._worker_addresses
+
+    @property
+    def resilience(self) -> ResilienceConfig:
+        """The retry/deadline/recovery policy bundle in force."""
+        return self._resilience
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of all routed rows the merged summary covers.
+
+        ``1.0`` until a shard is lost to recovery exhaustion under
+        ``on_exhausted: degrade``; afterwards the row-weighted fraction
+        the surviving shards actually ingested.  Query services built by
+        :meth:`query_service` annotate their answers with this.
+        """
+        total = self._rows_covered + self._rows_lost
+        return 1.0 if total == 0 else self._rows_covered / total
 
     @property
     def shards(self) -> list[Shard]:
@@ -316,6 +389,10 @@ class Coordinator:
             n_shards=self.n_shards,
         ) as ingest_span:
             bytes_shipped: tuple[int, ...] = tuple(0 for _ in shards)
+            resilience_info = {
+                "shards_lost": (), "rows_dropped": 0,
+                "retries": 0, "recoveries": 0,
+            }
             if self._backend == "serial" or self.n_shards == 1:
                 if self._batch_size is not None:
                     for start, block in stream.iter_batches(self._batch_size):
@@ -328,7 +405,9 @@ class Coordinator:
                     for index, row in enumerate(stream):
                         shards[self._partitioner.assign(index, row)].ingest_row(row)
             elif self._backend in ("resident", "sockets"):
-                shards, bytes_shipped = self._ingest_transport(shards, stream)
+                shards, bytes_shipped, resilience_info = (
+                    self._ingest_transport(shards, stream)
+                )
             elif self._batch_size is not None:
                 buckets = self._partitioner.split_blocks(stream, self._batch_size)
                 shards, bytes_shipped = self._ingest_in_processes(shards, buckets)
@@ -348,6 +427,10 @@ class Coordinator:
             self._shards = shards
             rows_per_shard = tuple(shard.rows_ingested for shard in shards)
             rows_total = sum(rows_per_shard)
+            rows_dropped = int(resilience_info["rows_dropped"])
+            rows_routed = rows_total + rows_dropped
+            self._rows_covered += rows_total
+            self._rows_lost += rows_dropped
             ingest_span.set(rows=rows_total)
             report = IngestReport(
                 n_shards=self.n_shards,
@@ -359,6 +442,13 @@ class Coordinator:
                 shard_seconds=tuple(shard.ingest_seconds for shard in shards),
                 merge_seconds=merge_seconds,
                 bytes_shipped_per_shard=bytes_shipped,
+                shards_lost=tuple(resilience_info["shards_lost"]),
+                rows_dropped=rows_dropped,
+                coverage=(
+                    1.0 if rows_routed == 0 else rows_total / rows_routed
+                ),
+                retries=int(resilience_info["retries"]),
+                recoveries=int(resilience_info["recoveries"]),
             )
         if telemetry.enabled():
             self._record_ingest_metrics(report)
@@ -408,7 +498,7 @@ class Coordinator:
 
     def _ingest_transport(
         self, shards: list[Shard], stream: RowStream
-    ) -> tuple[list[Shard], tuple[int, ...]]:
+    ) -> tuple[list[Shard], tuple[int, ...], dict]:
         """Stream row blocks to resident or remote shard workers.
 
         Unlike :meth:`_ingest_in_processes`, which materialises every
@@ -430,6 +520,14 @@ class Coordinator:
                 )
         block_rows = self._batch_size or DEFAULT_TRANSPORT_BLOCK_ROWS
         started = time.perf_counter()
+        # Supervisor counters accumulate over the (persistent) pool's
+        # lifetime; snapshot them up front so the report carries this
+        # ingest's deltas.  A pool built fresh below starts from zero.
+        existing_pool = self._resident_pool or self._socket_pool
+        base_retries = existing_pool.supervisor.retries if existing_pool else 0
+        base_recoveries = (
+            existing_pool.supervisor.recoveries if existing_pool else 0
+        )
         with telemetry.span(
             "transport.roundtrip",
             backend=self._backend,
@@ -460,16 +558,25 @@ class Coordinator:
             registry = telemetry.get_registry()
             bytes_shipped = []
             bytes_out = bytes_in = blocks = 0
+            rows_dropped = 0
             for shard, result in zip(shards, results):
-                estimator = persistence.from_bytes(bytes(result["payload"]))
-                if not isinstance(estimator, ProjectedFrequencyEstimator):
-                    raise EstimationError(
-                        "worker returned a non-estimator payload of type "
-                        f"{type(estimator).__name__}"
+                if result.get("lost"):
+                    # Recovery exhausted, policy says degrade: the shard
+                    # keeps its fresh (empty) replica, so the merge below
+                    # folds in an identity and only survivors contribute.
+                    rows_dropped += int(result.get("rows_dropped", 0))
+                else:
+                    estimator = persistence.from_bytes(
+                        bytes(result["payload"])
                     )
-                shard.adopt(estimator, result["rows"], result["seconds"])
-                if result["metrics"] is not None and telemetry.enabled():
-                    registry.merge_state(result["metrics"])
+                    if not isinstance(estimator, ProjectedFrequencyEstimator):
+                        raise EstimationError(
+                            "worker returned a non-estimator payload of type "
+                            f"{type(estimator).__name__}"
+                        )
+                    shard.adopt(estimator, result["rows"], result["seconds"])
+                    if result["metrics"] is not None and telemetry.enabled():
+                        registry.merge_state(result["metrics"])
                 bytes_shipped.append(
                     int(result["bytes_sent"]) + int(result["bytes_received"])
                 )
@@ -483,7 +590,13 @@ class Coordinator:
             self._record_transport_metrics(
                 bytes_out, bytes_in, blocks, time.perf_counter() - started
             )
-        return shards, tuple(bytes_shipped)
+        resilience_info = {
+            "shards_lost": pool.supervisor.lost_shards,
+            "rows_dropped": rows_dropped,
+            "retries": pool.supervisor.retries - base_retries,
+            "recoveries": pool.supervisor.recoveries - base_recoveries,
+        }
+        return shards, tuple(bytes_shipped), resilience_info
 
     def _transport_pool(self, shards: list[Shard]):
         """The live worker pool for this backend, spawning/connecting lazily.
@@ -496,7 +609,8 @@ class Coordinator:
         if self._backend == "resident":
             if self._resident_pool is None:
                 self._resident_pool = ResidentWorkerPool(
-                    [shard.estimator.to_bytes() for shard in shards]
+                    [shard.estimator.to_bytes() for shard in shards],
+                    resilience=self._resilience,
                 )
             return self._resident_pool
         addresses = self._worker_addresses
@@ -512,7 +626,9 @@ class Coordinator:
             )
         if self._socket_pool is None:
             self._socket_pool = SocketWorkerPool(
-                addresses, [shard.estimator.to_bytes() for shard in shards]
+                addresses,
+                [shard.estimator.to_bytes() for shard in shards],
+                resilience=self._resilience,
             )
         return self._socket_pool
 
@@ -667,6 +783,12 @@ class Coordinator:
             self._socket_pool.close()
             self._socket_pool = None
 
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
     # -- persistence -------------------------------------------------------------
 
     def save_checkpoint(self, path: str | Path) -> "checkpoint_io.CheckpointInfo":
@@ -697,5 +819,14 @@ class Coordinator:
     # -- serving -----------------------------------------------------------------
 
     def query_service(self, cache_size: int = 1024) -> QueryService:
-        """A query-serving front end over the merged summary."""
-        return QueryService(self.merged_estimator, cache_size=cache_size)
+        """A query-serving front end over the merged summary.
+
+        Carries the coordinator's current :attr:`coverage`, so a summary
+        degraded by lost shards serves coverage-annotated answers instead
+        of silently under-counting.
+        """
+        return QueryService(
+            self.merged_estimator,
+            cache_size=cache_size,
+            coverage=self.coverage,
+        )

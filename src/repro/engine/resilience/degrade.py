@@ -1,0 +1,48 @@
+"""Graceful degradation: coverage-annotated answers over surviving shards.
+
+When a shard worker dies and the :class:`~.policy.RecoveryPolicy` is
+exhausted with ``on_exhausted="degrade"``, the coordinator keeps
+ingesting into the surviving shards and merges what survived.  Every
+answer served off that merged summary is then wrapped in a
+:class:`DegradedAnswer` carrying the coverage fraction (shards answered
+/ total shards), so callers can tell a complete answer from a partial
+one — degradation is measured, never silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import InvalidParameterError
+
+__all__ = ["DegradedAnswer"]
+
+
+@dataclass(frozen=True)
+class DegradedAnswer:
+    """An answer computed from a partial view of the stream.
+
+    ``value`` is whatever the underlying query returned (an estimate
+    float, a frequency, or a heavy-hitter report dict); ``coverage`` is
+    the fraction of shards whose data contributed, in ``(0, 1)``.
+    ``float()`` and equality delegate to ``value`` so numeric callers
+    keep working, but the wrapper makes the partiality explicit in
+    reprs, logs and result JSON.
+    """
+
+    value: object
+    coverage: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.coverage < 1.0:
+            raise InvalidParameterError(
+                "DegradedAnswer coverage must be strictly between 0 and 1 "
+                f"(a full answer is not wrapped), got {self.coverage}"
+            )
+
+    def __float__(self) -> float:
+        return float(self.value)  # type: ignore[arg-type]
+
+    def to_dict(self) -> dict:
+        """JSON-able view (used by result serialization)."""
+        return {"value": self.value, "coverage": self.coverage}

@@ -1,0 +1,290 @@
+"""Per-shard recovery bookkeeping and the blessed transport RPC wrappers.
+
+The supervision model is the same for both transport backends:
+
+* Every block sent to a shard carries a monotone sequence number the
+  worker acks (``seq_ack`` feature).  The pool-side
+  :class:`ShardSupervisor` keeps the shard's **basis** — estimator bytes
+  the worker can be reloaded from — plus a **replay buffer** of every
+  block with a sequence number the basis does not cover.
+* On worker death or deadline breach the pool respawns/reconnects,
+  ``load``\\ s the basis and replays the buffered blocks in sequence
+  order.  The estimator then observes exactly the rows a serial ingest
+  would have shown it, in the same order, so recovery is bit-identical
+  by construction.
+* ``RecoveryPolicy.sync_every`` trims the buffer mid-ingest: a
+  ``snapshot`` RPC with ``reset: false`` (``sync_snapshot`` feature)
+  returns the worker's current bytes and last ingested sequence number
+  without disturbing the resident estimator; those bytes become the new
+  basis.
+
+Features are negotiated on ``hello``: the pool advertises
+:data:`CLIENT_FEATURES`, the worker answers with the intersection it
+supports, and the pool never sends ``ping`` or non-resetting snapshots
+to a worker that did not opt in — old workers keep speaking the base
+``repro/transport@1`` protocol untouched.
+
+This module also owns the two wrappers lint rule PRO009 forces the
+transport modules through: :func:`connect_with_retry` (bounded,
+seeded-backoff socket connects) and :func:`recv_bytes_with_deadline`
+(pipe receives that poll with a timeout first, so a hung worker becomes
+a detectable :class:`~repro.errors.TransportError` instead of a
+deadlock).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from ... import telemetry
+from ...errors import TransportError
+from . import faults
+from .policy import ResilienceConfig
+
+__all__ = [
+    "CLIENT_FEATURES",
+    "ShardSupervisor",
+    "WorkerSupervisor",
+    "connect_with_retry",
+    "recv_bytes_with_deadline",
+]
+
+#: Protocol extensions this engine build can drive, offered on ``hello``.
+CLIENT_FEATURES = ("heartbeat", "seq_ack", "sync_snapshot")
+
+_RETRIES_HELP = "Transport RPC retries by backend and operation."
+_RECOVERIES_HELP = "Shard worker recoveries (respawn/reconnect/reassign)."
+
+
+def count_retry(backend: str, op: str) -> None:
+    """Account one retried transport operation."""
+    telemetry.get_registry().counter(
+        "repro_resilience_retries_total", _RETRIES_HELP
+    ).inc(backend=backend, op=op)
+
+
+def connect_with_retry(
+    host: str,
+    port: int,
+    resilience: ResilienceConfig,
+    shard: int | None = None,
+    backend: str = "sockets",
+    supervisor: "WorkerSupervisor | None" = None,
+) -> socket.socket:
+    """The blessed transport connect path (enforced by lint rule PRO009).
+
+    Attempts ``resilience.retry.max_attempts`` connects, each bounded by
+    the ``connect`` deadline, sleeping the policy's seeded backoff
+    schedule in between — a worker started a moment after the
+    coordinator no longer loses the race.  Honors ``refuse_connect``
+    fault rules.  Raises :class:`TransportError` naming the address and
+    the last underlying error once attempts are exhausted.
+    """
+    retry = resilience.retry
+    plan = faults.active_fault_plan()
+    delays = retry.delays()
+    last_error: OSError | None = None
+    for attempt in range(1, retry.max_attempts + 1):
+        if plan is not None and plan.refuses_connect(shard, attempt):
+            last_error = ConnectionRefusedError(
+                f"fault plan refused connect attempt {attempt}"
+            )
+        else:
+            try:
+                return socket.create_connection(
+                    (host, port), timeout=resilience.deadlines.connect
+                )
+            except OSError as error:
+                last_error = error
+        wait = next(delays, None)
+        if wait is None:
+            break
+        if supervisor is not None:
+            # Routes through the pool's report counters *and* telemetry.
+            supervisor.record_retry("connect")
+        else:
+            count_retry(backend, "connect")
+        time.sleep(wait)
+    raise TransportError(
+        f"could not connect to worker at {host}:{port} after "
+        f"{retry.max_attempts} attempt(s) "
+        f"({type(last_error).__name__}: {last_error})"
+    )
+
+
+def recv_bytes_with_deadline(conn, deadline: float | None, what: str = "reply"):
+    """The blessed pipe receive path (enforced by lint rule PRO009).
+
+    Polls the connection up to ``deadline`` seconds before receiving, so
+    a worker that stopped answering surfaces as a
+    :class:`TransportError` the supervisor can act on rather than a
+    coordinator deadlock.  ``deadline=None`` waits forever (the worker
+    side of the pipe, which legitimately blocks between requests).
+    """
+    if deadline is not None and not conn.poll(deadline):
+        raise TransportError(
+            f"deadline breached: no {what} within {deadline:g}s"
+        )
+    return conn.recv_bytes()
+
+
+class ShardSupervisor:
+    """Recovery bookkeeping for one shard of a worker pool.
+
+    Tracks the basis snapshot, the replay buffer of blocks past the
+    basis, the monotone send sequence, and the recovery/degradation
+    state.  Buffering is disabled entirely under ``fail-fast`` recovery
+    so the zero-overhead transport path stays zero-overhead.
+    """
+
+    __slots__ = (
+        "index", "pristine", "basis", "basis_seq", "buffer", "tracking",
+        "lost", "recoveries_used", "blocks_since_sync", "rows_dropped",
+        "rows_sent", "_next_seq",
+    )
+
+    def __init__(
+        self, index: int, pristine: bytes, resilience: ResilienceConfig
+    ) -> None:
+        self.index = index
+        self.pristine = bytes(pristine)
+        self.basis = self.pristine
+        self.basis_seq = -1
+        self.buffer: list[tuple[int, object]] = []
+        self.tracking = not resilience.recovery.fail_fast
+        self.lost = False
+        self.recoveries_used = 0
+        self.blocks_since_sync = 0
+        self.rows_dropped = 0
+        self.rows_sent = 0
+        self._next_seq = 0
+
+    def assign_seq(self) -> int:
+        """Next monotone block sequence number for this shard."""
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def record_send(self, seq: int, block) -> None:
+        """Remember a sent block until a sync or collect covers it."""
+        if self.tracking:
+            self.buffer.append((seq, block))
+            self.blocks_since_sync += 1
+            self.rows_sent += int(block.shape[0])
+
+    def record_sync(self, last_seq: int, payload: bytes) -> None:
+        """Adopt a mid-ingest checkpoint: new basis, trimmed buffer."""
+        self.basis = bytes(payload)
+        self.basis_seq = int(last_seq)
+        self.buffer = [(seq, block) for seq, block in self.buffer
+                       if seq > self.basis_seq]
+        self.blocks_since_sync = 0
+
+    def needs_sync(self, sync_every: int) -> bool:
+        """True when enough blocks accumulated for a mid-ingest sync."""
+        return (
+            self.tracking and sync_every > 0
+            and self.blocks_since_sync >= sync_every
+        )
+
+    def replay_blocks(self) -> tuple:
+        """Blocks (seq order) a recovered worker must re-ingest."""
+        return tuple(self.buffer)
+
+    def after_collect(self) -> None:
+        """Reset to the segment boundary: worker is pristine again."""
+        self.basis = self.pristine
+        self.basis_seq = self._next_seq - 1
+        self.buffer.clear()
+        self.blocks_since_sync = 0
+        self.rows_sent = 0
+
+    def mark_lost(self) -> None:
+        """Give up on this shard; its data no longer contributes.
+
+        Rows already shipped this segment are lost with the worker (the
+        survivors' merge cannot recover them), so they fold into the
+        dropped-row count the degraded report surfaces.
+        """
+        self.lost = True
+        self.buffer.clear()
+        self.rows_dropped += self.rows_sent
+        self.rows_sent = 0
+
+    def record_dropped(self, n_rows: int) -> None:
+        """Account rows routed to this shard after it was lost."""
+        self.rows_dropped += int(n_rows)
+
+    def drain_dropped(self) -> int:
+        """Return and zero the dropped-row count (per-collect accounting)."""
+        dropped = self.rows_dropped
+        self.rows_dropped = 0
+        return dropped
+
+
+class WorkerSupervisor:
+    """Pool-wide supervision: per-shard state plus policy decisions.
+
+    The pools own the I/O (they are the ones holding pipes and sockets);
+    the supervisor owns the bookkeeping — whether another recovery is
+    allowed, whether exhaustion degrades or fails, and the telemetry
+    accounting for retries and recoveries.
+    """
+
+    def __init__(
+        self,
+        backend: str,
+        pristine_payloads: list[bytes],
+        resilience: ResilienceConfig | None,
+    ) -> None:
+        self.resilience = (resilience or ResilienceConfig()).validate()
+        self.backend = backend
+        self.shards = [
+            ShardSupervisor(index, payload, self.resilience)
+            for index, payload in enumerate(pristine_payloads)
+        ]
+        self.retries = 0
+        self.recoveries = 0
+
+    def shard(self, index: int) -> ShardSupervisor:
+        """The per-shard supervision state."""
+        return self.shards[index]
+
+    @property
+    def lost_shards(self) -> tuple[int, ...]:
+        """Indices of shards given up on (sorted)."""
+        return tuple(s.index for s in self.shards if s.lost)
+
+    @property
+    def rows_dropped(self) -> int:
+        """Rows routed to lost shards and dropped, pool-wide."""
+        return sum(s.rows_dropped for s in self.shards)
+
+    def record_retry(self, op: str) -> None:
+        """Account one retried RPC (telemetry + report counters)."""
+        self.retries += 1
+        count_retry(self.backend, op)
+
+    def may_recover(self, shard_index: int) -> bool:
+        """True when the policy still allows recovering this shard."""
+        shard = self.shards[shard_index]
+        return (
+            shard.tracking and not shard.lost
+            and shard.recoveries_used < self.resilience.recovery.max_recoveries
+        )
+
+    def may_degrade(self) -> bool:
+        """True when exhaustion should degrade instead of raising."""
+        return self.resilience.recovery.on_exhausted == "degrade"
+
+    def begin_recovery(self, shard_index: int):
+        """Charge one recovery attempt and open the ``resilience.recover`` span."""
+        self.shards[shard_index].recoveries_used += 1
+        self.recoveries += 1
+        telemetry.get_registry().counter(
+            "repro_resilience_recoveries_total", _RECOVERIES_HELP
+        ).inc(backend=self.backend)
+        return telemetry.span(
+            "resilience.recover", backend=self.backend, shard=shard_index
+        )

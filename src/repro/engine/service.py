@@ -27,6 +27,7 @@ from ..coding.words import Word
 from ..core.dataset import ColumnQuery
 from ..core.estimator import ProjectedFrequencyEstimator
 from ..errors import InvalidParameterError
+from .resilience import DegradedAnswer
 from .stats import LatencyRecorder, LatencySummary
 
 __all__ = ["CacheInfo", "QueryRequest", "QueryService"]
@@ -114,6 +115,14 @@ class QueryService:
         :attr:`~repro.engine.coordinator.Coordinator.merged_estimator`).
     cache_size:
         Capacity of the LRU result cache; ``0`` disables caching.
+    coverage:
+        Fraction of the ingested rows the summary actually covers
+        (``1.0`` = everything).  A coordinator that lost shards to
+        recovery exhaustion under ``on_exhausted: degrade`` passes its
+        row-weighted coverage here, and every answer the service returns
+        is then wrapped in a
+        :class:`~repro.engine.resilience.DegradedAnswer` carrying that
+        fraction — degradation is visible in the type, never silent.
 
     Example::
 
@@ -128,12 +137,20 @@ class QueryService:
     """
 
     def __init__(
-        self, estimator: ProjectedFrequencyEstimator, cache_size: int = 1024
+        self,
+        estimator: ProjectedFrequencyEstimator,
+        cache_size: int = 1024,
+        coverage: float = 1.0,
     ) -> None:
         if cache_size < 0:
             raise InvalidParameterError(
                 f"cache_size must be >= 0, got {cache_size}"
             )
+        if not 0.0 < coverage <= 1.0:
+            raise InvalidParameterError(
+                f"coverage must be in (0, 1], got {coverage}"
+            )
+        self._coverage = float(coverage)
         self._estimator = estimator
         self._cache_size = int(cache_size)
         self._cache: OrderedDict[Hashable, object] = OrderedDict()
@@ -147,6 +164,32 @@ class QueryService:
     def estimator(self) -> ProjectedFrequencyEstimator:
         """The summary this service answers from."""
         return self._estimator
+
+    @property
+    def coverage(self) -> float:
+        """Row-weighted fraction of the stream this summary covers."""
+        return self._coverage
+
+    @property
+    def degraded(self) -> bool:
+        """True when answers are served from a partial (lost-shard) summary."""
+        return self._coverage < 1.0
+
+    def _annotate(self, kind: str, value):
+        """Wrap ``value`` in a :class:`DegradedAnswer` when serving degraded.
+
+        The cache stores raw values (so a service whose coverage improves
+        or worsens never resurrects stale annotations); the wrapper is
+        applied at return time, once per answered query.
+        """
+        if self._coverage >= 1.0:
+            return value
+        if telemetry.enabled():
+            telemetry.get_registry().counter(
+                "repro_resilience_degraded_queries_total",
+                "Queries answered from a partial summary (lost shards).",
+            ).inc(kind=kind)
+        return DegradedAnswer(value, self._coverage)
 
     @classmethod
     def from_checkpoint(
@@ -173,9 +216,22 @@ class QueryService:
             >>> QueryService.from_checkpoint(path).estimator.rows_observed
             50
         """
-        from .checkpoint import load_merged_estimator  # deferred: import cycle
+        from .checkpoint import (  # deferred: import cycle
+            load_merged_estimator,
+            read_checkpoint_envelope,
+        )
 
-        return cls(load_merged_estimator(path), cache_size=cache_size)
+        # A checkpoint of a degraded coordinator records its coverage; a
+        # service restored from it keeps annotating answers.  Pre-resilience
+        # checkpoints carry no coverage key and restore as full answers.
+        coverage = float(
+            read_checkpoint_envelope(path)["config"].get("coverage", 1.0)
+        )
+        return cls(
+            load_merged_estimator(path),
+            cache_size=cache_size,
+            coverage=coverage,
+        )
 
     def __getstate__(self) -> dict:
         """Pickle support that never serializes transient serving state.
@@ -302,18 +358,26 @@ class QueryService:
 
     def estimate_fp(self, query: ColumnQuery, p: float) -> float:
         """Serve ``F_p(A, C)`` for one query."""
-        return self._serve(  # type: ignore[return-value]
+        return self._annotate(  # type: ignore[return-value]
             "fp",
-            (query.columns, float(p)),
-            lambda: float(self._estimator.estimate_fp(query, p)),
+            self._serve(
+                "fp",
+                (query.columns, float(p)),
+                lambda: float(self._estimator.estimate_fp(query, p)),
+            ),
         )
 
     def estimate_frequency(self, query: ColumnQuery, pattern: Word) -> float:
         """Serve a projected point-frequency estimate for one query."""
-        return self._serve(  # type: ignore[return-value]
+        return self._annotate(  # type: ignore[return-value]
             "frequency",
-            (query.columns, tuple(pattern)),
-            lambda: float(self._estimator.estimate_frequency(query, pattern)),
+            self._serve(
+                "frequency",
+                (query.columns, tuple(pattern)),
+                lambda: float(
+                    self._estimator.estimate_frequency(query, pattern)
+                ),
+            ),
         )
 
     def heavy_hitters(
@@ -326,7 +390,7 @@ class QueryService:
             lambda: dict(self._estimator.heavy_hitters(query, phi, p)),
         )
         # Hand out a copy so callers cannot mutate the cached value.
-        return dict(report)  # type: ignore[arg-type]
+        return self._annotate("heavy_hitters", dict(report))  # type: ignore[arg-type]
 
     # -- batch queries -----------------------------------------------------------
 
@@ -398,9 +462,13 @@ class QueryService:
         with telemetry.span("service.answer_block", size=len(batch)):
             values = self._answer_batch(batch, keys)
         # Hand out per-entry copies of heavy-hitter reports so callers
-        # cannot mutate cached (or batch-shared) values.
+        # cannot mutate cached (or batch-shared) values; under a partial
+        # summary every entry is coverage-annotated like its scalar twin.
         return [
-            dict(value) if request.kind == "heavy_hitters" else value
+            self._annotate(
+                request.kind,
+                dict(value) if request.kind == "heavy_hitters" else value,
+            )
             for request, value in zip(batch, values)
         ]
 

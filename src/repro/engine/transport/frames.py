@@ -25,6 +25,7 @@ import json
 import struct
 
 from ...errors import TransportError
+from ..resilience import faults as _faults
 
 __all__ = [
     "TRANSPORT_SCHEMA",
@@ -33,6 +34,7 @@ __all__ = [
     "decode_frame",
     "frame_length_prefix",
     "split_length_prefix",
+    "apply_send_faults",
 ]
 
 #: Version tag carried by every frame header; bumped on incompatible change.
@@ -43,7 +45,10 @@ TRANSPORT_SCHEMA = "repro/transport@1"
 #: block), ``snapshot`` (ship summary state back + reset to pristine),
 #: ``metrics`` (peek at the worker's telemetry registry), ``shutdown``.
 #: Replies: ``hello``, ``ok``, ``block_ack``, ``snapshot_state``,
-#: ``metrics_state``, ``error``.
+#: ``metrics_state``, ``error``.  ``ping`` / ``pong`` are the
+#: feature-negotiated health-check pair (``heartbeat``): a worker that
+#: did not advertise the feature on ``hello`` is never pinged, so old
+#: workers keep speaking the base protocol.
 MESSAGE_TYPES = (
     "hello",
     "load",
@@ -53,6 +58,8 @@ MESSAGE_TYPES = (
     "snapshot_state",
     "metrics",
     "metrics_state",
+    "ping",
+    "pong",
     "shutdown",
     "ok",
     "error",
@@ -108,6 +115,24 @@ def decode_frame(frame: bytes) -> tuple[dict, bytes]:
             f"unknown transport message type {header.get('type')!r}"
         )
     return header, frame[end:]
+
+
+def apply_send_faults(
+    frame: bytes, shard: int | None = None, frame_index: int = 0
+) -> bytes | None:
+    """Offer one outbound frame to the active :class:`FaultPlan`, if any.
+
+    The pools and socket clients route every encoded frame through this
+    hook before it touches a pipe or socket, which is what makes the
+    ``delay`` / ``drop`` / ``truncate`` / ``corrupt`` fault rules land at
+    a real protocol boundary.  Returns the frame (mangled or not), or
+    ``None`` when a ``drop`` rule ate it.  With no plan installed this is
+    one module-global read.
+    """
+    plan = _faults.active_fault_plan()
+    if plan is None:
+        return frame
+    return plan.mangle_frame(shard, frame_index, frame)
 
 
 def frame_length_prefix(frame: bytes) -> bytes:

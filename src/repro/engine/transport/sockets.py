@@ -10,6 +10,18 @@ memory does not cross machines), pipelined without per-block acks — the
 ``snapshot`` reply is the barrier.  Workers return persistence snapshot
 bytes for merging, never pickled objects.
 
+Failure handling mirrors the resident pool
+(:mod:`repro.engine.transport.resident`): connects go through the
+:class:`~repro.engine.resilience.RetryPolicy`-bounded
+:func:`~repro.engine.resilience.connect_with_retry`, every RPC carries a
+:class:`~repro.engine.resilience.DeadlinePolicy` socket timeout, and a
+dead connection is reconnected — to the same address under ``respawn``
+recovery, or to a *surviving* worker address under ``reassign`` (each
+server connection owns an isolated ``ShardWorkerState``, so one server
+can host several shards) — then reloaded from the shard's basis snapshot
+and replayed its unacked blocks, keeping recovered ingest bit-identical
+to serial.
+
 :func:`spawn_local_servers` forks loopback servers on ephemeral ports —
 the harness behind the socket-loopback differential tests and the
 ``bench_transport`` benchmark arm.
@@ -25,7 +37,14 @@ import struct
 import numpy as np
 
 from ...errors import EstimationError, TransportError
+from ..resilience import ResilienceConfig, WorkerSupervisor
+from ..resilience.supervisor import (
+    CLIENT_FEATURES,
+    connect_with_retry,
+    recv_bytes_with_deadline,
+)
 from .frames import (
+    apply_send_faults,
     decode_frame,
     encode_frame,
     frame_length_prefix,
@@ -44,6 +63,15 @@ __all__ = [
 
 #: Failures that mean "this shard's worker (or its link) is gone".
 _CLIENT_ERRORS = (TransportError, ConnectionError, EOFError, OSError)
+
+
+class _WorkerReportedError(TransportError):
+    """The worker answered an ``error`` frame: the estimator itself failed.
+
+    Distinguished from link failures because replaying the same rows into
+    a fresh worker would fail identically — the supervisor must not burn
+    recoveries on it.
+    """
 
 
 def parse_address(address) -> tuple[str, int]:
@@ -71,10 +99,11 @@ class ShardServer:
     """An asyncio TCP shard server speaking ``repro/transport@1``.
 
     Each connection gets its own :class:`ShardWorkerState`, so one server
-    process serves one shard per coordinator session (connections are
-    handled concurrently but a coordinator opens exactly one per shard).
-    A ``shutdown`` frame with ``scope="server"`` stops the whole server —
-    how CI tears its loopback workers down.
+    process serves one shard per connection — a coordinator normally opens
+    one per shard, and shard *reassignment* after a worker loss may point
+    a second connection at a surviving server.  A ``shutdown`` frame with
+    ``scope="server"`` stops the whole server — how CI tears its loopback
+    workers down.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
@@ -97,8 +126,20 @@ class ShardServer:
                     frame = await reader.readexactly(split_length_prefix(prefix))
                 except (asyncio.IncompleteReadError, ConnectionResetError):
                     break
-                header, payload = decode_frame(frame)
-                reply = state.handle(header, payload)
+                try:
+                    header, payload = decode_frame(frame)
+                except TransportError:
+                    # A corrupted frame leaves this connection's stream
+                    # position unknowable; drop the connection and let the
+                    # client-side supervisor reconnect and replay.
+                    break
+                try:
+                    reply = state.handle(header, payload)
+                except TransportError:
+                    # Protocol-integrity failures (truncated payloads,
+                    # messages out of order) are connection-fatal: the
+                    # client-side supervisor reconnects and replays.
+                    break
                 if reply is not None:
                     out = encode_frame(reply[0], reply[1])
                     writer.write(frame_length_prefix(out) + out)
@@ -171,7 +212,10 @@ def spawn_local_servers(count: int, host: str = "127.0.0.1"):
         )
         process.start()
         child_conn.close()
-        (port,) = struct.unpack("!I", parent_conn.recv_bytes())
+        (port,) = struct.unpack(
+            "!I",
+            recv_bytes_with_deadline(parent_conn, 30.0, what="server port"),
+        )
         parent_conn.close()
         addresses.append(f"{host}:{port}")
         processes.append(process)
@@ -187,27 +231,52 @@ class SocketShardClient:
     Blocks are pipelined (``ack=False``) — TCP provides the flow control a
     local shm ring needs acks for — and :meth:`snapshot` is the barrier
     that proves every block was ingested.  All traffic is framed; nothing
-    is pickled.
+    is pickled.  The initial connect is retried per the pool's
+    :class:`~repro.engine.resilience.RetryPolicy`, so a worker started a
+    moment after the coordinator no longer loses the race, and every RPC
+    runs under a :class:`~repro.engine.resilience.DeadlinePolicy` socket
+    timeout.
     """
 
     backend_name = "sockets"
 
-    def __init__(self, address, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        address,
+        resilience: ResilienceConfig | None = None,
+        shard_index: int | None = None,
+        supervisor: WorkerSupervisor | None = None,
+    ) -> None:
         host, port = parse_address(address)
         self.address = f"{host}:{port}"
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._seq = 0
+        self.shard_index = shard_index
+        self._resilience = (resilience or ResilienceConfig()).validate()
+        self._sock = connect_with_retry(
+            host, port, self._resilience, shard=shard_index,
+            backend=self.backend_name, supervisor=supervisor,
+        )
+        self._sock.settimeout(self._resilience.deadlines.ingest)
         self.blocks = 0
+        self.frames_sent = 0
         self.bytes_sent = 0
         self.bytes_received = 0
-        header, _ = self._request({"type": "hello"})
+        header, _ = self._request(
+            {"type": "hello", "features": list(CLIENT_FEATURES)}
+        )
         if header.get("type") != "hello":
             raise TransportError(
                 f"worker at {self.address} answered {header.get('type')!r} "
                 "to the hello handshake"
             )
+        self.features = tuple(header.get("features") or ())
 
-    def _send_frame(self, frame: bytes) -> None:
+    def _send_frame(self, frame: bytes, fault_hook: bool = False) -> None:
+        if fault_hook:
+            mangled = apply_send_faults(frame, self.shard_index, self.frames_sent)
+            self.frames_sent += 1
+            if mangled is None:
+                return  # dropped by the fault plan, like a lost packet
+            frame = mangled
         self._sock.sendall(frame_length_prefix(frame) + frame)
         self.bytes_sent += len(frame) + 4
 
@@ -230,7 +299,7 @@ class SocketShardClient:
         self.bytes_received += length + 4
         header, payload = decode_frame(frame)
         if header.get("type") == "error":
-            raise TransportError(
+            raise _WorkerReportedError(
                 f"worker at {self.address} reported: {header.get('message')}"
             )
         return header, payload
@@ -250,30 +319,76 @@ class SocketShardClient:
                 "to a load request"
             )
 
-    def send_block(self, shard_index: int, block: np.ndarray) -> None:
+    def send_block(
+        self, shard_index: int, block: np.ndarray, seq: int | None = None
+    ) -> None:
         """Ship one row block inline (pipelined, no per-block ack)."""
         contiguous = np.ascontiguousarray(block)
         header = {
             "type": "ingest_block",
             "shard": shard_index,
-            "seq": self._seq,
+            "seq": self.blocks if seq is None else seq,
             "ack": False,
             "shm": None,
             "shape": list(contiguous.shape),
             "dtype": np.dtype(contiguous.dtype).str,
         }
-        self._send_frame(encode_frame(header, contiguous.tobytes()))
-        self._seq += 1
+        self._send_frame(
+            encode_frame(header, contiguous.tobytes()), fault_hook=True
+        )
         self.blocks += 1
 
-    def snapshot(self) -> dict:
-        """Barrier + merge: the worker's summary snapshot and accounting.
+    def ping(self) -> dict:
+        """Health-check round trip (feature ``heartbeat``).
 
-        Returns the same result-dict shape as
-        :meth:`~repro.engine.transport.resident.ResidentWorkerPool.collect`
-        entries; transport counters reset afterwards.
+        Returns the ``pong`` header — shard index, rows resident, last
+        ingested sequence number.  Raises :class:`TransportError` when the
+        worker never advertised the feature.
         """
-        header, payload = self._request({"type": "snapshot"})
+        if "heartbeat" not in self.features:
+            raise TransportError(
+                f"worker at {self.address} did not negotiate the "
+                "'heartbeat' feature"
+            )
+        header, _ = self._request({"type": "ping"})
+        if header.get("type") != "pong":
+            raise TransportError(
+                f"worker at {self.address} answered {header.get('type')!r} "
+                "to a ping"
+            )
+        return header
+
+    def sync(self) -> tuple[int, bytes]:
+        """Mid-ingest checkpoint (feature ``sync_snapshot``).
+
+        Returns ``(last_seq, summary_bytes)`` without resetting the
+        worker's resident estimator — the supervisor's basis refresh.
+        """
+        previous = self._sock.gettimeout()
+        self._sock.settimeout(self._resilience.deadlines.snapshot)
+        try:
+            header, payload = self._request({"type": "snapshot", "reset": False})
+        finally:
+            self._sock.settimeout(previous)
+        if header.get("type") != "snapshot_state":
+            raise TransportError(
+                f"worker at {self.address} answered {header.get('type')!r} "
+                "to a sync snapshot request"
+            )
+        return int(header.get("last_seq", -1)), payload
+
+    def request_snapshot(self) -> None:
+        """Send the snapshot barrier without waiting for the reply."""
+        self._send_frame(encode_frame({"type": "snapshot"}), fault_hook=True)
+
+    def read_snapshot(self) -> dict:
+        """Receive the ``snapshot_state`` reply for :meth:`request_snapshot`."""
+        previous = self._sock.gettimeout()
+        self._sock.settimeout(self._resilience.deadlines.snapshot)
+        try:
+            header, payload = self._recv_frame()
+        finally:
+            self._sock.settimeout(previous)
         if header.get("type") != "snapshot_state":
             raise TransportError(
                 f"worker at {self.address} answered {header.get('type')!r} "
@@ -292,6 +407,16 @@ class SocketShardClient:
         self.bytes_sent = 0
         self.bytes_received = 0
         return result
+
+    def snapshot(self) -> dict:
+        """Barrier + merge: the worker's summary snapshot and accounting.
+
+        Returns the same result-dict shape as
+        :meth:`~repro.engine.transport.resident.ResidentWorkerPool.collect`
+        entries; transport counters reset afterwards.
+        """
+        self.request_snapshot()
+        return self.read_snapshot()
 
     def shutdown_server(self) -> None:
         """Stop the *whole server* behind this connection (CI teardown)."""
@@ -315,30 +440,50 @@ class SocketWorkerPool:
     The coordinator-facing surface mirrors
     :class:`~repro.engine.transport.resident.ResidentWorkerPool` —
     ``send_block`` / ``collect`` / ``close`` — so ``Coordinator.ingest``
-    drives local and remote workers through the same protocol.  A failed
-    worker or dropped connection surfaces as
+    drives local and remote workers through the same protocol, and the
+    same :class:`~repro.engine.resilience.WorkerSupervisor` model governs
+    failures: reconnect (or reassign to a surviving address), reload the
+    basis snapshot, replay unacked blocks.  Under ``fail-fast`` recovery
+    a failed worker or dropped connection surfaces as
     :class:`~repro.errors.EstimationError` naming the shard index and
-    backend, after which the pool has closed every connection so the owning
-    coordinator can reconnect on its next ingest call.
+    backend, after which the pool has closed every connection so the
+    owning coordinator can reconnect on its next ingest call.
     """
 
     backend_name = "sockets"
 
-    def __init__(self, addresses, pristine_payloads: list[bytes]) -> None:
+    def __init__(
+        self,
+        addresses,
+        pristine_payloads: list[bytes],
+        resilience: ResilienceConfig | None = None,
+    ) -> None:
         if len(addresses) != len(pristine_payloads):
             raise TransportError(
                 f"{len(addresses)} worker address(es) for "
                 f"{len(pristine_payloads)} shard(s); need exactly one each"
             )
+        self.supervisor = WorkerSupervisor(
+            self.backend_name,
+            [bytes(payload) for payload in pristine_payloads],
+            resilience,
+        )
+        self._resilience = self.supervisor.resilience
+        self._addresses = [
+            "{}:{}".format(*parse_address(address)) for address in addresses
+        ]
         self._clients: list[SocketShardClient] = []
         self._closed = False
-        for index, (address, payload) in enumerate(
-            zip(addresses, pristine_payloads)
-        ):
+        for index, payload in enumerate(pristine_payloads):
             try:
-                client = SocketShardClient(address)
+                client = SocketShardClient(
+                    self._addresses[index],
+                    resilience=self._resilience,
+                    shard_index=index,
+                    supervisor=self.supervisor,
+                )
                 self._clients.append(client)
-                client.load(index, payload)
+                client.load(index, bytes(payload))
             except _CLIENT_ERRORS as error:
                 self._fail(index, error)
 
@@ -356,21 +501,177 @@ class SocketWorkerPool:
             "next ingest() call"
         ) from error
 
+    # -- supervision -------------------------------------------------------------
+
+    def _dial(self, shard_index: int) -> SocketShardClient:
+        """Connect shard ``shard_index`` somewhere per the recovery mode."""
+        candidates = [self._addresses[shard_index]]
+        if self._resilience.recovery.mode == "reassign":
+            # A surviving server can host a second shard: each connection
+            # gets its own isolated ShardWorkerState.
+            for other, address in enumerate(self._addresses):
+                if (
+                    other != shard_index
+                    and not self.supervisor.shard(other).lost
+                    and address not in candidates
+                ):
+                    candidates.append(address)
+        last_error: BaseException | None = None
+        for address in candidates:
+            try:
+                return SocketShardClient(
+                    address, resilience=self._resilience,
+                    shard_index=shard_index, supervisor=self.supervisor,
+                )
+            except _CLIENT_ERRORS as error:
+                last_error = error
+        raise TransportError(
+            f"no reachable worker address for shard {shard_index} "
+            f"(tried {', '.join(candidates)}; last: "
+            f"{type(last_error).__name__}: {last_error})"
+        )
+
+    def _reconnect(self, shard_index: int) -> None:
+        """Re-establish the shard's session: dial, load basis, replay."""
+        shard = self.supervisor.shard(shard_index)
+        old = self._clients[shard_index]
+        old.close()
+        client = self._dial(shard_index)
+        # Transport accounting survives the connection: replayed bytes are
+        # genuinely re-shipped and stack on top of the earlier counts.
+        client.blocks = old.blocks
+        client.bytes_sent += old.bytes_sent
+        client.bytes_received += old.bytes_received
+        self._clients[shard_index] = client
+        client.load(shard_index, shard.basis)
+        for seq, block in shard.replay_blocks():
+            client.send_block(shard_index, block, seq)
+
+    def _handle_transport_failure(
+        self, shard_index: int, error: BaseException
+    ) -> bool:
+        """Recover ``shard_index`` per policy; True when healthy again."""
+        if isinstance(error, _WorkerReportedError):
+            # The estimator failed, not the link: replay would fail
+            # identically, so surface it like the fail-fast path does.
+            self._fail(shard_index, error)
+        last_error = error
+        while self.supervisor.may_recover(shard_index):
+            with self.supervisor.begin_recovery(shard_index):
+                try:
+                    self._reconnect(shard_index)
+                    return True
+                except _CLIENT_ERRORS as retry_error:
+                    last_error = retry_error
+        shard = self.supervisor.shard(shard_index)
+        if shard.tracking and self.supervisor.may_degrade():
+            self._clients[shard_index].close()
+            shard.mark_lost()
+            return False
+        self._fail(shard_index, last_error)
+
+    # -- the ingest protocol -----------------------------------------------------
+
     def send_block(self, shard_index: int, block: np.ndarray) -> None:
         """Ship one row block to ``shard_index``'s remote worker."""
+        shard = self.supervisor.shard(shard_index)
+        if shard.lost:
+            shard.record_dropped(int(block.shape[0]))
+            return
+        contiguous = np.ascontiguousarray(block)
+        seq = shard.assign_seq()
+        shard.record_send(seq, contiguous)
         try:
-            self._clients[shard_index].send_block(shard_index, block)
+            self._clients[shard_index].send_block(shard_index, contiguous, seq)
         except _CLIENT_ERRORS as error:
-            self._fail(shard_index, error)
+            # A successful reconnect already replayed this block (recorded
+            # above); a degraded shard silently absorbs it.
+            if not self._handle_transport_failure(shard_index, error):
+                return
+        if shard.needs_sync(self._resilience.recovery.sync_every):
+            self._sync(shard_index)
+
+    def _sync(self, shard_index: int) -> None:
+        """Mid-ingest basis refresh through the client's sync RPC."""
+        client = self._clients[shard_index]
+        if "sync_snapshot" not in client.features:
+            return
+        shard = self.supervisor.shard(shard_index)
+        try:
+            last_seq, payload = client.sync()
+            shard.record_sync(last_seq, payload)
+        except _CLIENT_ERRORS as error:
+            self._handle_transport_failure(shard_index, error)
+
+    def _lost_entry(self, shard_index: int) -> dict:
+        client = self._clients[shard_index]
+        shard = self.supervisor.shard(shard_index)
+        entry = {
+            "rows": 0,
+            "seconds": 0.0,
+            "payload": None,
+            "metrics": None,
+            "lost": True,
+            "rows_dropped": shard.drain_dropped(),
+            "blocks": client.blocks,
+            "bytes_sent": client.bytes_sent,
+            "bytes_received": client.bytes_received,
+        }
+        client.blocks = 0
+        client.bytes_sent = 0
+        client.bytes_received = 0
+        return entry
+
+    def _collect_one(self, shard_index: int) -> dict:
+        """Full snapshot round trip for one shard, with recovery."""
+        shard = self.supervisor.shard(shard_index)
+        if shard.lost:
+            return self._lost_entry(shard_index)
+        try:
+            result = self._clients[shard_index].snapshot()
+        except _CLIENT_ERRORS as error:
+            self._handle_transport_failure(shard_index, error)
+            # Either recovered (snapshot again) or lost (the recursion
+            # lands in the lost branch); bounded by max_recoveries.
+            return self._collect_one(shard_index)
+        shard.after_collect()
+        result["lost"] = False
+        result["rows_dropped"] = 0
+        return result
 
     def collect(self) -> list[dict]:
-        """Snapshot every worker; one result dict per shard (see client)."""
-        results = []
+        """Snapshot every worker; one result dict per shard (see client).
+
+        Snapshot requests are pipelined across shards so remote workers
+        serialize their summaries concurrently; the replies are gathered
+        (and failures recovered) in shard order.
+        """
+        requested: list[bool] = []
         for index, client in enumerate(self._clients):
+            if self.supervisor.shard(index).lost:
+                requested.append(False)
+                continue
             try:
-                results.append(client.snapshot())
+                client.request_snapshot()
+                requested.append(True)
             except _CLIENT_ERRORS as error:
-                self._fail(index, error)
+                self._handle_transport_failure(index, error)
+                requested.append(False)
+        results = []
+        for index in range(len(self._clients)):
+            if not requested[index]:
+                results.append(self._collect_one(index))
+                continue
+            try:
+                result = self._clients[index].read_snapshot()
+            except _CLIENT_ERRORS as error:
+                self._handle_transport_failure(index, error)
+                results.append(self._collect_one(index))
+                continue
+            self.supervisor.shard(index).after_collect()
+            result["lost"] = False
+            result["rows_dropped"] = 0
+            results.append(result)
         return results
 
     def close(self) -> None:

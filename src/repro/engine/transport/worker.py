@@ -26,9 +26,11 @@ import numpy as np
 
 from ... import persistence, telemetry
 from ...errors import TransportError
+from ..resilience import faults as _faults
+from ..resilience.supervisor import CLIENT_FEATURES as WORKER_FEATURES
 from .shm import ShmReader
 
-__all__ = ["ShardWorkerState"]
+__all__ = ["ShardWorkerState", "WORKER_FEATURES"]
 
 
 class ShardWorkerState:
@@ -50,6 +52,8 @@ class ShardWorkerState:
         self._shard_index: int | None = None
         self._rows = 0
         self._seconds = 0.0
+        self._last_seq = -1
+        self._blocks_handled = 0
         self._shm = ShmReader()
         self._registry_scope = None
         self._registry = None
@@ -84,13 +88,26 @@ class ShardWorkerState:
         message_type = header.get("type")
         try:
             if message_type == "hello":
-                return {"type": "hello"}, b""
+                # Feature negotiation: answer with the intersection of what
+                # the peer asked for and what this worker build supports.  A
+                # peer that offered nothing gets nothing and the exchange
+                # degenerates to the base repro/transport@1 handshake.
+                requested = header.get("features") or []
+                granted = [f for f in WORKER_FEATURES if f in requested]
+                return {"type": "hello", "features": granted}, b""
             if message_type == "load":
                 return self._handle_load(header, payload)
             if message_type == "ingest_block":
                 return self._handle_block(header, payload)
             if message_type == "snapshot":
-                return self._handle_snapshot()
+                return self._handle_snapshot(header)
+            if message_type == "ping":
+                return {
+                    "type": "pong",
+                    "shard": self._shard_index,
+                    "rows": self._rows,
+                    "last_seq": self._last_seq,
+                }, b""
             if message_type == "metrics":
                 state = (
                     self._registry.state_dict()
@@ -118,6 +135,7 @@ class ShardWorkerState:
         self._shard_index = header.get("shard")
         self._rows = 0
         self._seconds = 0.0
+        self._last_seq = -1
         self._rescope_registry()
         return {"type": "ok", "shard": self._shard_index}, b""
 
@@ -126,43 +144,73 @@ class ShardWorkerState:
     ) -> tuple[dict, bytes] | None:
         if self._estimator is None:
             raise TransportError("ingest_block before load: no estimator loaded")
+        plan = _faults.active_fault_plan()
+        if plan is not None and self._shard_index is not None:
+            # crash/hang rules fire here, before the block lands, so a
+            # recovered worker replays this very block deterministically.
+            plan.on_block(self._shard_index, self._blocks_handled)
         descriptor = header.get("shm")
         if descriptor is not None:
             block = self._shm.read(descriptor)
         else:
-            block = np.frombuffer(
-                payload, dtype=np.dtype(header["dtype"])
-            ).reshape(tuple(header["shape"]))
+            dtype = np.dtype(header["dtype"])
+            shape = tuple(header["shape"])
+            expected = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+            if len(payload) != expected:
+                # A frame truncated in transit decodes fine when the header
+                # JSON survives; the size mismatch is the only tell.  Raise
+                # TransportError (connection-fatal) instead of an error
+                # frame: replaying the block into a fresh session succeeds,
+                # unlike a genuine estimator failure.
+                raise TransportError(
+                    f"ingest_block payload is {len(payload)} byte(s) but "
+                    f"shape {list(shape)} of {dtype.str} needs {expected}; "
+                    "the frame was truncated in transit"
+                )
+            block = np.frombuffer(payload, dtype=dtype).reshape(shape)
             # frombuffer views are read-only; estimators may retain rows.
             block = np.array(block, copy=True)
         started = time.perf_counter()
         self._estimator.observe_rows(block)
         self._seconds += time.perf_counter() - started
         self._rows += int(block.shape[0])
+        self._blocks_handled += 1
+        seq = header.get("seq")
+        if seq is not None:
+            self._last_seq = int(seq)
         if header.get("ack", True):
-            return {"type": "block_ack", "seq": header.get("seq")}, b""
+            return {"type": "block_ack", "seq": seq}, b""
         return None
 
-    def _handle_snapshot(self) -> tuple[dict, bytes]:
+    def _handle_snapshot(self, header: dict) -> tuple[dict, bytes]:
         if self._estimator is None or self._pristine is None:
             raise TransportError("snapshot before load: no estimator loaded")
         summary = self._estimator.to_bytes()
+        reset = header.get("reset", True)
         metrics_state = (
-            self._registry.state_dict() if self._registry is not None else None
+            self._registry.state_dict()
+            if reset and self._registry is not None
+            else None
         )
         reply = {
             "type": "snapshot_state",
             "shard": self._shard_index,
             "rows": self._rows,
             "seconds": self._seconds,
+            "last_seq": self._last_seq,
             "metrics": metrics_state,
         }
-        # Reset to the pristine replica locally: the next coordinator
-        # ingest() starts from a fresh estimator without re-shipping one.
-        self._estimator = persistence.from_bytes(self._pristine)
-        self._rows = 0
-        self._seconds = 0.0
-        self._rescope_registry()
+        if reset:
+            # Reset to the pristine replica locally: the next coordinator
+            # ingest() starts from a fresh estimator without re-shipping one.
+            self._estimator = persistence.from_bytes(self._pristine)
+            self._rows = 0
+            self._seconds = 0.0
+            self._last_seq = -1
+            self._rescope_registry()
+        # reset=False is the supervisor's mid-ingest sync (feature
+        # "sync_snapshot"): current bytes + last_seq, estimator untouched,
+        # metrics withheld so the collect-time merge never double counts.
         return reply, summary
 
     def close(self) -> None:

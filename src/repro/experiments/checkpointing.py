@@ -70,11 +70,17 @@ def _report_from_dict(payload: dict) -> IngestReport:
         wall_seconds=float(payload["wall_seconds"]),
         shard_seconds=tuple(float(v) for v in payload["shard_seconds"]),
         merge_seconds=float(payload["merge_seconds"]),
-        # Tolerant read: bundles written before the transport layer carry
-        # no bytes_shipped_per_shard key.
+        # Tolerant reads: bundles written before the transport layer carry
+        # no bytes_shipped_per_shard key, and ones written before the
+        # resilience layer none of the loss/recovery accounting.
         bytes_shipped_per_shard=tuple(
             int(v) for v in payload.get("bytes_shipped_per_shard", ())
         ),
+        shards_lost=tuple(int(v) for v in payload.get("shards_lost", ())),
+        rows_dropped=int(payload.get("rows_dropped", 0)),
+        coverage=float(payload.get("coverage", 1.0)),
+        retries=int(payload.get("retries", 0)),
+        recoveries=int(payload.get("recoveries", 0)),
     )
 
 

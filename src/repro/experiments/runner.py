@@ -156,6 +156,7 @@ class RunContext:
             if batch_size is _UNSET
             else batch_size,  # type: ignore[arg-type]
             worker_addresses=self.engine.worker_addresses,
+            resilience=self.engine.resilience,
         )
         report = coordinator.ingest(RowStream(dataset))
         # Release resident workers / socket connections now: serving needs

@@ -30,6 +30,7 @@ from ..core.dataset import ColumnQuery, Dataset
 from ..core.estimator import ProjectedFrequencyEstimator
 from ..engine.coordinator import INGEST_BACKENDS
 from ..engine.partition import PARTITION_POLICIES
+from ..engine.resilience import ResilienceConfig
 from ..errors import InvalidParameterError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -82,6 +83,11 @@ class RunParams:
         directory instead of ingesting — the standalone query phase
         (``python -m repro run --from-checkpoint``).  Mutually exclusive
         with ``checkpoint_to``.
+    retry / rpc_timeout / recovery:
+        Raw ``--retry`` / ``--rpc-timeout`` / ``--recovery`` CLI specs
+        overriding the engine's resilience posture (see
+        :meth:`~repro.engine.resilience.ResilienceConfig.with_cli_overrides`
+        and docs/robustness.md); ``None`` keeps the scenario's policy.
 
     Example::
 
@@ -97,6 +103,9 @@ class RunParams:
     worker_addresses: tuple[str, ...] | None = None
     checkpoint_to: str | None = None
     from_checkpoint: str | None = None
+    retry: str | None = None
+    rpc_timeout: str | None = None
+    recovery: str | None = None
 
     def validate(self) -> "RunParams":
         """Check the overrides; returns ``self`` so calls chain."""
@@ -120,6 +129,13 @@ class RunParams:
                 "checkpoint_to and from_checkpoint are mutually exclusive; "
                 "build a bundle first, then replay from it"
             )
+        # Parsing *is* the validation for the resilience specs: a typo in
+        # --retry should fail here, not mid-ingest.
+        ResilienceConfig().with_cli_overrides(
+            retry=self.retry,
+            rpc_timeout=self.rpc_timeout,
+            recovery=self.recovery,
+        )
         return self
 
     def to_dict(self) -> dict:
@@ -137,6 +153,9 @@ class RunParams:
             ),
             "checkpoint_to": self.checkpoint_to,
             "from_checkpoint": self.from_checkpoint,
+            "retry": self.retry,
+            "rpc_timeout": self.rpc_timeout,
+            "recovery": self.recovery,
         }
 
 
@@ -160,6 +179,7 @@ class EngineConfig:
     batch_size: int | None = None
     cache_size: int = 1024
     worker_addresses: tuple[str, ...] | None = None
+    resilience: ResilienceConfig = ResilienceConfig()
 
     def validate(self) -> "EngineConfig":
         """Check the configuration against the engine's accepted values."""
@@ -185,10 +205,12 @@ class EngineConfig:
             raise InvalidParameterError(
                 f"cache_size must be >= 0, got {self.cache_size}"
             )
+        self.resilience.validate()
         return self
 
     def with_overrides(self, params: RunParams) -> "EngineConfig":
-        """Apply CLI overrides (``--shards``/``--batch-size``/``--backend``)."""
+        """Apply CLI overrides (``--shards``/``--batch-size``/``--backend``
+        plus the ``--retry``/``--rpc-timeout``/``--recovery`` specs)."""
         config = self
         if params.n_shards is not None:
             config = replace(config, n_shards=params.n_shards)
@@ -201,6 +223,19 @@ class EngineConfig:
         if params.worker_addresses is not None:
             config = replace(
                 config, worker_addresses=tuple(params.worker_addresses)
+            )
+        if (
+            params.retry is not None
+            or params.rpc_timeout is not None
+            or params.recovery is not None
+        ):
+            config = replace(
+                config,
+                resilience=config.resilience.with_cli_overrides(
+                    retry=params.retry,
+                    rpc_timeout=params.rpc_timeout,
+                    recovery=params.recovery,
+                ),
             )
         return config.validate()
 
@@ -217,6 +252,7 @@ class EngineConfig:
                 if self.worker_addresses is None
                 else list(self.worker_addresses)
             ),
+            "resilience": self.resilience.to_dict(),
         }
 
 

@@ -1,4 +1,4 @@
-"""Protocol-completeness rules (PRO001–PRO008).
+"""Protocol-completeness rules (PRO001–PRO009).
 
 The engine composes sketches and estimators through duck-typed protocols:
 checkpointing calls ``state_dict``/``load_state_dict`` and looks the class
@@ -452,4 +452,57 @@ def check_transport_wire_contract(
                 f"Connection.{node.func.attr}() pickles its argument; "
                 "transport code must frame bytes explicitly via "
                 f"{node.func.attr}_bytes()"
+            )
+
+
+@rule(
+    "PRO009",
+    severity="error",
+    summary="transport RPC bypasses the resilience deadline/retry wrappers",
+    rationale=(
+        "Transport RPC call sites must go through the blessed wrappers in\n"
+        "`engine/resilience/`: socket connects through\n"
+        "`connect_with_retry()` (bounded connect timeout, seeded backoff,\n"
+        "retry counters) and blocking pipe reads through\n"
+        "`recv_bytes_with_deadline()` (poll-with-deadline, precise\n"
+        "TransportError on breach).  A bare `socket.create_connection()`\n"
+        "hangs on an unreachable worker for the OS default timeout and\n"
+        "retries nothing; a bare `Connection.recv_bytes()` blocks forever\n"
+        "on a hung worker, so the supervisor never gets to respawn it."
+    ),
+    example=(
+        "sock = socket.create_connection((host, port))\n"
+        "frame = conn.recv_bytes()  # inside src/repro/engine/transport/"
+    ),
+)
+def check_transport_rpc_wrappers(
+    module: ModuleContext, project: ProjectContext
+) -> Iterator[tuple]:
+    """Flag bare connects and unbounded pipe reads in transport code."""
+    library = module.library_rel
+    in_transport = library is None or library.startswith("engine/transport")
+    if not in_transport:
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "create_connection":
+            yield module, node, (
+                "bare socket.create_connection() in transport code; dial "
+                "through resilience.connect_with_retry() so connects carry "
+                "a bounded timeout, seeded backoff and retry accounting"
+            )
+        elif isinstance(func, ast.Attribute) and func.attr == "recv_bytes":
+            receiver = _receiver_name(func.value)
+            # Same Connection naming convention as PRO008: raw sockets
+            # read via ``sock.recv`` and are deadline-bounded by
+            # ``settimeout``; pipe Connections have no such knob.
+            if receiver is None or "conn" not in receiver.lower():
+                continue
+            yield module, node, (
+                "bare Connection.recv_bytes() in transport code blocks "
+                "without a deadline; read through "
+                "resilience.recv_bytes_with_deadline() so a hung worker "
+                "surfaces as a TransportError the supervisor can recover"
             )

@@ -1,0 +1,10 @@
+# Golden fixture: PRO009 — transport RPCs bypassing the resilience wrappers.
+import socket
+
+
+def dial(host, port):
+    return socket.create_connection((host, port))
+
+
+def collect(conn):
+    return conn.recv_bytes()

@@ -442,6 +442,19 @@ def test_regression_renaming_a_metric_fails_lint(tmp_path):
     assert lint.exit_code(report) == 1
 
 
+def test_regression_bare_transport_recv_fails_lint(tmp_path):
+    """Dropping the deadline wrapper from a worker read re-introduces PRO009."""
+    source = (REPO_ROOT / "src/repro/engine/transport/resident.py").read_text()
+    assert "recv_bytes_with_deadline(conn, None)" in source
+    mutated = tmp_path / "resident.py"
+    mutated.write_text(
+        source.replace("recv_bytes_with_deadline(conn, None)", "conn.recv_bytes()")
+    )
+    report = lint.run_lint([str(mutated)], root=REPO_ROOT)
+    assert "PRO009" in {finding.rule for finding in report.findings}
+    assert lint.exit_code(report) == 1
+
+
 def test_regression_unseeded_rng_fails_lint(tmp_path):
     """Dropping the seed from a real RNG construction re-introduces DET001."""
     source = (REPO_ROOT / "src/repro/sketches/stable_lp.py").read_text()

@@ -30,6 +30,7 @@ from repro import (
     SketchPlan,
     UniformSampleEstimator,
 )
+from repro.engine.resilience import FaultPlan, FaultRule, installed_fault_plan
 from repro.engine.transport import (
     RING_SLOTS,
     ShmReader,
@@ -321,8 +322,12 @@ def test_socket_backend_requires_matching_addresses() -> None:
 
 
 def test_resident_worker_crash_surfaces_and_coordinator_recovers() -> None:
+    # Explicit fail-fast: the pre-resilience contract where a dead worker
+    # tears the pool down.  The default policy now respawns and replays
+    # instead (covered in tests/test_resilience.py).
     coordinator = Coordinator(
-        _exact_factory, n_shards=2, backend="resident", batch_size=256
+        _exact_factory, n_shards=2, backend="resident", batch_size=256,
+        resilience={"recovery": {"mode": "fail-fast"}},
     )
     try:
         coordinator.ingest(RowStream(DATA))
@@ -358,6 +363,139 @@ def test_process_backend_wraps_broken_pool(monkeypatch) -> None:
     coordinator = Coordinator(_exact_factory, n_shards=2, backend="processes")
     with pytest.raises(EstimationError, match=r"'processes' backend"):
         coordinator.ingest(RowStream(DATA))
+
+
+def test_socket_truncated_frame_mid_payload_recovers(loopback_workers) -> None:
+    """A frame cut off mid-payload kills the connection, not the run.
+
+    The server drops the mangled connection; the client-side supervisor
+    reconnects (the server survives), reloads the basis and replays, so
+    the merged bytes still equal serial.
+    """
+    serial = _merged_bytes(
+        _exact_factory, "serial", [RowStream(DATA)], batch_size=64
+    )
+    plan = FaultPlan([FaultRule(action="truncate", shard=0, frame=3)])
+    with installed_fault_plan(plan):
+        coordinator = Coordinator(
+            _exact_factory,
+            n_shards=2,
+            backend="sockets",
+            worker_addresses=loopback_workers,
+            batch_size=64,
+            resilience={"retry": {"max_attempts": 2, "base_delay": 0.01}},
+        )
+        try:
+            report = coordinator.ingest(RowStream(DATA))
+            assert report.recoveries >= 1
+            assert report.shards_lost == ()
+            assert coordinator.merged_estimator.to_bytes() == serial
+        finally:
+            coordinator.close()
+
+
+def test_socket_corrupted_header_recovers(loopback_workers) -> None:
+    """Flipped header-JSON bytes surface as a decode error server-side."""
+    serial = _merged_bytes(
+        _exact_factory, "serial", [RowStream(DATA)], batch_size=64
+    )
+    plan = FaultPlan([FaultRule(action="corrupt", shard=1, frame=2)])
+    with installed_fault_plan(plan):
+        coordinator = Coordinator(
+            _exact_factory,
+            n_shards=2,
+            backend="sockets",
+            worker_addresses=loopback_workers,
+            batch_size=64,
+            resilience={"retry": {"max_attempts": 2, "base_delay": 0.01}},
+        )
+        try:
+            report = coordinator.ingest(RowStream(DATA))
+            assert report.recoveries >= 1
+            assert coordinator.merged_estimator.to_bytes() == serial
+        finally:
+            coordinator.close()
+
+
+def test_resident_worker_hang_past_deadline_recovers(tmp_path) -> None:
+    """A worker sleeping past the ingest deadline is reaped + respawned."""
+    serial = _merged_bytes(
+        _exact_factory, "serial", [RowStream(DATA)], batch_size=64
+    )
+    plan = FaultPlan(
+        [FaultRule(action="hang", shard=1, after_blocks=2, seconds=5.0)],
+        state_dir=str(tmp_path),
+    )
+    with installed_fault_plan(plan):
+        coordinator = Coordinator(
+            _exact_factory,
+            n_shards=2,
+            backend="resident",
+            batch_size=64,
+            resilience={"deadlines": {"ingest": 0.5}},
+        )
+        try:
+            report = coordinator.ingest(RowStream(DATA))
+            assert report.recoveries >= 1
+            assert coordinator.merged_estimator.to_bytes() == serial
+        finally:
+            coordinator.close()
+
+
+def test_resident_dropped_frame_breaches_deadline_and_recovers() -> None:
+    """A silently dropped block never acks; the deadline converts the
+    missing ack into a recovery instead of an undercounted summary."""
+    serial = _merged_bytes(
+        _exact_factory, "serial", [RowStream(DATA)], batch_size=64
+    )
+    plan = FaultPlan([FaultRule(action="drop", shard=0, frame=2)])
+    with installed_fault_plan(plan):
+        coordinator = Coordinator(
+            _exact_factory,
+            n_shards=2,
+            backend="resident",
+            batch_size=64,
+            resilience={"deadlines": {"ingest": 0.75}},
+        )
+        try:
+            report = coordinator.ingest(RowStream(DATA))
+            assert report.recoveries >= 1
+            assert coordinator.merged_estimator.to_bytes() == serial
+        finally:
+            coordinator.close()
+
+
+def test_socket_disconnect_mid_ingest_fail_fast_raises(tmp_path) -> None:
+    """Under fail-fast, a mid-ingest disconnect is a precise error."""
+    plan = FaultPlan(
+        [FaultRule(action="crash", shard=1, after_blocks=1)],
+        state_dir=str(tmp_path),
+    )
+    with installed_fault_plan(plan):
+        # Servers forked here inherit the installed plan.
+        addresses, processes = spawn_local_servers(2)
+        coordinator = Coordinator(
+            _exact_factory,
+            n_shards=2,
+            backend="sockets",
+            worker_addresses=addresses,
+            batch_size=64,
+            resilience={"recovery": {"mode": "fail-fast"}},
+        )
+        try:
+            with pytest.raises(EstimationError, match=r"shard 1 .*'sockets'"):
+                coordinator.ingest(RowStream(DATA))
+        finally:
+            coordinator.close()
+            for address in addresses:
+                try:
+                    SocketShardClient(address).shutdown_server()
+                except (TransportError, ConnectionError, OSError):
+                    pass
+            for process in processes:
+                process.join(timeout=5)
+                if process.is_alive():  # pragma: no cover - teardown
+                    process.terminate()
 
 
 def test_transport_rejects_unsnapshottable_estimators() -> None:
